@@ -1,0 +1,386 @@
+(* hdd_cli — command-line front end.
+
+   Subcommands:
+     validate     parse a partition description and check TST-hierarchy
+     dot          emit the DHG of a built-in partition as Graphviz
+     simulate     run one workload under one protocol
+     compare      run one workload under every protocol
+     experiments  run the paper-reproduction experiments (E1..E13)
+
+   Partition descriptions for `validate` use one line per transaction
+   type:   name : writes SEG[,SEG...] reads [SEG[,SEG...]]
+   Segments are declared implicitly by first use. *)
+
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+module Workload = Hdd_sim.Workload
+module Runner = Hdd_sim.Runner
+module Harness = Hdd_sim.Harness
+module Controller = Hdd_sim.Controller
+module Experiment = Hdd_experiments.Experiment
+module Table = Hdd_util.Table
+
+open Cmdliner
+
+(* --- partition description parsing --- *)
+
+let parse_spec_lines lines =
+  let segments : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  let seg name =
+    match Hashtbl.find_opt segments name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length segments in
+      Hashtbl.add segments name i;
+      order := name :: !order;
+      i
+  in
+  let parse_segs s =
+    if String.trim s = "" then []
+    else
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+      |> List.map seg
+  in
+  let types =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || String.length line > 0 && line.[0] = '#' then None
+        else
+          match String.index_opt line ':' with
+          | None -> failwith (Printf.sprintf "missing ':' in %S" line)
+          | Some i ->
+            let name = String.trim (String.sub line 0 i) in
+            let rest =
+              String.sub line (i + 1) (String.length line - i - 1)
+            in
+            let writes, reads =
+              match
+                Scanf.sscanf_opt rest " writes %s@ reads %s@!"
+                  (fun w r -> (w, r))
+              with
+              | Some (w, r) -> (w, r)
+              | None -> (
+                match
+                  Scanf.sscanf_opt rest " writes %s@!" (fun w -> w)
+                with
+                | Some w -> (w, "")
+                | None ->
+                  failwith
+                    (Printf.sprintf "cannot parse type description %S" line))
+            in
+            Some (Spec.txn_type ~name ~writes:(parse_segs writes)
+                    ~reads:(parse_segs reads)))
+      lines
+  in
+  Spec.make ~segments:(List.rev !order) ~types
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* --- built-in workloads --- *)
+
+let workload_of_name name =
+  match name with
+  | "inventory" -> Workload.inventory ()
+  | "tree" -> Workload.tree ()
+  | "chain3" -> Workload.chain ~depth:3 ()
+  | "chain5" -> Workload.chain ~depth:5 ()
+  | _ -> (
+    match Scanf.sscanf_opt name "random:%d" Fun.id with
+    | Some seed -> Workload.random_hierarchy ~seed ()
+    | None ->
+      failwith
+        ("unknown workload: " ^ name
+       ^ " (try inventory, tree, chain3, chain5, random:<seed>)"))
+
+let spec_of_name = function
+  | "HDD" | "hdd" -> Harness.Hdd
+  | "2PL" | "2pl" -> Harness.S2pl
+  | "TSO" | "tso" -> Harness.Tso
+  | "MVTO" | "mvto" -> Harness.Mvto
+  | "MV2PL" | "mv2pl" -> Harness.Mv2pl
+  | "SDD-1" | "sdd1" -> Harness.Sdd1
+  | "NoCC" | "nocc" -> Harness.Nocc
+  | name -> failwith ("unknown protocol: " ^ name)
+
+(* --- commands --- *)
+
+let validate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Partition description file.")
+  in
+  let run file =
+    let spec = parse_spec_lines (read_lines file) in
+    match Partition.build spec with
+    | Ok p ->
+      Printf.printf "TST-hierarchical: yes\n";
+      Printf.printf "segments: %d, critical arcs: %s\n"
+        (Partition.segment_count p)
+        (String.concat ", "
+           (List.map
+              (fun (i, j) -> Printf.sprintf "D%d->D%d" i j)
+              (Hdd_graph.Digraph.arcs p.Partition.reduction)));
+      Printf.printf "lowest classes: %s\n"
+        (String.concat ", "
+           (List.map string_of_int (Partition.lowest_classes p)))
+    | Error e ->
+      Printf.printf "REJECTED: %s\n" (Partition.error_to_string e);
+      exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Validate a partition description")
+    Term.(const run $ file)
+
+let legalize_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Partition description file.")
+  in
+  let run file =
+    let spec = parse_spec_lines (read_lines file) in
+    let r = Hdd_core.Legalize.legalize spec in
+    if r.Hdd_core.Legalize.merges = [] then
+      print_endline "already TST-hierarchical; nothing to merge"
+    else begin
+      List.iter
+        (fun (a, b) ->
+          Printf.printf "merge %s with %s\n" (Spec.segment_name spec a)
+            (Spec.segment_name spec b))
+        r.Hdd_core.Legalize.merges;
+      Printf.printf "legal decomposition (%d segments):\n"
+        (Spec.segment_count r.Hdd_core.Legalize.spec);
+      Array.iteri
+        (fun i m ->
+          Printf.printf "  %s -> %s\n" (Spec.segment_name spec i)
+            (Spec.segment_name r.Hdd_core.Legalize.spec m))
+        r.Hdd_core.Legalize.segment_map
+    end
+  in
+  Cmd.v
+    (Cmd.info "legalize"
+       ~doc:"Merge segments until a partition is TST-hierarchical (§7.2.1)")
+    Term.(const run $ file)
+
+let decompose_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Access-trace file: one line per transaction type, \
+                 `name : writes ITEM[,ITEM...] reads [ITEM[,ITEM...]]`.")
+  in
+  let run file =
+    let trace =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then None
+          else
+            match String.index_opt line ':' with
+            | None -> failwith (Printf.sprintf "missing ':' in %S" line)
+            | Some i ->
+              let tag = String.trim (String.sub line 0 i) in
+              let rest = String.sub line (i + 1) (String.length line - i - 1) in
+              let items s =
+                if String.trim s = "" then []
+                else
+                  String.split_on_char ',' s
+                  |> List.map String.trim
+                  |> List.filter (fun x -> x <> "")
+              in
+              let writes, reads =
+                match
+                  Scanf.sscanf_opt rest " writes %s@ reads %s@!" (fun w r ->
+                      (w, r))
+                with
+                | Some (w, r) -> (items w, items r)
+                | None -> (
+                  match Scanf.sscanf_opt rest " writes %s@!" Fun.id with
+                  | Some w -> (items w, [])
+                  | None -> failwith (Printf.sprintf "cannot parse %S" line))
+              in
+              Some { Hdd_core.Decompose.tag; writes; reads })
+        (read_lines file)
+    in
+    let d = Hdd_core.Decompose.decompose trace in
+    let spec = d.Hdd_core.Decompose.legal.Hdd_core.Legalize.spec in
+    Printf.printf "legal decomposition with %d segments:
+"
+      (Spec.segment_count spec);
+    List.iter
+      (fun (item, seg) ->
+        Printf.printf "  %-20s -> D%d (%s)
+" item seg
+          (Spec.segment_name spec seg))
+      d.Hdd_core.Decompose.items
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Derive a legal decomposition from an access trace (§7.2.2)")
+    Term.(const run $ file)
+
+let dot_cmd =
+  let workload =
+    Arg.(value & pos 0 string "inventory" & info [] ~docv:"WORKLOAD"
+           ~doc:"Built-in workload whose DHG to print.")
+  in
+  let run name =
+    let wl = workload_of_name name in
+    print_string (Partition.to_dot wl.Workload.partition)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit a workload's data hierarchy graph as DOT")
+    Term.(const run $ workload)
+
+let sim_args =
+  let workload =
+    Arg.(value & opt string "inventory" & info [ "w"; "workload" ]
+           ~docv:"NAME" ~doc:"Workload (inventory, tree, chain3, chain5).")
+  in
+  let commits =
+    Arg.(value & opt int 2000 & info [ "n"; "commits" ] ~docv:"N"
+           ~doc:"Committed transactions to run.")
+  in
+  let mpl =
+    Arg.(value & opt int 8 & info [ "mpl" ] ~docv:"M"
+           ~doc:"Multiprogramming level.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  (workload, commits, mpl, seed)
+
+let config_of ~commits ~mpl ~seed =
+  { Runner.default_config with
+    Runner.mpl;
+    target_commits = commits;
+    seed }
+
+let print_results results =
+  let table =
+    Table.create ~title:"simulation results"
+      ~columns:
+        [ "protocol"; "commits"; "restarts"; "deadlocks"; "read regs";
+          "blocks"; "rejects"; "throughput"; "p95 resp" ]
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      Table.add_row table
+        [ r.Runner.controller;
+          string_of_int r.Runner.committed;
+          string_of_int r.Runner.restarts;
+          string_of_int r.Runner.deadlocks;
+          string_of_int r.Runner.counters.Controller.read_registrations;
+          string_of_int r.Runner.counters.Controller.blocks;
+          string_of_int r.Runner.counters.Controller.rejects;
+          Table.cell_float ~decimals:3 r.Runner.throughput;
+          Table.cell_float r.Runner.p95_response ])
+    results;
+  Table.print table
+
+let simulate_cmd =
+  let workload, commits, mpl, seed = sim_args in
+  let protocol =
+    Arg.(value & opt string "HDD" & info [ "p"; "protocol" ] ~docv:"P"
+           ~doc:"Protocol (HDD, 2PL, TSO, MVTO, MV2PL, SDD-1, NoCC).")
+  in
+  let certify =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Log the schedule and certify serializability.")
+  in
+  let run wname commits mpl seed pname certify =
+    let wl = workload_of_name wname in
+    let spec = spec_of_name pname in
+    let config = config_of ~commits ~mpl ~seed in
+    if certify then begin
+      let r, serializable = Harness.certified_run ~config spec wl in
+      print_results [ r ];
+      Printf.printf "serializable: %b\n" serializable;
+      if not serializable then exit 1
+    end
+    else print_results [ Runner.run config wl (Harness.make spec wl) ]
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run one workload under one protocol")
+    Term.(const run $ workload $ commits $ mpl $ seed $ protocol $ certify)
+
+let compare_cmd =
+  let workload, commits, mpl, seed = sim_args in
+  let run wname commits mpl seed =
+    let wl = workload_of_name wname in
+    let config = config_of ~commits ~mpl ~seed in
+    print_results (Harness.compare_protocols ~config wl)
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Run one workload under every protocol")
+    Term.(const run $ workload $ commits $ mpl $ seed)
+
+let recover_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG"
+           ~doc:"Write-ahead log file to inspect.")
+  in
+  let segments =
+    Arg.(value & opt int 8 & info [ "segments" ] ~docv:"N"
+           ~doc:"Segment count of the store to rebuild.")
+  in
+  let run file segments =
+    let r =
+      Hdd_storage.Durable.recover ~path:file ~segments ~init:(fun _ -> 0)
+    in
+    Printf.printf
+      "log intact: %b
+committed: %d
+aborted: %d
+in-flight lost: %d
+last timestamp: %d
+live versions: %d
+"
+      r.Hdd_storage.Durable.log_intact r.Hdd_storage.Durable.committed
+      r.Hdd_storage.Durable.aborted r.Hdd_storage.Durable.lost_uncommitted
+      r.Hdd_storage.Durable.last_time
+      (Hdd_mvstore.Store.version_count r.Hdd_storage.Durable.store);
+    if not r.Hdd_storage.Durable.log_intact then exit 2
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Replay a write-ahead log and report the recovered state")
+    Term.(const run $ file $ segments)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids (E1..E13); all when omitted.")
+  in
+  let run ids =
+    let outcomes =
+      match ids with
+      | [] -> Experiment.run_all ()
+      | ids -> List.map Experiment.run ids
+    in
+    List.iter Experiment.print outcomes;
+    let failed = List.filter (fun o -> not (Experiment.passed o)) outcomes in
+    Printf.printf "\n%d/%d experiments passed\n"
+      (List.length outcomes - List.length failed)
+      (List.length outcomes);
+    if failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the paper-reproduction experiments (DESIGN.md §4)")
+    Term.(const run $ ids)
+
+let () =
+  let doc = "Hierarchical Database Decomposition (Hsu, 1982) — tools" in
+  let info = Cmd.info "hdd_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
+                      simulate_cmd; compare_cmd; recover_cmd;
+                      experiments_cmd ]))

@@ -1,0 +1,77 @@
+type ctx = { partition : Partition.t; registry : Registry.t }
+
+let make_ctx partition registry = { partition; registry }
+
+let i_old ctx ~class_id m = Registry.i_old ctx.registry ~class_id ~at:m
+
+let c_late ctx ~class_id m = Registry.c_late ctx.registry ~class_id ~at:m
+
+let critical_path_exn ctx ~from_class ~to_class =
+  match Partition.critical_path ctx.partition from_class to_class with
+  | Some path -> path
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Activity: no critical path from T%d to T%d" from_class
+         to_class)
+
+let a_fn_trace ctx ~from_class ~to_class m =
+  let path = critical_path_exn ctx ~from_class ~to_class in
+  match path with
+  | [] -> assert false
+  | first :: rest ->
+    (* A_i^j(m) composes I_old over the successive classes of CP_i^j,
+       excluding the starting class itself. *)
+    let _, acc =
+      List.fold_left
+        (fun (m, acc) cls ->
+          let m' = i_old ctx ~class_id:cls m in
+          (m', (cls, m') :: acc))
+        (m, [ (first, m) ])
+        rest
+    in
+    List.rev acc
+
+let a_fn ctx ~from_class ~to_class m =
+  match List.rev (a_fn_trace ctx ~from_class ~to_class m) with
+  | (_, v) :: _ -> v
+  | [] -> assert false
+
+let b_fn ctx ~from_class ~to_class m =
+  let path = critical_path_exn ctx ~from_class ~to_class in
+  (* path = [from; ...; to]; B walks it top-down, applying C_late at every
+     class except the bottom one ([from]), the mirror image of A applying
+     I_old at every class except the bottom: only then do Properties 2.1
+     (A∘B >= id) and 2.2 (A∘(B - eps) < id) hold. *)
+  let above_bottom = List.rev (List.tl path) in
+  List.fold_left
+    (fun acc cls ->
+      match acc with
+      | Error _ -> acc
+      | Ok m -> c_late ctx ~class_id:cls m)
+    (Ok m) above_bottom
+
+let e_fn ctx ~s ~i m =
+  match Partition.ucp ctx.partition s i with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Activity.e_fn: T%d and T%d are not connected" s i)
+  | Some path ->
+    let reduction = ctx.partition.Partition.reduction in
+    (* Up-steps (u -> v critical arc, v higher) apply I_old at the target
+       class, composing like A.  Down-steps (v -> u critical arc, v lower)
+       apply C_late at the *source* class u — the B composition excludes
+       the bottom class of each descent, so the application happens where
+       the step starts, not where it lands. *)
+    let rec walk m = function
+      | [] | [ _ ] -> Ok m
+      | u :: (v :: _ as rest) ->
+        if Hdd_graph.Digraph.mem_arc reduction u v then
+          walk (i_old ctx ~class_id:v m) rest
+        else begin
+          assert (Hdd_graph.Digraph.mem_arc reduction v u);
+          match c_late ctx ~class_id:u m with
+          | Error _ as e -> e
+          | Ok m' -> walk m' rest
+        end
+    in
+    walk m path

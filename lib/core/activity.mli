@@ -1,0 +1,51 @@
+(** The activity link function [A], its backward inverse [B], and the
+    extended function [E] (§4.1, §5.1).
+
+    All three map logical times to logical times by composing the two
+    registry queries along the (undirected) critical path of the class
+    hierarchy:
+
+    - [A_i^j(m)]: going *up* a critical path [T_i -> T_k -> … -> T_j],
+      successively take the initiation time of the oldest active
+      transaction — [I_j^old(… I_k^old(m) …)].  Protocol A reads segment
+      [D_j] below this threshold.
+    - [B_j^i(m)]: going back *down*, successively take the latest commit
+      time — [C_i^late(… C_k^late(m) …)].  Only computable once every
+      involved class has no straggler older than the argument; the paper's
+      Properties 2.1/2.2 make [B] the inverse of [A] up to epsilon.
+    - [E_s^i(m)]: along the unique *undirected* critical path from [T_s]
+      to [T_i], apply [I^old] across forward (upward) arcs and [C^late]
+      across backward (downward) arcs.  Time walls are vectors of [E]
+      values. *)
+
+type ctx = { partition : Partition.t; registry : Registry.t }
+
+val make_ctx : Partition.t -> Registry.t -> ctx
+
+val i_old : ctx -> class_id:int -> Time.t -> Time.t
+(** [I_class^old(m)] — re-exported for experiments and tests. *)
+
+val c_late : ctx -> class_id:int -> Time.t -> (Time.t, Txn.id) result
+
+val a_fn : ctx -> from_class:int -> to_class:int -> Time.t -> Time.t
+(** [A_{from}^{to}(m)].  When [from = to] this is the identity (used by the
+    fictitious-class hosting of §5.0).
+    @raise Invalid_argument when no critical path joins the classes. *)
+
+val a_fn_trace :
+  ctx -> from_class:int -> to_class:int -> Time.t -> (int * Time.t) list
+(** The successive [(class, I_old value)] pairs of the composition, for
+    the Figure 6 experiment.  First element is [(from_class, m)]. *)
+
+val b_fn :
+  ctx -> from_class:int -> to_class:int -> Time.t -> (Time.t, Txn.id) result
+(** [B_{to}^{from}(m)] where the critical path runs [from -> … -> to]:
+    maps a time at the *top* class [to] back down to the bottom class
+    [from].  [Error id] when some [C^late] along the way is not yet
+    computable because transaction [id] is still active.
+    @raise Invalid_argument when no critical path joins the classes. *)
+
+val e_fn : ctx -> s:int -> i:int -> Time.t -> (Time.t, Txn.id) result
+(** [E_s^i(m)] along the UCP.
+    @raise Invalid_argument when the classes are in different components
+    of the hierarchy. *)

@@ -1,0 +1,105 @@
+module Digraph = Hdd_graph.Digraph
+
+type verdict = {
+  graph : Digraph.t;
+  serializable : bool;
+  cycle : int list option;
+}
+
+(* Map (granule, version timestamp) -> writer, and granule -> sorted
+   version timestamps, from the committed write steps of the log.  Version
+   timestamp zero belongs to the bootstrap transaction. *)
+let index_writes steps =
+  let writers : (Granule.t * Time.t, Txn.id) Hashtbl.t = Hashtbl.create 256 in
+  let versions : Time.t list Granule.Tbl.t = Granule.Tbl.create 256 in
+  let touch g =
+    if not (Granule.Tbl.mem versions g) then begin
+      Granule.Tbl.add versions g [ Time.zero ];
+      Hashtbl.replace writers (g, Time.zero) Txn.bootstrap.Txn.id
+    end
+  in
+  List.iter
+    (fun (s : Sched_log.step) ->
+      touch s.Sched_log.granule;
+      match s.Sched_log.action with
+      | Sched_log.Write ->
+        if not (Hashtbl.mem writers (s.granule, s.version)) then
+          Granule.Tbl.replace versions s.granule
+            (s.version :: Granule.Tbl.find versions s.granule);
+        Hashtbl.replace writers (s.granule, s.version) s.txn
+      | Sched_log.Read -> ())
+    steps;
+  let sorted = Granule.Tbl.create 256 in
+  Granule.Tbl.iter
+    (fun g vs -> Granule.Tbl.add sorted g (List.sort_uniq Time.compare vs))
+    versions;
+  (writers, sorted)
+
+(* The full multiversion serialization graph of Bernstein & Goodman, with
+   the version order given by the write timestamps.  Arcs point from the
+   dependent transaction to the one it must follow (the paper's "t2 -> t1
+   iff t2 depends on t1"):
+
+   - the reader of a version depends on its writer;
+   - for every read r_k(x^j) and every other version x^i of the granule
+     written by a third transaction:
+     - x^i older than x^j: the writer of x^j depends on the writer of
+       x^i (the version order must be respected by any serialization);
+     - x^i newer than x^j: the writer of x^i depends on the reader (the
+       reader saw the granule before that overwrite).
+
+   The paper's §2 presentation keeps only the first rule and the adjacent
+   case of the last; the full graph additionally certifies *one-copy*
+   serializability, which is what the single-version baselines must
+   satisfy (it is what catches Figure 1's lost update). *)
+let dependency_graph log =
+  let steps = Sched_log.steps log in
+  let writers, versions = index_writes steps in
+  let writer_of g v =
+    match Hashtbl.find_opt writers (g, v) with
+    | Some w -> w
+    | None -> Txn.bootstrap.Txn.id
+  in
+  let g0 =
+    List.fold_left
+      (fun acc (s : Sched_log.step) -> Digraph.add_node acc s.Sched_log.txn)
+      (Digraph.add_node Digraph.empty Txn.bootstrap.Txn.id)
+      steps
+  in
+  let add_arc acc a b = if a = b then acc else Digraph.add_arc acc a b in
+  List.fold_left
+    (fun acc (s : Sched_log.step) ->
+      match s.Sched_log.action with
+      | Sched_log.Write -> acc
+      | Sched_log.Read ->
+        let reader = s.txn in
+        let read_writer = writer_of s.granule s.version in
+        let acc = add_arc acc reader read_writer in
+        List.fold_left
+          (fun acc other ->
+            if other = s.version then acc
+            else
+              let other_writer = writer_of s.granule other in
+              if other_writer = reader then acc
+              else if other < s.version then
+                add_arc acc read_writer other_writer
+              else add_arc acc other_writer reader)
+          acc
+          (match Granule.Tbl.find_opt versions s.granule with
+          | Some vs -> vs
+          | None -> []))
+    g0 steps
+
+let certify log =
+  let graph = dependency_graph log in
+  match Digraph.find_cycle graph with
+  | None -> { graph; serializable = true; cycle = None }
+  | Some c -> { graph; serializable = false; cycle = Some c }
+
+let serializable log = (certify log).serializable
+
+let equivalent_serial_order log =
+  let graph = dependency_graph log in
+  match Digraph.topological_sort graph with
+  | None -> None
+  | Some order -> Some (List.rev order)

@@ -1,0 +1,98 @@
+type trace_txn = {
+  tag : string;
+  writes : string list;
+  reads : string list;
+}
+
+type t = {
+  legal : Legalize.result;
+  items : (string * int) list;
+}
+
+let decompose trace =
+  if trace = [] then invalid_arg "Decompose.decompose: empty trace";
+  let tags = Hashtbl.create 8 in
+  List.iter
+    (fun tx ->
+      if Hashtbl.mem tags tx.tag then
+        invalid_arg
+          (Printf.sprintf "Decompose.decompose: duplicate type %S" tx.tag);
+      Hashtbl.add tags tx.tag ();
+      if tx.writes = [] then
+        invalid_arg
+          (Printf.sprintf "Decompose.decompose: type %S writes nothing" tx.tag))
+    trace;
+  (* index the items *)
+  let item_ids = Hashtbl.create 32 in
+  let item_names = ref [] in
+  let item name =
+    match Hashtbl.find_opt item_ids name with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length item_ids in
+      Hashtbl.add item_ids name i;
+      item_names := name :: !item_names;
+      i
+  in
+  List.iter
+    (fun tx ->
+      List.iter (fun n -> ignore (item n)) tx.writes;
+      List.iter (fun n -> ignore (item n)) tx.reads)
+    trace;
+  let n = Hashtbl.length item_ids in
+  let names = Array.of_list (List.rev !item_names) in
+  (* cluster co-written items *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(Int.min ri rj) <- Int.max ri rj
+  in
+  List.iter
+    (fun tx ->
+      match List.map item tx.writes with
+      | [] -> ()
+      | first :: rest -> List.iter (union first) rest)
+    trace;
+  (* compact clusters into candidate segments *)
+  let cluster_ids = Hashtbl.create 8 in
+  let cluster i =
+    let r = find i in
+    match Hashtbl.find_opt cluster_ids r with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length cluster_ids in
+      Hashtbl.add cluster_ids r c;
+      c
+  in
+  for i = 0 to n - 1 do
+    ignore (cluster i)
+  done;
+  let k = Hashtbl.length cluster_ids in
+  let members = Array.make k [] in
+  for i = n - 1 downto 0 do
+    members.(cluster i) <- names.(i) :: members.(cluster i)
+  done;
+  let segments =
+    List.init k (fun c -> String.concat "+" members.(c))
+  in
+  let types =
+    List.map
+      (fun tx ->
+        Spec.txn_type ~name:tx.tag
+          ~writes:
+            (List.sort_uniq compare (List.map (fun w -> cluster (item w)) tx.writes))
+          ~reads:
+            (List.sort_uniq compare (List.map (fun r -> cluster (item r)) tx.reads)))
+      trace
+  in
+  let spec = Spec.make ~segments ~types in
+  let legal = Legalize.legalize spec in
+  let items =
+    List.init n (fun i ->
+        (names.(i), legal.Legalize.segment_map.(cluster i)))
+    |> List.sort compare
+  in
+  { legal; items }
+
+let segment_of t name = List.assoc name t.items

@@ -1,0 +1,34 @@
+(** Database decomposition methodology via data analysis (§7.2.2).
+
+    Input: the observed (or declared) access patterns of the update
+    transaction types, over named data items.  Output: a legal
+    TST-hierarchical decomposition and the item-to-segment assignment.
+
+    The clustering is the minimal one forced by the theory:
+    - items written by the same transaction type must share a segment
+      (each update transaction writes one segment — §3.2's Property);
+    - the candidate segments then pass through {!Legalize}, which merges
+      further only where the data hierarchy graph demands it.
+
+    Items only ever read keep their own (possibly shared) segments and
+    end up as high as the hierarchy allows, which is what makes the HDD
+    protocols profitable on them. *)
+
+type trace_txn = {
+  tag : string;  (** transaction type name *)
+  writes : string list;  (** item names written *)
+  reads : string list;  (** item names read *)
+}
+
+type t = {
+  legal : Legalize.result;
+  items : (string * int) list;
+      (** item -> segment id in [legal.spec], sorted by item *)
+}
+
+val decompose : trace_txn list -> t
+(** @raise Invalid_argument on an empty trace, a type writing nothing,
+    or duplicate type tags. *)
+
+val segment_of : t -> string -> int
+(** @raise Not_found for an unknown item. *)

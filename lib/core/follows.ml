@@ -1,0 +1,19 @@
+let classes_of t1 t2 =
+  match (Txn.class_of t1, Txn.class_of t2) with
+  | Some i, Some j -> Some (i, j)
+  | _ -> None
+
+let follows (ctx : Activity.ctx) (t1 : Txn.t) (t2 : Txn.t) =
+  match classes_of t1 t2 with
+  | None -> None
+  | Some (i, j) ->
+    if i = j then Some (t1.Txn.init > t2.Txn.init)
+    else if Partition.higher_than ctx.Activity.partition i j then
+      (* t1's class is higher: compare t1 against the activity link of
+         t2's initiation lifted from Tj up to Ti *)
+      Some (t1.Txn.init >= Activity.a_fn ctx ~from_class:j ~to_class:i t2.Txn.init)
+    else if Partition.higher_than ctx.Activity.partition j i then
+      Some (t2.Txn.init < Activity.a_fn ctx ~from_class:i ~to_class:j t1.Txn.init)
+    else None
+
+let defined ctx t1 t2 = follows ctx t1 t2 <> None

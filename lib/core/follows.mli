@@ -1,0 +1,23 @@
+(** The "topologically follows" relation [t1 => t2] (§4.3).
+
+    Defined only between update transactions whose classes lie on one
+    critical path of the hierarchy; it refines "later than" by the relative
+    levels of the classes: the lower [t1]'s class sits, the later its
+    initiation must be for [t1 => t2] to hold.  The concurrency control
+    algorithm is correct because it admits a direct dependency
+    [t1 -> t2] only when [t1 => t2] (the partition synchronization rule),
+    and [=>] is antisymmetric and critical-path transitive. *)
+
+val follows : Activity.ctx -> Txn.t -> Txn.t -> bool option
+(** [follows ctx t1 t2] is [Some (t1 => t2)], or [None] when the relation
+    is undefined for the pair: one of them is read-only, or their classes
+    are not on one critical path.
+
+    The three defining cases, with [t1 ∈ Ti], [t2 ∈ Tj]:
+    - [Ti = Tj]: [I(t1) > I(t2)];
+    - [Ti] higher than [Tj]: [I(t1) >= A_j^i(I(t2))];
+    - [Tj] higher than [Ti]: [I(t2) < A_i^j(I(t1))]. *)
+
+val defined : Activity.ctx -> Txn.t -> Txn.t -> bool
+(** Is the relation defined for the pair (distinct update transactions on
+    one critical path)? *)

@@ -1,0 +1,130 @@
+type result = {
+  spec : Spec.t;
+  partition : Partition.t;
+  segment_map : int array;
+  merges : (int * int) list;
+}
+
+let is_legal spec =
+  match Partition.build spec with Ok _ -> true | Error _ -> false
+
+(* Union-find over the original segment ids. *)
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find uf i = if uf.(i) = i then i else find uf uf.(i)
+
+  let union uf i j =
+    let ri = find uf i and rj = find uf j in
+    if ri <> rj then uf.(Int.min ri rj) <- Int.max ri rj
+end
+
+(* Compact the union-find roots into dense ids 0..k-1 (in root order) and
+   return (original -> compact) plus the member lists per compact id. *)
+let compact spec uf =
+  let n = Spec.segment_count spec in
+  let root_ids = Hashtbl.create 8 in
+  let mapping = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = Uf.find uf i in
+    let id =
+      match Hashtbl.find_opt root_ids r with
+      | Some id -> id
+      | None ->
+        let id = Hashtbl.length root_ids in
+        Hashtbl.add root_ids r id;
+        id
+    in
+    mapping.(i) <- id
+  done;
+  let k = Hashtbl.length root_ids in
+  let members = Array.make k [] in
+  for i = n - 1 downto 0 do
+    members.(mapping.(i)) <- i :: members.(mapping.(i))
+  done;
+  (mapping, members)
+
+let merged_spec spec uf =
+  let mapping, members = compact spec uf in
+  let name id =
+    String.concat "+"
+      (List.map (Spec.segment_name spec) members.(id))
+  in
+  let segments = List.init (Array.length members) name in
+  let remap l = List.sort_uniq compare (List.map (fun i -> mapping.(i)) l) in
+  let types =
+    Array.to_list spec.Spec.types
+    |> List.map (fun (ty : Spec.txn_type) ->
+           Spec.txn_type ~name:ty.Spec.type_name ~writes:(remap ty.Spec.writes)
+             ~reads:(remap ty.Spec.reads))
+  in
+  (Spec.make ~segments ~types, mapping)
+
+(* Pick one original segment per merged id, to report merges in original
+   terms. *)
+let original_of mapping target =
+  let found = ref (-1) in
+  Array.iteri (fun i m -> if !found < 0 && m = target then found := i) mapping;
+  !found
+
+let legalize spec =
+  let n = Spec.segment_count spec in
+  let uf = Uf.create n in
+  let merges = ref [] in
+  let record i j = merges := (i, j) :: !merges in
+  (* multi-write types force their write segments together *)
+  Array.iter
+    (fun (ty : Spec.txn_type) ->
+      match ty.Spec.writes with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        List.iter
+          (fun w ->
+            if Uf.find uf first <> Uf.find uf w then begin
+              record first w;
+              Uf.union uf first w
+            end)
+          rest)
+    spec.Spec.types;
+  let rec fixpoint () =
+    let candidate, mapping = merged_spec spec uf in
+    match Partition.build candidate with
+    | Ok partition ->
+      { spec = candidate; partition; segment_map = mapping;
+        merges = List.rev !merges }
+    | Error (Partition.Multiple_write_segments (_, ws)) ->
+      (* can only appear transiently if a merge re-split... merge them *)
+      (match ws with
+      | a :: rest ->
+        let oa = original_of mapping a in
+        List.iter
+          (fun b ->
+            let ob = original_of mapping b in
+            record oa ob;
+            Uf.union uf oa ob)
+          rest;
+        fixpoint ()
+      | [] -> assert false)
+    | Error (Partition.Cyclic cycle) ->
+      (* collapse the whole cycle into one segment *)
+      (match cycle with
+      | a :: rest ->
+        let oa = original_of mapping a in
+        List.iter
+          (fun b ->
+            let ob = original_of mapping b in
+            if Uf.find uf oa <> Uf.find uf ob then begin
+              record oa ob;
+              Uf.union uf oa ob
+            end)
+          rest;
+        fixpoint ()
+      | [] -> assert false)
+    | Error (Partition.Not_semi_tree (i, j)) ->
+      let i, j = if i >= 0 && j >= 0 then (i, j) else (0, 1) in
+      let oi = original_of mapping i and oj = original_of mapping j in
+      record oi oj;
+      Uf.union uf oi oj;
+      fixpoint ()
+  in
+  fixpoint ()

@@ -1,0 +1,38 @@
+(** Legalizing acyclic decompositions (§7.2.1).
+
+    A partition whose data hierarchy graph is acyclic but not a
+    transitive semi-tree cannot run under the HDD protocols.  The paper
+    proposes transforming such a partition into a legal one "while
+    preserving the granularity of the original partition as much as
+    possible".  This module implements that transformation by *merging
+    segments*: whenever the transitive reduction of the DHG holds two
+    distinct undirected paths between a pair of segments, the two
+    endpoints of the offending edge are merged into one segment and the
+    analysis repeats.  Merging strictly reduces the number of segments,
+    so the loop terminates — in the worst case at a single segment, whose
+    DHG is trivially a semi-tree.
+
+    Merging is purely a renaming of the transaction analysis: the
+    returned spec has the same transaction types with their segment
+    references collapsed, and a mapping from original segment ids to the
+    ids of the merged spec.  A cyclic DHG cannot be repaired by merging
+    alone (the merged class would write and read itself harmlessly, so it
+    actually can — a cycle collapses into one segment) and is handled the
+    same way. *)
+
+type result = {
+  spec : Spec.t;  (** the legalized decomposition *)
+  partition : Partition.t;  (** validated: building it cannot fail *)
+  segment_map : int array;
+      (** original segment id -> merged segment id *)
+  merges : (int * int) list;
+      (** the pairs merged, in order, as original segment ids *)
+}
+
+val legalize : Spec.t -> result
+(** @raise Invalid_argument if some type writes several segments even
+    after full collapse would not help (never happens: a single segment
+    is always legal, so this function totalises). *)
+
+val is_legal : Spec.t -> bool
+(** Does the spec already validate as TST-hierarchical? *)

@@ -1,0 +1,17 @@
+type 'a t =
+  | Granted of 'a
+  | Blocked of Txn.id list
+  | Rejected of string
+
+let granted = function Granted v -> Some v | Blocked _ | Rejected _ -> None
+let is_granted o = granted o <> None
+
+let pp pp_v ppf = function
+  | Granted v -> Format.fprintf ppf "granted %a" pp_v v
+  | Blocked ids ->
+    Format.fprintf ppf "blocked on %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      ids
+  | Rejected why -> Format.fprintf ppf "rejected: %s" why

@@ -1,0 +1,15 @@
+(** Result of one concurrency-control decision, shared by the HDD
+    scheduler and every baseline so one simulator drives them all. *)
+
+type 'a t =
+  | Granted of 'a
+  | Blocked of Txn.id list
+      (** wait until every listed transaction finishes, then retry the
+          operation (several blockers arise under shared locks) *)
+  | Rejected of string
+      (** the transaction must abort; drivers restart it with a fresh
+          timestamp *)
+
+val granted : 'a t -> 'a option
+val is_granted : 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

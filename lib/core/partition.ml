@@ -1,0 +1,189 @@
+module Digraph = Hdd_graph.Digraph
+
+type error =
+  | Multiple_write_segments of string * int list
+  | Cyclic of int list
+  | Not_semi_tree of int * int
+
+let pp_error ppf = function
+  | Multiple_write_segments (name, segs) ->
+    Format.fprintf ppf
+      "transaction type %S writes several segments (%a): a TST-hierarchical \
+       partition admits exactly one root segment per update transaction"
+      name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      segs
+  | Cyclic cycle ->
+    Format.fprintf ppf "the data hierarchy graph is cyclic: %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -> ")
+         Format.pp_print_int)
+      cycle
+  | Not_semi_tree (i, j) ->
+    Format.fprintf ppf
+      "the transitive reduction of the data hierarchy graph is not a \
+       semi-tree: segments %d and %d are joined by more than one undirected \
+       path"
+      i j
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  spec : Spec.t;
+  dhg : Digraph.t;
+  reduction : Digraph.t;
+}
+
+let dhg_of_spec (spec : Spec.t) =
+  let g =
+    Array.to_list spec.Spec.types
+    |> List.concat_map (fun ty ->
+           List.concat_map
+             (fun w ->
+               List.filter_map
+                 (fun a -> if a <> w then Some (w, a) else None)
+                 (Spec.access_set ty))
+             ty.Spec.writes)
+    |> Digraph.of_arcs
+  in
+  (* every segment is a node even when isolated *)
+  let rec add g i =
+    if i < 0 then g else add (Digraph.add_node g i) (i - 1)
+  in
+  add g (Spec.segment_count spec - 1)
+
+(* Locate a pair of nodes joined by two undirected paths, for error
+   reporting: the endpoints of the edge whose insertion closed a cycle in
+   the union-find sweep. *)
+let semi_tree_violation reduction =
+  let parent = Hashtbl.create 16 in
+  let rec find u =
+    match Hashtbl.find_opt parent u with
+    | None -> u
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent u r;
+      r
+  in
+  Digraph.fold_arcs
+    (fun u v acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if Digraph.mem_arc reduction v u && u < v then Some (u, v)
+        else
+          let ru = find u and rv = find v in
+          if ru = rv then Some (u, v)
+          else begin
+            Hashtbl.replace parent ru rv;
+            None
+          end)
+    reduction None
+
+let build spec =
+  let multi =
+    Array.to_list spec.Spec.types
+    |> List.find_opt (fun ty -> List.length ty.Spec.writes > 1)
+  in
+  match multi with
+  | Some ty -> Error (Multiple_write_segments (ty.Spec.type_name, ty.Spec.writes))
+  | None -> (
+    let dhg = dhg_of_spec spec in
+    match Digraph.find_cycle dhg with
+    | Some cycle -> Error (Cyclic cycle)
+    | None ->
+      let reduction = Digraph.transitive_reduction dhg in
+      if Digraph.is_semi_tree reduction then Ok { spec; dhg; reduction }
+      else
+        let i, j =
+          match semi_tree_violation reduction with
+          | Some pair -> pair
+          | None -> (-1, -1)
+        in
+        Error (Not_semi_tree (i, j)))
+
+let build_exn spec =
+  match build spec with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Partition.build: " ^ error_to_string e)
+
+let segment_count t = Spec.segment_count t.spec
+
+let class_of_type _t (ty : Spec.txn_type) =
+  match ty.Spec.writes with
+  | [ w ] -> w
+  | _ -> invalid_arg "Partition.class_of_type: not a single-root type"
+
+let critical_path t i j =
+  if i = j then if Digraph.mem_node t.dhg i then Some [ i ] else None
+  else
+    (* the reduction holds exactly the critical arcs; a directed path in it
+       is a critical path, and in a semi-tree it is unique *)
+    let rec dfs seen u =
+      if u = j then Some [ j ]
+      else if List.mem u seen then None
+      else
+        List.fold_left
+          (fun found v ->
+            match found with
+            | Some _ -> found
+            | None -> (
+              match dfs (u :: seen) v with
+              | Some path -> Some (u :: path)
+              | None -> None))
+          None
+          (Digraph.succ t.reduction u)
+    in
+    if Digraph.mem_node t.dhg i && Digraph.mem_node t.dhg j then
+      dfs [] i
+    else None
+
+let higher_than t j i = i <> j && critical_path t i j <> None
+
+let on_one_critical_path t i j =
+  i = j || critical_path t i j <> None || critical_path t j i <> None
+
+let ucp t i j =
+  if i = j then if Digraph.mem_node t.dhg i then Some [ i ] else None
+  else begin
+    (* BFS on the undirected view of the reduction *)
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add i q;
+    Hashtbl.replace parent i i;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if u = j then found := true
+      else
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem parent v) then begin
+              Hashtbl.replace parent v u;
+              Queue.add v q
+            end)
+          (Digraph.succ t.reduction u @ Digraph.pred t.reduction u)
+    done;
+    if not !found then None
+    else
+      let rec walk u acc =
+        if u = i then u :: acc else walk (Hashtbl.find parent u) (u :: acc)
+      in
+      Some (walk j [])
+  end
+
+let lowest_classes t =
+  List.filter
+    (fun i -> Digraph.pred t.reduction i = [])
+    (Digraph.nodes t.reduction)
+
+let may_read t ~class_id ~segment =
+  class_id = segment || higher_than t segment class_id
+
+let to_dot t =
+  Digraph.to_dot ~name:"dhg"
+    ~label:(fun i ->
+      Printf.sprintf "D%d:%s" i (Spec.segment_name t.spec i))
+    t.dhg

@@ -1,0 +1,72 @@
+type txn_type = {
+  type_name : string;
+  writes : int list;
+  reads : int list;
+}
+
+type t = {
+  segment_names : string array;
+  types : txn_type array;
+}
+
+let txn_type ~name ~writes ~reads =
+  { type_name = name;
+    writes = List.sort_uniq compare writes;
+    reads = List.sort_uniq compare reads }
+
+let make ~segments ~types =
+  if segments = [] then invalid_arg "Spec.make: no segments";
+  let names = Array.of_list segments in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Spec.make: duplicate segment %S" n);
+      Hashtbl.add seen n ())
+    names;
+  let n = Array.length names in
+  let check_range ty i =
+    if i < 0 || i >= n then
+      invalid_arg
+        (Printf.sprintf "Spec.make: type %S references segment %d (of %d)"
+           ty.type_name i n)
+  in
+  List.iter
+    (fun ty ->
+      if ty.writes = [] then
+        invalid_arg
+          (Printf.sprintf "Spec.make: type %S writes no segment" ty.type_name);
+      List.iter (check_range ty) ty.writes;
+      List.iter (check_range ty) ty.reads)
+    types;
+  { segment_names = names; types = Array.of_list types }
+
+let segment_count t = Array.length t.segment_names
+let segment_name t i = t.segment_names.(i)
+
+let segment_index t name =
+  let n = Array.length t.segment_names in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if String.equal t.segment_names.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let access_set ty = List.sort_uniq compare (ty.writes @ ty.reads)
+
+let types_writing t i =
+  Array.to_list t.types |> List.filter (fun ty -> List.mem i ty.writes)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>segments:";
+  Array.iteri (fun i n -> Format.fprintf ppf "@ D%d=%s" i n) t.segment_names;
+  Array.iter
+    (fun ty ->
+      Format.fprintf ppf "@ %s: w=%a r=%a" ty.type_name
+        (Format.pp_print_list Format.pp_print_int)
+        ty.writes
+        (Format.pp_print_list Format.pp_print_int)
+        ty.reads)
+    t.types;
+  Format.fprintf ppf "@]"

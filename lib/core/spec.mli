@@ -1,0 +1,39 @@
+(** Database decomposition specifications.
+
+    The input to the whole technique (§3.2): a partition of the database
+    into named data segments, and the *transaction analysis* — for every
+    update-transaction type, which segments it writes and which it reads.
+    {!Partition} turns a spec into a data hierarchy graph and validates the
+    TST-hierarchy requirement. *)
+
+type txn_type = {
+  type_name : string;
+  writes : int list;  (** segments written; a legal partition forces one *)
+  reads : int list;  (** segments read (the root segment may be included) *)
+}
+
+type t = {
+  segment_names : string array;  (** segment [i] is [D_i] *)
+  types : txn_type array;
+}
+
+val make : segments:string list -> types:txn_type list -> t
+(** @raise Invalid_argument on an empty segment list, duplicate segment
+    names, or a type referencing an out-of-range segment. *)
+
+val txn_type :
+  name:string -> writes:int list -> reads:int list -> txn_type
+
+val segment_count : t -> int
+val segment_name : t -> int -> string
+
+val segment_index : t -> string -> int
+(** @raise Not_found *)
+
+val access_set : txn_type -> int list
+(** The paper's [a(t) = r(t) ∪ w(t)], as sorted distinct segment ids. *)
+
+val types_writing : t -> int -> txn_type list
+(** The transaction types rooted in segment [i] — class [T_i]'s members. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+(** Time walls (§5.1–§5.2).
+
+    A time wall [TW(m,s)] is the vector of extended-activity-link values
+    [E_s^i(m)] over all classes: a frontier such that no direct dependency
+    runs from a transaction on the old side to one on the new side
+    (Lemma 2.1).  Protocol C serves a read-only transaction the latest
+    committed versions below the components of the most recent wall
+    released before its initiation — no read timestamps, no waiting.
+
+    When the class hierarchy is a forest, dependencies never cross
+    components, so each component gets its own start class (a lowest one)
+    and the wall is assembled per component. *)
+
+type wall = private {
+  s : int;  (** start class of the primary component *)
+  m : Time.t;  (** wall anchor time *)
+  components : Time.t array;  (** [E_s^i(m)] per class [i] *)
+  released_at : Time.t;  (** [RT(TW)] *)
+}
+
+val threshold : wall -> class_id:int -> Time.t
+
+val compute :
+  Activity.ctx -> m:Time.t -> (Time.t array, Txn.id) result
+(** One attempt at building the component vector anchored at [m]; [Error
+    id] when a [C^late] along some undirected path is not yet computable
+    because [id] is still active — the caller retries after that
+    transaction finishes. *)
+
+type manager
+
+val create : Activity.ctx -> clock:Time.Clock.clock -> manager
+(** Also releases an initial wall (trivially computable on an idle
+    system) so read-only transactions always find one. *)
+
+val try_release : manager -> (wall, Txn.id) result
+(** Anchor a new wall at a fresh current time and release it if
+    computable. *)
+
+val latest_before : manager -> Time.t -> wall option
+(** The wall with maximal release time strictly before the given instant —
+    the rule of Protocol C.  [None] only if even the initial wall was
+    released later than the instant. *)
+
+val current : manager -> wall
+(** Most recently released wall. *)
+
+val released : manager -> wall list
+(** All released walls, oldest first. *)
+
+val release_count : manager -> int

@@ -1,0 +1,78 @@
+(* E5 — Figure 5 / §3.1: transitive semi-tree recognition.
+
+   The paper's example graph is accepted; perturbations — an arc that
+   creates a second undirected path, a cycle, a transaction type writing
+   two segments — are rejected with the matching diagnosis. *)
+
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+module G = Hdd_graph.Digraph
+module Table = Hdd_util.Table
+
+let classify g =
+  if not (G.is_acyclic g) then "cyclic"
+  else if G.is_transitive_semi_tree g then "transitive semi-tree"
+  else "acyclic but not a semi-tree"
+
+let graphs =
+  [ ("Figure 5 example (chain + shortcut + side branch)",
+     G.of_arcs [ (1, 2); (2, 3); (1, 3); (4, 2) ], true);
+    ("plain chain", G.of_arcs [ (0, 1); (1, 2) ], true);
+    ("chain with every shortcut",
+     G.of_arcs [ (0, 1); (1, 2); (2, 3); (0, 2); (0, 3); (1, 3) ], true);
+    ("diamond (two undirected paths)",
+     G.of_arcs [ (1, 2); (1, 3); (2, 4); (3, 4) ], false);
+    ("two-cycle", G.of_arcs [ (1, 2); (2, 1) ], false);
+    ("long cycle", G.of_arcs [ (1, 2); (2, 3); (3, 1) ], false);
+    ("forest of two chains", G.of_arcs [ (0, 1); (2, 3) ], true);
+    ("star (many leaves one root)",
+     G.of_arcs [ (1, 0); (2, 0); (3, 0); (4, 0) ], true) ]
+
+let partition_rejections () =
+  let t = Table.create ~title:"Partition validation diagnoses"
+      ~columns:[ "specification"; "verdict" ] in
+  let try_spec name spec =
+    match Partition.build spec with
+    | Ok _ -> Table.add_row t [ name; "accepted" ]
+    | Error e -> Table.add_row t [ name; Partition.error_to_string e ]
+  in
+  try_spec "type writing two segments"
+    (Spec.make ~segments:[ "a"; "b" ]
+       ~types:[ Spec.txn_type ~name:"bad" ~writes:[ 0; 1 ] ~reads:[] ]);
+  try_spec "mutually reading classes (cycle)"
+    (Spec.make ~segments:[ "a"; "b" ]
+       ~types:
+         [ Spec.txn_type ~name:"x" ~writes:[ 0 ] ~reads:[ 1 ];
+           Spec.txn_type ~name:"y" ~writes:[ 1 ] ~reads:[ 0 ] ]);
+  try_spec "class reading across two branches (diamond)"
+    (Spec.make ~segments:[ "bottom"; "l"; "r"; "top" ]
+       ~types:
+         [ Spec.txn_type ~name:"l" ~writes:[ 1 ] ~reads:[ 3 ];
+           Spec.txn_type ~name:"r" ~writes:[ 2 ] ~reads:[ 3 ];
+           Spec.txn_type ~name:"b" ~writes:[ 0 ] ~reads:[ 1; 2 ] ]);
+  try_spec "the inventory application" E02_partition.spec;
+  t
+
+let run () =
+  let table =
+    Table.create ~title:"E5 (Figure 5): transitive semi-tree recognition"
+      ~columns:[ "graph"; "classification"; "expected TST?" ]
+  in
+  let all_correct = ref true in
+  List.iter
+    (fun (name, g, expected) ->
+      let is_tst = G.is_transitive_semi_tree g in
+      if is_tst <> expected then all_correct := false;
+      Table.add_row table
+        [ name; classify g; (if expected then "yes" else "no") ])
+    graphs;
+  { Exp_types.id = "E5";
+    title = "Transitive semi-tree recognition and partition rejection";
+    source = "Figure 5, §3.1-3.2";
+    tables = [ table; partition_rejections () ];
+    checks =
+      [ ("every graph classifies as the paper prescribes", !all_correct);
+        ("the Figure 5 example's critical arcs exclude the shortcut",
+         G.critical_arcs (G.of_arcs [ (1, 2); (2, 3); (1, 3); (4, 2) ])
+         = [ (1, 2); (2, 3); (4, 2) ]) ];
+    notes = [] }

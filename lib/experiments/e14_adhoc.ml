@@ -1,0 +1,84 @@
+(* E14 — §7.1.1: ad-hoc transactions without quiescence.
+
+   The inventory workload is spiked with "correction" transactions that
+   amend an event record and the inventory level derived from it — two
+   write segments, impossible for any analysed class.  Under HDD they
+   join every class they touch and run fully-registered MVTO; the sweep
+   shows the price: registrations grow with the ad-hoc share while the
+   analysed classes keep their protocol-A savings, and every mix still
+   certifies serializable. *)
+
+module Harness = Hdd_sim.Harness
+module Runner = Hdd_sim.Runner
+module Workload = Hdd_sim.Workload
+module Controller = Hdd_sim.Controller
+module Table = Hdd_util.Table
+
+let config =
+  { Runner.default_config with Runner.mpl = 8; target_commits = 800; seed = 17 }
+
+let run () =
+  let fractions = [ 0.0; 0.05; 0.1; 0.2 ] in
+  let table =
+    Table.create
+      ~title:
+        "E14: ad-hoc correction transactions mixed into the inventory \
+         workload (HDD)"
+      ~columns:
+        [ "adhoc share"; "regs/txn"; "blocks/txn"; "restarts"; "throughput";
+          "serializable" ]
+  in
+  let rows =
+    List.map
+      (fun f ->
+        let wl = Workload.inventory ~adhoc_weight:f () in
+        let r, serializable = Harness.certified_run ~config Harness.Hdd wl in
+        let per x = float_of_int x /. float_of_int r.Runner.committed in
+        Table.add_row table
+          [ Table.cell_pct f;
+            Table.cell_float (per r.Runner.counters.Controller.read_registrations);
+            Table.cell_float (per r.Runner.counters.Controller.blocks);
+            string_of_int r.Runner.restarts;
+            Table.cell_float ~decimals:3 r.Runner.throughput;
+            (if serializable then "yes" else "NO") ];
+        (f, r, serializable))
+      fractions
+  in
+  let regs f =
+    let _, (r : Runner.result), _ = List.find (fun (f', _, _) -> f' = f) rows in
+    float_of_int r.Runner.counters.Controller.read_registrations
+    /. float_of_int r.Runner.committed
+  in
+  let tput f =
+    let _, (r : Runner.result), _ = List.find (fun (f', _, _) -> f' = f) rows in
+    r.Runner.throughput
+  in
+  let restarts f =
+    let _, (r : Runner.result), _ = List.find (fun (f', _, _) -> f' = f) rows in
+    r.Runner.restarts
+  in
+  { Exp_types.id = "E14";
+    title = "Ad-hoc updates without restructuring";
+    source = "§7.1.1 (dynamic restructuring, built as ad-hoc handling)";
+    tables = [ table ];
+    checks =
+      [ ("every mix certifies serializable",
+         List.for_all (fun (_, _, s) -> s) rows);
+        ("ad-hoc transactions pay with registrations",
+         regs 0.2 > regs 0.0);
+        ("the barrier's price shows as restarts, growing with the share",
+         restarts 0.2 > restarts 0.05 && restarts 0.05 > restarts 0.0);
+        ("the system keeps committing at every mix",
+         List.for_all (fun f -> tput f > 0.) fractions) ];
+    notes =
+      [ "An ad-hoc transaction joins every class whose segment it \
+         touches, so activity links and time walls account for it; its \
+         own accesses run MVTO with registration.";
+        "The ad-hoc barrier rejects update transactions whose timestamp \
+         falls inside an ad-hoc activity window (they restart after it): \
+         historic I_old thresholds and MVTO visibility would otherwise \
+         disagree about the ad-hoc writer and admit cycles — this very \
+         experiment found those cycles before the barrier existed.";
+        "Read-only transactions are unaffected by the barrier; the \
+         partition is never restructured, but in-window updaters pay \
+         with a restart — the honest cost of §7.1.1 in this design." ] }

@@ -1,0 +1,10 @@
+(* Shared record for experiment results; re-exported by {!Experiment}. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  source : string;
+  tables : Hdd_util.Table.t list;
+  checks : (string * bool) list;
+  notes : string list;
+}

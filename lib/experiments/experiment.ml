@@ -1,0 +1,52 @@
+type outcome = Exp_types.outcome = {
+  id : string;
+  title : string;
+  source : string;
+  tables : Hdd_util.Table.t list;
+  checks : (string * bool) list;
+  notes : string list;
+}
+
+let all () =
+  [ ("E1", E01_lost_update.run);
+    ("E2", E02_partition.run);
+    ("E3", E03_fig3.run);
+    ("E4", E04_fig4.run);
+    ("E5", E05_tst.run);
+    ("E6", E06_activity_trace.run);
+    ("E7", E07_follows.run);
+    ("E8", E08_hosted_ro.run);
+    ("E9", E09_timewall.run);
+    ("E10", E10_comparison.run);
+    ("E11", E11_read_sweep.run);
+    ("E12", E12_contention.run);
+    ("E13", E13_wall_interval.run);
+    ("E14", E14_adhoc.run);
+    ("E15", E15_messages.run);
+    ("E16", E16_load_latency.run) ]
+
+let run id =
+  let _, f =
+    List.find (fun (id', _) -> String.equal id id') (all ())
+  in
+  f ()
+
+let run_all () = List.map (fun (_, f) -> f ()) (all ())
+
+let passed o = List.for_all snd o.checks
+
+let print o =
+  Printf.printf "\n=== %s — %s (%s) ===\n\n" o.id o.title o.source;
+  List.iter Hdd_util.Table.print o.tables;
+  if o.checks <> [] then begin
+    Printf.printf "Checks:\n";
+    List.iter
+      (fun (claim, ok) ->
+        Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") claim)
+      o.checks
+  end;
+  if o.notes <> [] then begin
+    Printf.printf "Notes:\n";
+    List.iter (fun n -> Printf.printf "  - %s\n" n) o.notes
+  end;
+  print_newline ()

@@ -1,0 +1,28 @@
+(** The experiment registry: one entry per figure or table of the paper
+    (see DESIGN.md §4 for the index).  Each experiment regenerates its
+    figure as one or more printed tables, and carries machine-checkable
+    claims — "the shape the paper reports" — whose verdicts EXPERIMENTS.md
+    records. *)
+
+type outcome = {
+  id : string;  (** e.g. "E3" *)
+  title : string;
+  source : string;  (** the paper figure/section reproduced *)
+  tables : Hdd_util.Table.t list;
+  checks : (string * bool) list;  (** claim, holds? *)
+  notes : string list;
+}
+
+val all : unit -> (string * (unit -> outcome)) list
+(** [(id, run)] pairs in E1..E16 order. *)
+
+val run : string -> outcome
+(** @raise Not_found on an unknown id. *)
+
+val run_all : unit -> outcome list
+
+val print : outcome -> unit
+(** Render the experiment: header, tables, checks, notes. *)
+
+val passed : outcome -> bool
+(** All checks hold. *)

@@ -1,0 +1,321 @@
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type t = { succ : ISet.t IMap.t; pred : ISet.t IMap.t }
+
+let empty = { succ = IMap.empty; pred = IMap.empty }
+
+let neighbours m u = try IMap.find u m with Not_found -> ISet.empty
+
+let add_node g u =
+  if IMap.mem u g.succ then g
+  else
+    { succ = IMap.add u ISet.empty g.succ;
+      pred = IMap.add u ISet.empty g.pred }
+
+let add_arc g u v =
+  if u = v then invalid_arg "Digraph.add_arc: self-loop";
+  let g = add_node (add_node g u) v in
+  { succ = IMap.add u (ISet.add v (neighbours g.succ u)) g.succ;
+    pred = IMap.add v (ISet.add u (neighbours g.pred v)) g.pred }
+
+let remove_arc g u v =
+  { succ = IMap.add u (ISet.remove v (neighbours g.succ u)) g.succ;
+    pred = IMap.add v (ISet.remove u (neighbours g.pred v)) g.pred }
+
+let nodes g = IMap.fold (fun u _ acc -> u :: acc) g.succ [] |> List.rev
+
+let arcs g =
+  IMap.fold
+    (fun u vs acc -> ISet.fold (fun v acc -> (u, v) :: acc) vs acc)
+    g.succ []
+  |> List.sort compare
+
+let mem_node g u = IMap.mem u g.succ
+let mem_arc g u v = ISet.mem v (neighbours g.succ u)
+let succ g u = ISet.elements (neighbours g.succ u)
+let pred g u = ISet.elements (neighbours g.pred u)
+let node_count g = IMap.cardinal g.succ
+let arc_count g = IMap.fold (fun _ vs n -> n + ISet.cardinal vs) g.succ 0
+
+let equal a b =
+  IMap.equal ISet.equal a.succ b.succ
+  && List.equal Int.equal (nodes a) (nodes b)
+
+let of_arcs l = List.fold_left (fun g (u, v) -> add_arc g u v) empty l
+
+let fold_arcs f g acc =
+  IMap.fold
+    (fun u vs acc -> ISet.fold (fun v acc -> f u v acc) vs acc)
+    g.succ acc
+
+let reachable g start =
+  let rec visit seen u =
+    if ISet.mem u seen then seen
+    else ISet.fold (fun v seen -> visit seen v)
+           (neighbours g.succ u) (ISet.add u seen)
+  in
+  ISet.elements (visit ISet.empty start)
+
+let has_path g u v =
+  if u = v then mem_node g u
+  else
+    let rec visit seen w =
+      if w = v then raise Exit;
+      if ISet.mem w seen then seen
+      else ISet.fold (fun x seen -> visit seen x)
+             (neighbours g.succ w) (ISet.add w seen)
+    in
+    try ignore (visit ISet.empty u); false with Exit -> true
+
+let topological_sort g =
+  (* Kahn's algorithm; deterministic because candidates come from a set. *)
+  let indeg =
+    IMap.fold
+      (fun u _ acc -> IMap.add u (ISet.cardinal (neighbours g.pred u)) acc)
+      g.succ IMap.empty
+  in
+  let zero =
+    IMap.fold (fun u d acc -> if d = 0 then ISet.add u acc else acc)
+      indeg ISet.empty
+  in
+  let rec go zero indeg acc =
+    match ISet.min_elt_opt zero with
+    | None -> Some (List.rev acc)
+    | Some u ->
+      let zero = ISet.remove u zero in
+      let indeg, zero =
+        ISet.fold
+          (fun v (indeg, zero) ->
+            let d = IMap.find v indeg - 1 in
+            (IMap.add v d indeg, if d = 0 then ISet.add v zero else zero))
+          (neighbours g.succ u) (IMap.add u (-1) indeg, zero)
+      in
+      go zero indeg (u :: acc)
+  in
+  match go zero indeg [] with
+  | Some order when List.length order = node_count g -> Some order
+  | _ -> None
+
+let is_acyclic g = topological_sort g <> None
+
+let find_cycle g =
+  (* DFS with colouring; returns the first back-edge cycle found. *)
+  let state = Hashtbl.create 16 in
+  (* state: 0 = white (absent), 1 = grey, 2 = black *)
+  let exception Found of int list in
+  let rec visit path u =
+    match Hashtbl.find_opt state u with
+    | Some 2 -> ()
+    | Some 1 ->
+      (* u is on the current path (and also sits at the head of [path],
+         pushed by the recursive call): cut the prefix before u's first
+         occurrence and drop the trailing duplicate *)
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = u then x :: rest else cut rest
+      in
+      let cycle =
+        match List.rev (cut (List.rev path)) with
+        | _duplicate :: rest -> List.rev rest
+        | [] -> []
+      in
+      raise (Found cycle)
+    | _ ->
+      Hashtbl.replace state u 1;
+      ISet.iter (fun v -> visit (v :: path) v) (neighbours g.succ u);
+      Hashtbl.replace state u 2
+  in
+  try
+    IMap.iter (fun u _ -> visit [u] u) g.succ;
+    None
+  with Found c -> Some c
+
+let scc g =
+  (* Tarjan's algorithm, iterative bookkeeping via recursion on OCaml stack
+     is fine for the graph sizes here (class graphs and dependency graphs of
+     tens of thousands of nodes at most). *)
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strong u =
+    Hashtbl.replace index u !counter;
+    Hashtbl.replace lowlink u !counter;
+    incr counter;
+    stack := u :: !stack;
+    Hashtbl.replace on_stack u true;
+    ISet.iter
+      (fun v ->
+        if not (Hashtbl.mem index v) then begin
+          strong v;
+          Hashtbl.replace lowlink u
+            (Int.min (Hashtbl.find lowlink u) (Hashtbl.find lowlink v))
+        end
+        else if Hashtbl.find_opt on_stack v = Some true then
+          Hashtbl.replace lowlink u
+            (Int.min (Hashtbl.find lowlink u) (Hashtbl.find index v)))
+      (neighbours g.succ u);
+    if Hashtbl.find lowlink u = Hashtbl.find index u then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | v :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack v false;
+          if v = u then v :: acc else pop (v :: acc)
+      in
+      components := List.sort compare (pop []) :: !components
+    end
+  in
+  IMap.iter (fun u _ -> if not (Hashtbl.mem index u) then strong u) g.succ;
+  List.rev !components
+
+let transitive_closure g =
+  List.fold_left
+    (fun acc u ->
+      List.fold_left
+        (fun acc v -> if v = u then acc else add_arc acc u v)
+        acc (reachable g u))
+    (IMap.fold (fun u _ acc -> add_node acc u) g.succ empty)
+    (nodes g)
+
+let transitive_reduction g =
+  if not (is_acyclic g) then
+    invalid_arg "Digraph.transitive_reduction: cyclic graph";
+  let closure = transitive_closure g in
+  (* u -> v is redundant iff some other successor w of u reaches v. *)
+  fold_arcs
+    (fun u v acc ->
+      let redundant =
+        ISet.exists
+          (fun w -> w <> v && mem_arc closure w v)
+          (neighbours g.succ u)
+      in
+      if redundant then remove_arc acc u v else acc)
+    g g
+
+let undirected_neighbours g u =
+  ISet.union (neighbours g.succ u) (neighbours g.pred u)
+
+let is_semi_tree g =
+  (* No antiparallel pair (that would be a duplicated undirected edge), and
+     the undirected view is acyclic — together: at most one undirected path
+     between any pair of nodes. *)
+  let antiparallel =
+    fold_arcs (fun u v bad -> bad || mem_arc g v u) g false
+  in
+  if antiparallel then false
+  else begin
+    (* union-find over undirected edges *)
+    let parent = Hashtbl.create 16 in
+    let rec find u =
+      match Hashtbl.find_opt parent u with
+      | None | Some (-1) -> u
+      | Some p ->
+        let r = find p in
+        Hashtbl.replace parent u r;
+        r
+    in
+    let ok =
+      fold_arcs
+        (fun u v ok ->
+          ok
+          &&
+          let ru = find u and rv = find v in
+          if ru = rv then false
+          else begin
+            Hashtbl.replace parent ru rv;
+            true
+          end)
+        g true
+    in
+    ok
+  end
+
+let is_transitive_semi_tree g =
+  is_acyclic g && is_semi_tree (transitive_reduction g)
+
+let critical_arcs g = arcs (transitive_reduction g)
+
+let critical_path g i j =
+  if not (mem_node g i) || not (mem_node g j) then None
+  else if i = j then Some [ i ]
+  else
+    let reduction = transitive_reduction g in
+    (* In a semi-tree there is at most one directed path; plain DFS finds
+       it.  We do not assume the semi-tree property here so a defensive DFS
+       with a visited set is used. *)
+    let rec dfs seen u =
+      if u = j then Some [ j ]
+      else if ISet.mem u seen then None
+      else
+        let seen = ISet.add u seen in
+        ISet.fold
+          (fun v found ->
+            match found with
+            | Some _ -> found
+            | None -> (
+              match dfs seen v with
+              | Some path -> Some (u :: path)
+              | None -> None))
+          (neighbours reduction.succ u)
+          None
+    in
+    dfs ISet.empty i
+
+let higher_than g j i = i <> j && critical_path g i j <> None
+
+let undirected_critical_path g i j =
+  if not (mem_node g i) || not (mem_node g j) then None
+  else if i = j then Some [ i ]
+  else
+    let reduction = transitive_reduction g in
+    (* BFS over the undirected view of the reduction; in a semi-tree the
+       path found is the unique one. *)
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add i q;
+    Hashtbl.replace parent i i;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if u = j then found := true
+      else
+        ISet.iter
+          (fun v ->
+            if not (Hashtbl.mem parent v) then begin
+              Hashtbl.replace parent v u;
+              Queue.add v q
+            end)
+          (undirected_neighbours reduction u)
+    done;
+    if not !found then None
+    else begin
+      let rec build u acc =
+        if u = i then u :: acc else build (Hashtbl.find parent u) (u :: acc)
+      in
+      Some (build j [])
+    end
+
+let to_dot ?(name = "g") ?(label = string_of_int) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  List.iter
+    (fun u -> Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" u (label u)))
+    (nodes g);
+  let critical =
+    if is_acyclic g then
+      List.fold_left (fun s a -> a :: s) [] (critical_arcs g)
+    else arcs g
+  in
+  List.iter
+    (fun (u, v) ->
+      let style = if List.mem (u, v) critical then "solid" else "dashed" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=%s];\n" u v style))
+    (arcs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

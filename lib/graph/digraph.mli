@@ -1,0 +1,105 @@
+(** Persistent directed graphs over integer node identifiers.
+
+    This is the graph substrate for the paper's §3: data hierarchy graphs,
+    transaction hierarchy graphs, transitive semi-trees, critical paths and
+    undirected critical paths, plus the dependency graphs of the
+    serializability certifier (§2). *)
+
+type t
+
+val empty : t
+
+val add_node : t -> int -> t
+(** Idempotent. *)
+
+val add_arc : t -> int -> int -> t
+(** [add_arc g u v] adds nodes [u], [v] and the arc [u -> v].  Self-loops
+    are rejected with [Invalid_argument]: neither a DHG nor a dependency
+    graph ever carries one (a DHG arc requires [i <> j]; a transaction never
+    depends on itself). *)
+
+val remove_arc : t -> int -> int -> t
+
+val nodes : t -> int list
+(** Sorted ascending. *)
+
+val arcs : t -> (int * int) list
+(** Sorted lexicographically. *)
+
+val mem_node : t -> int -> bool
+val mem_arc : t -> int -> int -> bool
+val succ : t -> int -> int list
+val pred : t -> int -> int list
+val node_count : t -> int
+val arc_count : t -> int
+
+val equal : t -> t -> bool
+(** Same node set and same arc set. *)
+
+val of_arcs : (int * int) list -> t
+
+val fold_arcs : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Traversal and ordering} *)
+
+val reachable : t -> int -> int list
+(** Nodes reachable from the given node, including itself.  Sorted. *)
+
+val has_path : t -> int -> int -> bool
+(** Directed path of length >= 0. *)
+
+val topological_sort : t -> int list option
+(** [None] when the graph is cyclic. *)
+
+val is_acyclic : t -> bool
+
+val find_cycle : t -> int list option
+(** Some witness cycle [v0; v1; ...; vk] with arcs [v0->v1->...->vk->v0],
+    or [None] for acyclic graphs. *)
+
+val scc : t -> int list list
+(** Strongly connected components (Tarjan), each sorted, in reverse
+    topological order of the condensation. *)
+
+(** {1 Closure and reduction} *)
+
+val transitive_closure : t -> t
+(** Adds [u -> v] whenever a directed path [u ->+ v] exists. *)
+
+val transitive_reduction : t -> t
+(** Unique minimal subgraph with the same closure.  Only defined on acyclic
+    graphs.  @raise Invalid_argument on a cyclic input. *)
+
+(** {1 Semi-trees (§3.1)} *)
+
+val is_semi_tree : t -> bool
+(** At most one undirected path between any pair of nodes: the undirected
+    view is simple (no antiparallel arc pairs) and acyclic. *)
+
+val is_transitive_semi_tree : t -> bool
+(** Acyclic and its transitive reduction is a semi-tree. *)
+
+val critical_arcs : t -> (int * int) list
+(** The arcs of the transitive reduction — the paper's critical arcs.
+    @raise Invalid_argument on a cyclic input. *)
+
+val critical_path : t -> int -> int -> int list option
+(** [critical_path g i j] is the unique directed path from [i] to [j]
+    composed of critical arcs alone, as a node list [i; ...; j], when it
+    exists.  [Some [i]] when [i = j].  Requires a transitive semi-tree. *)
+
+val higher_than : t -> int -> int -> bool
+(** The paper's [Tj ↑ Ti] partial order: [higher_than g j i] iff the
+    critical path [CP_i^j] exists, i.e. [critical_path g i j <> None] and
+    [i <> j]. *)
+
+val undirected_critical_path : t -> int -> int -> int list option
+(** The paper's UCP: the unique undirected path through the transitive
+    reduction, as the ordered node list [<i, ..., j>].  [Some [i]] when
+    [i = j]; [None] when [i] and [j] live in different components. *)
+
+(** {1 Export} *)
+
+val to_dot : ?name:string -> ?label:(int -> string) -> t -> string
+(** Graphviz rendering; critical arcs get solid edges and transitively
+    induced arcs dashed ones when the graph is acyclic. *)

@@ -1,0 +1,27 @@
+(** Array-backed version chains: the ablation partner of {!Chain}.
+
+    Same semantics, different representation: versions live in a growable
+    array sorted ascending by write timestamp, and the snapshot lookups
+    ([committed_before], [candidate_before]) binary-search instead of
+    walking a list.  The benchmark suite compares the two under short and
+    long chains (DESIGN.md §6); {!Chain} remains the store's default
+    because steady-state chains are short once garbage collection runs.
+
+    The version record type is shared with {!Chain}. *)
+
+type 'a t
+
+val create : initial:'a -> 'a t
+val install : 'a t -> ts:Time.t -> writer:Txn.id -> value:'a -> 'a Chain.version
+val commit : 'a t -> ts:Time.t -> unit
+val discard : 'a t -> ts:Time.t -> unit
+val committed_before : 'a t -> ts:Time.t -> 'a Chain.version option
+val candidate_before : 'a t -> ts:Time.t -> 'a Chain.read_candidate option
+val predecessor_rts : 'a t -> ts:Time.t -> Time.t option
+val latest_committed : 'a t -> 'a Chain.version option
+
+val versions : 'a t -> 'a Chain.version list
+(** Newest first, like {!Chain.versions}. *)
+
+val length : 'a t -> int
+val gc : 'a t -> before:Time.t -> int

@@ -1,0 +1,86 @@
+type state = Pending | Committed
+
+type 'a version = {
+  ts : Time.t;
+  writer : Txn.id;
+  value : 'a;
+  mutable state : state;
+  mutable rts : Time.t;
+}
+
+(* Newest first.  Chains are short in steady state (GC keeps them trimmed),
+   so a sorted list keeps the code simple; the bench suite measures the
+   alternative. *)
+type 'a t = { mutable versions : 'a version list }
+
+let create ~initial =
+  { versions =
+      [ { ts = Time.zero; writer = Txn.bootstrap.Txn.id; value = initial;
+          state = Committed; rts = Time.zero } ] }
+
+let install chain ~ts ~writer ~value =
+  if ts <= Time.zero then invalid_arg "Chain.install: ts must be positive";
+  let v = { ts; writer; value; state = Pending; rts = Time.zero } in
+  let rec insert = function
+    | [] -> [ v ]
+    | hd :: _ as rest when hd.ts < ts -> v :: rest
+    | hd :: _ when hd.ts = ts ->
+      invalid_arg "Chain.install: duplicate version timestamp"
+    | hd :: tl -> hd :: insert tl
+  in
+  chain.versions <- insert chain.versions;
+  v
+
+let commit chain ~ts =
+  match List.find_opt (fun v -> v.ts = ts) chain.versions with
+  | Some v when v.state = Pending -> v.state <- Committed
+  | Some _ -> () (* already committed: commit is idempotent *)
+  | None -> raise Not_found
+
+let discard chain ~ts =
+  match List.find_opt (fun v -> v.ts = ts) chain.versions with
+  | None -> raise Not_found
+  | Some v when v.state = Committed ->
+    invalid_arg "Chain.discard: version is committed"
+  | Some _ -> chain.versions <- List.filter (fun v -> v.ts <> ts) chain.versions
+
+type 'a read_candidate = Version of 'a version | Wait_for of Txn.id
+
+let committed_before chain ~ts =
+  List.find_opt (fun v -> v.ts < ts && v.state = Committed) chain.versions
+
+let candidate_before chain ~ts =
+  match List.find_opt (fun v -> v.ts < ts) chain.versions with
+  | None -> None
+  | Some v ->
+    Some (match v.state with
+         | Committed -> Version v
+         | Pending -> Wait_for v.writer)
+
+let mark_read v ~at = if at > v.rts then v.rts <- at
+
+let predecessor_rts chain ~ts =
+  match List.find_opt (fun v -> v.ts < ts) chain.versions with
+  | None -> None
+  | Some v -> Some v.rts
+
+let latest_committed chain =
+  List.find_opt (fun v -> v.state = Committed) chain.versions
+
+let versions chain = chain.versions
+
+let length chain = List.length chain.versions
+
+let gc chain ~before =
+  (* Find the latest committed version below [before]; everything strictly
+     older than it that is committed can go. *)
+  match committed_before chain ~ts:before with
+  | None -> 0
+  | Some keep ->
+    let kept, dropped =
+      List.partition
+        (fun v -> v.ts >= keep.ts || v.state = Pending)
+        chain.versions
+    in
+    chain.versions <- kept;
+    List.length dropped

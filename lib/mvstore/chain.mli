@@ -1,0 +1,75 @@
+(** Version chains: the per-granule core of the multi-version store.
+
+    A chain holds the versions of one data granule, newest first, each
+    stamped with the initiation time of its writer ([TS(d^v)], §4.0).  A
+    version is [Pending] until its writer commits; aborting discards it.
+    Versions carry a read timestamp so the intra-class multi-version
+    timestamp-ordering protocol (Protocol B) can reject late writes; the
+    hierarchical protocols A and C never touch it — that is the paper's
+    point. *)
+
+type state = Pending | Committed
+
+(* The record is exposed (not private) so the alternative array-backed
+   representation ({!Achain}) can share it; outside the storage layer
+   treat it as read-only and go through {!mark_read}. *)
+type 'a version = {
+  ts : Time.t;  (** write timestamp: [I] of the creating transaction *)
+  writer : Txn.id;
+  value : 'a;
+  mutable state : state;
+  mutable rts : Time.t;  (** largest timestamp that has read this version *)
+}
+
+type 'a t
+
+val create : initial:'a -> 'a t
+(** A chain whose first version was written by {!Txn.bootstrap} at time
+    zero and is committed. *)
+
+val install : 'a t -> ts:Time.t -> writer:Txn.id -> value:'a -> 'a version
+(** Add a pending version.  @raise Invalid_argument if a live version with
+    the same timestamp exists or [ts <= 0]. *)
+
+val commit : 'a t -> ts:Time.t -> unit
+(** Mark the version pending at [ts] committed.  @raise Not_found if no
+    pending version carries that timestamp. *)
+
+val discard : 'a t -> ts:Time.t -> unit
+(** Remove the version at [ts] (writer aborted).  @raise Not_found if
+    absent; @raise Invalid_argument if it is committed. *)
+
+type 'a read_candidate =
+  | Version of 'a version
+  | Wait_for of Txn.id
+      (** the latest version below the timestamp is still pending: a
+          Protocol-B reader must wait for its writer *)
+
+val committed_before : 'a t -> ts:Time.t -> 'a version option
+(** Latest committed version with [ts' < ts] — the lookup of Protocols A
+    and C.  Never waits; [None] only if even the bootstrap version was
+    garbage-collected past [ts]. *)
+
+val candidate_before : 'a t -> ts:Time.t -> 'a read_candidate option
+(** Latest live (pending or committed) version with [ts' < ts] — the
+    Protocol-B / MVTO read rule.  [None] under the same condition as
+    {!committed_before}. *)
+
+val mark_read : 'a version -> at:Time.t -> unit
+(** Raise the version's read timestamp to at least [at]. *)
+
+val predecessor_rts : 'a t -> ts:Time.t -> Time.t option
+(** Read timestamp of the latest live version below [ts] (the would-be
+    predecessor of a write at [ts]); [None] if there is none. *)
+
+val latest_committed : 'a t -> 'a version option
+val versions : 'a t -> 'a version list
+(** Newest first, live versions only. *)
+
+val length : 'a t -> int
+
+val gc : 'a t -> before:Time.t -> int
+(** Drop committed versions strictly older than the latest committed
+    version below [before] (which must stay readable for snapshots at
+    [before]).  Pending versions are never collected.  Returns the number
+    of versions dropped. *)

@@ -1,0 +1,30 @@
+type 'a t = {
+  id : int;
+  init : int -> 'a;
+  chains : (int, 'a Chain.t) Hashtbl.t;
+}
+
+let create ~id ~init = { id; init; chains = Hashtbl.create 64 }
+
+let id t = t.id
+
+let chain t key =
+  match Hashtbl.find_opt t.chains key with
+  | Some c -> c
+  | None ->
+    let c = Chain.create ~initial:(t.init key) in
+    Hashtbl.add t.chains key c;
+    c
+
+let mem t key = Hashtbl.mem t.chains key
+
+let granule_count t = Hashtbl.length t.chains
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.chains [] |> List.sort compare
+
+let gc t ~before =
+  Hashtbl.fold (fun _ c acc -> acc + Chain.gc c ~before) t.chains 0
+
+let version_count t =
+  Hashtbl.fold (fun _ c acc -> acc + Chain.length c) t.chains 0

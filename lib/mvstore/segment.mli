@@ -1,0 +1,27 @@
+(** A segment controller (§4.2): owns the version chains of every granule
+    in one data segment and answers version lookups for it.  Granules
+    materialise on first touch with an initial bootstrap version. *)
+
+type 'a t
+
+val create : id:int -> init:(int -> 'a) -> 'a t
+(** [init key] provides the bootstrap value of granule [key]. *)
+
+val id : 'a t -> int
+
+val chain : 'a t -> int -> 'a Chain.t
+(** Chain of granule [key]; created on demand. *)
+
+val mem : 'a t -> int -> bool
+(** Has the granule been touched (hence materialised)? *)
+
+val granule_count : 'a t -> int
+
+val keys : 'a t -> int list
+(** Materialised keys, sorted. *)
+
+val gc : 'a t -> before:Time.t -> int
+(** Garbage-collect every chain; returns versions dropped. *)
+
+val version_count : 'a t -> int
+(** Live versions across all chains. *)

@@ -1,0 +1,30 @@
+type 'a t = { segments : 'a Segment.t array }
+
+let create ~segments ~init =
+  if segments <= 0 then invalid_arg "Store.create: segments must be > 0";
+  { segments =
+      Array.init segments (fun id ->
+          Segment.create ~id ~init:(fun key ->
+              init (Granule.make ~segment:id ~key))) }
+
+let segment_count t = Array.length t.segments
+
+let segment t i =
+  if i < 0 || i >= Array.length t.segments then
+    invalid_arg (Printf.sprintf "Store.segment: %d out of range" i);
+  t.segments.(i)
+
+let chain t (g : Granule.t) = Segment.chain (segment t g.Granule.segment) g.Granule.key
+
+let committed_before t g ~ts = Chain.committed_before (chain t g) ~ts
+let candidate_before t g ~ts = Chain.candidate_before (chain t g) ~ts
+
+let install t g ~ts ~writer ~value = Chain.install (chain t g) ~ts ~writer ~value
+let commit_version t g ~ts = Chain.commit (chain t g) ~ts
+let discard_version t g ~ts = Chain.discard (chain t g) ~ts
+
+let gc t ~before =
+  Array.fold_left (fun acc s -> acc + Segment.gc s ~before) 0 t.segments
+
+let version_count t =
+  Array.fold_left (fun acc s -> acc + Segment.version_count s) 0 t.segments

@@ -1,0 +1,28 @@
+(** The multi-version database: one {!Segment} controller per data segment
+    of the partition, addressed through {!Granule.t}. *)
+
+type 'a t
+
+val create : segments:int -> init:(Granule.t -> 'a) -> 'a t
+(** Segments are numbered [0 .. segments-1].
+    @raise Invalid_argument if [segments <= 0]. *)
+
+val segment_count : 'a t -> int
+
+val segment : 'a t -> int -> 'a Segment.t
+(** @raise Invalid_argument when out of range. *)
+
+val chain : 'a t -> Granule.t -> 'a Chain.t
+
+val committed_before : 'a t -> Granule.t -> ts:Time.t -> 'a Chain.version option
+(** Protocol A / C read: latest committed version strictly below [ts]. *)
+
+val candidate_before : 'a t -> Granule.t -> ts:Time.t -> 'a Chain.read_candidate option
+(** Protocol B / MVTO read candidate. *)
+
+val install : 'a t -> Granule.t -> ts:Time.t -> writer:Txn.id -> value:'a -> 'a Chain.version
+val commit_version : 'a t -> Granule.t -> ts:Time.t -> unit
+val discard_version : 'a t -> Granule.t -> ts:Time.t -> unit
+
+val gc : 'a t -> before:Time.t -> int
+val version_count : 'a t -> int

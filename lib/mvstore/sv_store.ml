@@ -1,0 +1,35 @@
+type 'a cell = {
+  mutable value : 'a;
+  mutable wts : Time.t;
+  mutable rts : Time.t;
+}
+
+type 'a t = {
+  init : Granule.t -> 'a;
+  cells : 'a cell Granule.Tbl.t;
+}
+
+let create ~init = { init; cells = Granule.Tbl.create 256 }
+
+let cell t g =
+  match Granule.Tbl.find_opt t.cells g with
+  | Some c -> c
+  | None ->
+    let c = { value = t.init g; wts = Time.zero; rts = Time.zero } in
+    Granule.Tbl.add t.cells g c;
+    c
+
+let read t g =
+  let c = cell t g in
+  (c.value, c.wts)
+
+let write t g ~value ~wts =
+  let c = cell t g in
+  c.value <- value;
+  c.wts <- wts
+
+let set_rts t g ts =
+  let c = cell t g in
+  if ts > c.rts then c.rts <- ts
+
+let granule_count t = Granule.Tbl.length t.cells

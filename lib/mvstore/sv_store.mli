@@ -1,0 +1,27 @@
+(** Single-version store: the substrate of the classical baselines
+    (two-phase locking and basic timestamp ordering), which keep one copy
+    of each granule plus the read/write registrations the paper wants to
+    avoid.
+
+    The cell records the write timestamp of the last writer so the schedule
+    log can name the version a read observed, and the read timestamp
+    register that basic TSO maintains. *)
+
+type 'a cell = private {
+  mutable value : 'a;
+  mutable wts : Time.t;  (** [I] of the last (committed or in-place) writer *)
+  mutable rts : Time.t;  (** basic-TSO read register *)
+}
+
+type 'a t
+
+val create : init:(Granule.t -> 'a) -> 'a t
+val cell : 'a t -> Granule.t -> 'a cell
+val read : 'a t -> Granule.t -> 'a * Time.t
+(** Value and the write timestamp of the version it represents. *)
+
+val write : 'a t -> Granule.t -> value:'a -> wts:Time.t -> unit
+val set_rts : 'a t -> Granule.t -> Time.t -> unit
+(** Raise the cell's read register to at least the given time. *)
+
+val granule_count : 'a t -> int

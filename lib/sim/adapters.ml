@@ -1,0 +1,130 @@
+module B = Hdd_baselines
+module Scheduler = Hdd_core.Scheduler
+
+let of_cc_metrics (m : B.Cc_metrics.t) : Controller.counters =
+  { begins = m.B.Cc_metrics.begins;
+    commits = m.B.Cc_metrics.commits;
+    aborts = m.B.Cc_metrics.aborts;
+    reads = m.B.Cc_metrics.reads;
+    writes = m.B.Cc_metrics.writes;
+    read_registrations = m.B.Cc_metrics.read_registrations;
+    blocks = m.B.Cc_metrics.blocks;
+    rejects = m.B.Cc_metrics.rejects }
+
+let hdd_detailed ?log ?wall_every_commits ~partition ~init () =
+  let clock = Time.Clock.create () in
+  let store =
+    Hdd_mvstore.Store.create
+      ~segments:(Hdd_core.Partition.segment_count partition) ~init
+  in
+  let sched =
+    Scheduler.create ?log ?wall_every_commits ~partition ~clock ~store ()
+  in
+  let snapshot () : Controller.counters =
+    let m = Scheduler.metrics sched in
+    { begins = m.Scheduler.begins;
+      commits = m.Scheduler.commits;
+      aborts = m.Scheduler.aborts;
+      reads = m.Scheduler.reads_a + m.Scheduler.reads_b + m.Scheduler.reads_c;
+      writes = m.Scheduler.writes;
+      read_registrations = m.Scheduler.read_registrations;
+      blocks = m.Scheduler.blocks;
+      rejects = m.Scheduler.rejects }
+  in
+  ( { Controller.name = "HDD";
+      begin_txn =
+        (function
+        | Controller.Update class_id -> Scheduler.begin_update sched ~class_id
+        | Controller.Read_only -> Scheduler.begin_read_only sched
+        | Controller.Adhoc { writes; reads } ->
+          Scheduler.begin_adhoc_update sched ~writes ~reads);
+      read = Scheduler.read sched;
+      write = Scheduler.write sched;
+      commit = Scheduler.commit sched;
+      abort = Scheduler.abort sched;
+      snapshot },
+    sched,
+    clock )
+
+let hdd ?log ?wall_every_commits ~partition ~init () =
+  let controller, _, _ = hdd_detailed ?log ?wall_every_commits ~partition ~init () in
+  controller
+
+let s2pl ?log ?read_locks ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.S2pl.create ?log ?read_locks ~clock ~init () in
+  { Controller.name =
+      (match read_locks with Some false -> "2PL-noRL" | _ -> "2PL");
+    begin_txn =
+      (function
+      | Controller.Update _ | Controller.Adhoc _ ->
+        B.S2pl.begin_txn c ~read_only:false
+      | Controller.Read_only -> B.S2pl.begin_txn c ~read_only:true);
+    read = B.S2pl.read c;
+    write = B.S2pl.write c;
+    commit = B.S2pl.commit c;
+    abort = B.S2pl.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.S2pl.metrics c)) }
+
+let tso ?log ?read_timestamps ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Tso.create ?log ?read_timestamps ~clock ~init () in
+  { Controller.name =
+      (match read_timestamps with Some false -> "TSO-noRTS" | _ -> "TSO");
+    begin_txn = (fun _ -> B.Tso.begin_txn c);
+    read = B.Tso.read c;
+    write = B.Tso.write c;
+    commit = B.Tso.commit c;
+    abort = B.Tso.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.Tso.metrics c)) }
+
+let mvto ?log ~segments ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Mvto.create ?log ~clock ~segments ~init () in
+  { Controller.name = "MVTO";
+    begin_txn = (fun _ -> B.Mvto.begin_txn c);
+    read = B.Mvto.read c;
+    write = B.Mvto.write c;
+    commit = B.Mvto.commit c;
+    abort = B.Mvto.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.Mvto.metrics c)) }
+
+let mv2pl ?log ~segments ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Mv2pl.create ?log ~clock ~segments ~init () in
+  { Controller.name = "MV2PL";
+    begin_txn =
+      (function
+      | Controller.Update _ | Controller.Adhoc _ ->
+        B.Mv2pl.begin_txn c ~read_only:false
+      | Controller.Read_only -> B.Mv2pl.begin_txn c ~read_only:true);
+    read = B.Mv2pl.read c;
+    write = B.Mv2pl.write c;
+    commit = B.Mv2pl.commit c;
+    abort = B.Mv2pl.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.Mv2pl.metrics c)) }
+
+let sdd1 ?log ~partition ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Sdd1.create ?log ~clock ~partition ~init () in
+  { Controller.name = "SDD-1";
+    begin_txn =
+      (function
+      | Controller.Update class_id -> B.Sdd1.begin_txn c ~class_id
+      | Controller.Read_only | Controller.Adhoc _ -> B.Sdd1.begin_adhoc c);
+    read = B.Sdd1.read c;
+    write = B.Sdd1.write c;
+    commit = B.Sdd1.commit c;
+    abort = B.Sdd1.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.Sdd1.metrics c)) }
+
+let nocc ?log ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Nocc.create ?log ~clock ~init () in
+  { Controller.name = "NoCC";
+    begin_txn = (fun _ -> B.Nocc.begin_txn c);
+    read = B.Nocc.read c;
+    write = B.Nocc.write c;
+    commit = B.Nocc.commit c;
+    abort = B.Nocc.abort c;
+    snapshot = (fun () -> of_cc_metrics (B.Nocc.metrics c)) }

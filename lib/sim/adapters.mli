@@ -1,0 +1,64 @@
+(** Constructors turning each concrete controller into the uniform
+    {!Controller.t} the simulator drives.  Each adapter owns its store,
+    clock and (optionally) schedule log, so two controllers never share
+    state. *)
+
+val hdd :
+  ?log:Sched_log.t ->
+  ?wall_every_commits:int ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+
+val hdd_detailed :
+  ?log:Sched_log.t ->
+  ?wall_every_commits:int ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t * int Hdd_core.Scheduler.t * Time.Clock.clock
+(** Like {!hdd} but also exposes the scheduler and its clock, for
+    experiments that instrument wall releases and staleness. *)
+
+val s2pl :
+  ?log:Sched_log.t ->
+  ?read_locks:bool ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+
+val tso :
+  ?log:Sched_log.t ->
+  ?read_timestamps:bool ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+
+val mvto :
+  ?log:Sched_log.t ->
+  segments:int ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+
+val mv2pl :
+  ?log:Sched_log.t ->
+  segments:int ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+
+val sdd1 :
+  ?log:Sched_log.t ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+(** SDD-1 gives read-only transactions no special handling (Figure 10):
+    they join a synthetic ad-hoc class whose access set covers every
+    segment, so writers pipeline behind them like behind any older
+    transaction. *)
+
+val nocc :
+  ?log:Sched_log.t -> init:(Granule.t -> int) -> unit -> Controller.t

@@ -1,0 +1,38 @@
+(** The uniform face every concurrency controller shows the simulator:
+    first-class operations plus cumulative counters.  One driver then runs
+    the HDD scheduler and every baseline over identical workloads —
+    Figure 10's comparison as measurement instead of a table of
+    adjectives. *)
+
+type kind =
+  | Update of int
+  | Read_only
+  | Adhoc of { writes : int list; reads : int list }
+      (** an update transaction outside the analysed classification
+          (§7.1.1), declared by its segment-level access sets *)
+(** How the workload declares a transaction. *)
+
+type counters = {
+  begins : int;
+  commits : int;
+  aborts : int;
+  reads : int;
+  writes : int;
+  read_registrations : int;
+      (** read locks set or read timestamps written *)
+  blocks : int;
+  rejects : int;
+}
+
+val zero_counters : counters
+val sub_counters : counters -> counters -> counters
+
+type t = {
+  name : string;
+  begin_txn : kind -> Txn.t;
+  read : Txn.t -> Granule.t -> int Hdd_core.Outcome.t;
+  write : Txn.t -> Granule.t -> int -> unit Hdd_core.Outcome.t;
+  commit : Txn.t -> unit;
+  abort : Txn.t -> unit;
+  snapshot : unit -> counters;
+}

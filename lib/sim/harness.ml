@@ -1,0 +1,34 @@
+type spec = Hdd | S2pl | Tso | Mvto | Mv2pl | Sdd1 | Nocc
+
+let spec_name = function
+  | Hdd -> "HDD"
+  | S2pl -> "2PL"
+  | Tso -> "TSO"
+  | Mvto -> "MVTO"
+  | Mv2pl -> "MV2PL"
+  | Sdd1 -> "SDD-1"
+  | Nocc -> "NoCC"
+
+let all_controlled = [ Hdd; Sdd1; Mv2pl; S2pl; Tso; Mvto ]
+
+let make ?log spec (wl : Workload.t) =
+  let init = wl.Workload.init in
+  let segments = Workload.segment_count wl in
+  match spec with
+  | Hdd -> Adapters.hdd ?log ~partition:wl.Workload.partition ~init ()
+  | S2pl -> Adapters.s2pl ?log ~init ()
+  | Tso -> Adapters.tso ?log ~init ()
+  | Mvto -> Adapters.mvto ?log ~segments ~init ()
+  | Mv2pl -> Adapters.mv2pl ?log ~segments ~init ()
+  | Sdd1 -> Adapters.sdd1 ?log ~partition:wl.Workload.partition ~init ()
+  | Nocc -> Adapters.nocc ?log ~init ()
+
+let compare_protocols ?(config = Runner.default_config)
+    ?(specs = all_controlled) wl =
+  List.map (fun spec -> Runner.run config wl (make spec wl)) specs
+
+let certified_run ?(config = Runner.default_config) spec wl =
+  let log = Sched_log.create () in
+  let controller = make ~log spec wl in
+  let result = Runner.run config wl controller in
+  (result, Hdd_core.Certifier.serializable log)

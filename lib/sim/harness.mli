@@ -1,0 +1,27 @@
+(** Convenience layer used by the benchmark executable, the CLI and the
+    integration tests: build fresh controllers for a workload and run a
+    protocol comparison over it. *)
+
+type spec = Hdd | S2pl | Tso | Mvto | Mv2pl | Sdd1 | Nocc
+
+val spec_name : spec -> string
+val all_controlled : spec list
+(** Every controller that actually enforces serializability (i.e. all but
+    [Nocc]), in Figure 10 presentation order: [Hdd; Sdd1; Mv2pl; S2pl;
+    Tso; Mvto]. *)
+
+val make : ?log:Sched_log.t -> spec -> Workload.t -> Controller.t
+(** A fresh controller instance (own clock and store) for the workload. *)
+
+val compare_protocols :
+  ?config:Runner.config ->
+  ?specs:spec list ->
+  Workload.t ->
+  Runner.result list
+(** Run the workload once per controller, each from a fresh instance with
+    the same seed, and return the results in spec order. *)
+
+val certified_run :
+  ?config:Runner.config -> spec -> Workload.t -> Runner.result * bool
+(** Run with schedule logging on and certify the final committed schedule;
+    the boolean is the serializability verdict. *)

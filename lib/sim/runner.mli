@@ -1,0 +1,56 @@
+(** The discrete-event simulation driver: closed loop ({!run}) and open
+    Poisson arrivals ({!run_open}).
+
+    In closed mode, [mpl] workers each run transactions back to back:
+    draw a template, begin, issue operations (each costing [op_cost] of
+    virtual time), commit, repeat.  A blocked operation parks the worker until all its
+    blockers finish; a rejected operation aborts the transaction and
+    restarts it with a fresh timestamp after [restart_backoff].  The
+    driver maintains the waits-for relation over parked workers and
+    resolves deadlocks by aborting the requester whose wait closed a
+    cycle (none of the timestamp-based controllers can deadlock; the
+    locking ones can).
+
+    Virtual time, not wall time, is reported: the simulator substitutes
+    for the paper's multi-processor testbed (see DESIGN.md). *)
+
+type config = {
+  mpl : int;  (** multiprogramming level: concurrent workers *)
+  target_commits : int;  (** stop once this many transactions committed *)
+  seed : int;
+  op_cost : float;  (** virtual service time per granted operation *)
+  restart_backoff : float;  (** virtual delay before restarting *)
+  max_events : int;  (** hard safety bound; exceeded = livelock bug *)
+}
+
+val default_config : config
+
+type result = {
+  controller : string;
+  workload : string;
+  committed : int;
+  restarts : int;  (** aborts from rejections and deadlocks *)
+  deadlocks : int;
+  vtime : float;  (** virtual time consumed *)
+  throughput : float;  (** commits per unit of virtual time *)
+  mean_response : float;
+  p95_response : float;
+  counters : Controller.counters;  (** controller-side deltas *)
+}
+
+val run : config -> Workload.t -> Controller.t -> result
+(** Closed loop: [mpl] workers run transactions back to back.
+    @raise Failure when [max_events] is exceeded. *)
+
+val run_open :
+  arrival_rate:float -> config -> Workload.t -> Controller.t -> result
+(** Open system: transactions arrive in a Poisson stream of the given
+    rate and are served by [mpl] workers; arrivals finding every worker
+    busy queue FIFO, and response time is measured from the arrival
+    instant, so queueing delay counts.  Offered load beyond the service
+    capacity shows up as unbounded response times, which is the point of
+    the load-latency experiment.
+    @raise Invalid_argument on a non-positive rate;
+    @raise Failure when [max_events] is exceeded. *)
+
+val pp_result : Format.formatter -> result -> unit

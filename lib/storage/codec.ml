@@ -1,0 +1,87 @@
+type record =
+  | Begin of { txn : Txn.id; class_id : int; init : Time.t }
+  | Write of { txn : Txn.id; granule : Granule.t; ts : Time.t; value : int }
+  | Commit of { txn : Txn.id; at : Time.t }
+  | Abort of { txn : Txn.id; at : Time.t }
+
+let equal_record a b = a = b
+
+let pp_record ppf = function
+  | Begin { txn; class_id; init } ->
+    Format.fprintf ppf "begin t%d T%d @%d" txn class_id init
+  | Write { txn; granule; ts; value } ->
+    Format.fprintf ppf "write t%d %a^%d=%d" txn Granule.pp granule ts value
+  | Commit { txn; at } -> Format.fprintf ppf "commit t%d @%d" txn at
+  | Abort { txn; at } -> Format.fprintf ppf "abort t%d @%d" txn at
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 bytes =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  Bytes.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    bytes;
+  !c lxor 0xFFFFFFFF
+
+(* payload layout: 1-byte tag, then 8-byte little-endian signed ints *)
+let tag = function Begin _ -> 1 | Write _ -> 2 | Commit _ -> 3 | Abort _ -> 4
+
+let fields = function
+  | Begin { txn; class_id; init } -> [ txn; class_id; init ]
+  | Write { txn; granule; ts; value } ->
+    [ txn; granule.Granule.segment; granule.Granule.key; ts; value ]
+  | Commit { txn; at } | Abort { txn; at } -> [ txn; at ]
+
+let encode r =
+  let fs = fields r in
+  let payload = Bytes.create (1 + (8 * List.length fs)) in
+  Bytes.set_uint8 payload 0 (tag r);
+  List.iteri
+    (fun i v -> Bytes.set_int64_le payload (1 + (8 * i)) (Int64.of_int v))
+    fs;
+  let frame = Bytes.create (8 + Bytes.length payload) in
+  Bytes.set_int32_le frame 0 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int32_le frame 4 (Int32.of_int (crc32 payload));
+  Bytes.blit payload 0 frame 8 (Bytes.length payload);
+  frame
+
+let decode buf ~pos =
+  let len = Bytes.length buf in
+  if pos + 8 > len then Error `Truncated
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le buf pos) in
+    let crc = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) land 0xFFFFFFFF in
+    if plen <= 0 || plen > 1 lsl 20 then Error `Corrupt
+    else if pos + 8 + plen > len then Error `Truncated
+    else
+      let payload = Bytes.sub buf (pos + 8) plen in
+      if crc32 payload <> crc then Error `Corrupt
+      else
+        let field i = Int64.to_int (Bytes.get_int64_le payload (1 + (8 * i))) in
+        let expect n = plen = 1 + (8 * n) in
+        let next = pos + 8 + plen in
+        match Bytes.get_uint8 payload 0 with
+        | 1 when expect 3 ->
+          Ok (Begin { txn = field 0; class_id = field 1; init = field 2 }, next)
+        | 2 when expect 5 ->
+          Ok
+            ( Write
+                { txn = field 0;
+                  granule =
+                    Granule.make ~segment:(field 1) ~key:(field 2);
+                  ts = field 3;
+                  value = field 4 },
+              next )
+        | 3 when expect 2 -> Ok (Commit { txn = field 0; at = field 1 }, next)
+        | 4 when expect 2 -> Ok (Abort { txn = field 0; at = field 1 }, next)
+        | _ -> Error `Corrupt

@@ -1,0 +1,27 @@
+(** Binary encoding of write-ahead-log records.
+
+    Fixed little-endian framing: a 4-byte payload length, a 4-byte CRC-32
+    of the payload, then the payload.  Torn tails (a crash mid-append)
+    decode as [`Truncated]; flipped bits as [`Corrupt]; both stop
+    recovery at the last intact prefix, which is exactly the contract
+    {!Wal} needs. *)
+
+type record =
+  | Begin of { txn : Txn.id; class_id : int; init : Time.t }
+  | Write of { txn : Txn.id; granule : Granule.t; ts : Time.t; value : int }
+  | Commit of { txn : Txn.id; at : Time.t }
+  | Abort of { txn : Txn.id; at : Time.t }
+
+val equal_record : record -> record -> bool
+val pp_record : Format.formatter -> record -> unit
+
+val crc32 : Bytes.t -> int
+(** Standard CRC-32 (polynomial 0xEDB88320), returned as a non-negative
+    int. *)
+
+val encode : record -> Bytes.t
+(** Full frame: header plus payload. *)
+
+val decode : Bytes.t -> pos:int -> (record * int, [ `Truncated | `Corrupt ]) result
+(** [decode buf ~pos] reads one frame starting at [pos]; on success
+    returns the record and the position just past the frame. *)

@@ -1,0 +1,194 @@
+module Scheduler = Hdd_core.Scheduler
+module Partition = Hdd_core.Partition
+module Outcome = Hdd_core.Outcome
+module Store = Hdd_mvstore.Store
+
+type t = {
+  mutable wal : Wal.t;
+  sched : int Scheduler.t;
+  store : int Store.t;
+  partition : Partition.t;
+  sync_on_commit : bool;
+  mutable in_flight : int;  (** update transactions begun and unfinished *)
+}
+
+type recovered = {
+  store : int Store.t;
+  last_time : Time.t;
+  committed : int;
+  aborted : int;
+  lost_uncommitted : int;
+  log_intact : bool;
+}
+
+let build ?(sync_on_commit = false) ~path ~partition ~clock ~store () =
+  let sched = Scheduler.create ~partition ~clock ~store () in
+  { wal = Wal.create ~path; sched; store; partition; sync_on_commit;
+    in_flight = 0 }
+
+let create ?sync_on_commit ~path ~partition () =
+  let clock = Time.Clock.create () in
+  let store =
+    Store.create ~segments:(Partition.segment_count partition)
+      ~init:(fun _ -> 0)
+  in
+  build ?sync_on_commit ~path ~partition ~clock ~store ()
+
+let recover ~path ~segments ~init =
+  let { Wal.records; complete; _ } = Wal.read_all ~path in
+  let store = Store.create ~segments ~init in
+  (* redo-only replay: buffer each transaction's writes, install them at
+     its commit record; txn ids may recur across sessions, so buffers are
+     cleared at every commit/abort *)
+  let pending : (Txn.id, (Granule.t * Time.t * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let last_time = ref Time.zero in
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let see t = if t > !last_time then last_time := t in
+  List.iter
+    (fun (r : Codec.record) ->
+      match r with
+      | Codec.Begin { init; txn; _ } ->
+        see init;
+        Hashtbl.replace pending txn []
+      | Codec.Write { txn; granule; ts; value } ->
+        see ts;
+        let buf =
+          match Hashtbl.find_opt pending txn with Some b -> b | None -> []
+        in
+        Hashtbl.replace pending txn ((granule, ts, value) :: buf)
+      | Codec.Commit { txn; at } ->
+        see at;
+        (match Hashtbl.find_opt pending txn with
+        | None -> ()
+        | Some writes ->
+          List.iter
+            (fun (granule, ts, value) ->
+              (* the last write of a granule within a transaction wins;
+                 writes were buffered newest-first, so install the first
+                 occurrence of each granule *)
+              match Store.committed_before store granule ~ts:(ts + 1) with
+              | Some v when v.Hdd_mvstore.Chain.ts = ts -> ()
+              | _ ->
+                ignore (Store.install store granule ~ts ~writer:txn ~value);
+                Store.commit_version store granule ~ts)
+            writes;
+          Hashtbl.remove pending txn);
+        incr committed
+      | Codec.Abort { txn; at } ->
+        see at;
+        Hashtbl.remove pending txn;
+        incr aborted)
+    records;
+  { store;
+    last_time = !last_time;
+    committed = !committed;
+    aborted = !aborted;
+    lost_uncommitted = Hashtbl.length pending;
+    log_intact = complete }
+
+let of_recovery ?sync_on_commit ~path ~partition recovered =
+  let clock = Time.Clock.create () in
+  Time.Clock.catch_up clock recovered.last_time;
+  build ?sync_on_commit ~path ~partition ~clock ~store:recovered.store ()
+
+let scheduler t = t.sched
+
+let begin_update t ~class_id =
+  let txn = Scheduler.begin_update t.sched ~class_id in
+  Wal.append t.wal
+    (Codec.Begin { txn = txn.Txn.id; class_id; init = txn.Txn.init });
+  t.in_flight <- t.in_flight + 1;
+  txn
+
+let begin_adhoc_update t ~writes ~reads =
+  let txn = Scheduler.begin_adhoc_update t.sched ~writes ~reads in
+  Wal.append t.wal
+    (Codec.Begin
+       { txn = txn.Txn.id; class_id = List.hd (List.sort compare writes);
+         init = txn.Txn.init });
+  t.in_flight <- t.in_flight + 1;
+  txn
+
+let begin_read_only t = Scheduler.begin_read_only t.sched
+
+let read t txn g = Scheduler.read t.sched txn g
+
+let write t txn g value =
+  match Scheduler.write t.sched txn g value with
+  | Outcome.Granted () as ok ->
+    Wal.append t.wal
+      (Codec.Write
+         { txn = txn.Txn.id; granule = g; ts = txn.Txn.init; value });
+    ok
+  | (Outcome.Blocked _ | Outcome.Rejected _) as other -> other
+
+let commit t txn =
+  Scheduler.commit t.sched txn;
+  let at =
+    match Txn.end_time txn with Some at -> at | None -> assert false
+  in
+  if Txn.is_update txn then begin
+    Wal.append t.wal (Codec.Commit { txn = txn.Txn.id; at });
+    if t.sync_on_commit then Wal.sync t.wal else Wal.flush t.wal;
+    t.in_flight <- t.in_flight - 1
+  end
+
+let abort t txn =
+  Scheduler.abort t.sched txn;
+  if Txn.is_update txn then begin
+    Wal.append t.wal
+      (Codec.Abort
+         { txn = txn.Txn.id;
+           at = (match Txn.end_time txn with Some a -> a | None -> 0) });
+    t.in_flight <- t.in_flight - 1
+  end
+
+let close t = Wal.close t.wal
+
+let in_flight t = t.in_flight
+
+(* Compact the log to the latest committed version of every granule, as
+   one synthetic transaction (id 0), written to a side file and renamed
+   over the log. *)
+let checkpoint t =
+  if t.in_flight > 0 then
+    failwith "Durable.checkpoint: update transactions in flight";
+  let side = Wal.path t.wal ^ ".ckpt" in
+  if Sys.file_exists side then Sys.remove side;
+  let snapshot = Wal.create ~path:side in
+  let latest = ref Time.zero in
+  let versions = ref [] in
+  for seg = 0 to Store.segment_count t.store - 1 do
+    let segment = Store.segment t.store seg in
+    List.iter
+      (fun key ->
+        match
+          Hdd_mvstore.Chain.latest_committed
+            (Hdd_mvstore.Segment.chain segment key)
+        with
+        | Some v when v.Hdd_mvstore.Chain.ts > Time.zero ->
+          (* bootstrap versions (ts 0) come back through [init] *)
+          if v.Hdd_mvstore.Chain.ts > !latest then
+            latest := v.Hdd_mvstore.Chain.ts;
+          versions :=
+            (Granule.make ~segment:seg ~key, v.Hdd_mvstore.Chain.ts,
+             v.Hdd_mvstore.Chain.value)
+            :: !versions
+        | _ -> ())
+      (Hdd_mvstore.Segment.keys segment)
+  done;
+  Wal.append snapshot (Codec.Begin { txn = 0; class_id = 0; init = !latest });
+  List.iter
+    (fun (granule, ts, value) ->
+      Wal.append snapshot (Codec.Write { txn = 0; granule; ts; value }))
+    !versions;
+  Wal.append snapshot (Codec.Commit { txn = 0; at = !latest });
+  Wal.sync snapshot;
+  Wal.close snapshot;
+  let path = Wal.path t.wal in
+  Wal.close t.wal;
+  Sys.rename side path;
+  t.wal <- Wal.create ~path

@@ -1,0 +1,81 @@
+(** A durable HDD database: the scheduler over a multiversion store, with
+    every update logged to a {!Wal} (redo-only logging) and crash
+    recovery that rebuilds the committed state.
+
+    Logging discipline: writes are appended as they are granted; the
+    commit record is appended — and, with [sync_on_commit], fsynced —
+    before {!commit} returns, so a transaction acknowledged as committed
+    survives a crash.  Recovery ({!recover}) replays the intact log
+    prefix, installing exactly the versions of committed transactions;
+    uncommitted tails vanish, which is the correct outcome.
+    {!of_recovery} then restarts a scheduler on the recovered store with
+    the clock advanced past every recovered timestamp, so new
+    transactions order strictly after everything recovered.
+
+    Read-only transactions are never logged: they write nothing. *)
+
+type t
+
+type recovered = {
+  store : int Hdd_mvstore.Store.t;
+  last_time : Time.t;  (** largest timestamp in the recovered prefix *)
+  committed : int;
+  aborted : int;
+  lost_uncommitted : int;  (** transactions begun but never committed *)
+  log_intact : bool;  (** false when a torn/corrupt tail was dropped *)
+}
+
+val create :
+  ?sync_on_commit:bool ->
+  path:string ->
+  partition:Hdd_core.Partition.t ->
+  unit ->
+  t
+(** Opens (or appends to) the log at [path] over a fresh in-memory store.
+    [sync_on_commit] defaults to false: the log is flushed but not
+    fsynced per commit, trading the durability of the last few commits
+    for speed — the classic group-commit knob, minus the grouping. *)
+
+val recover :
+  path:string -> segments:int -> init:(Granule.t -> int) -> recovered
+(** Replay the log at [path].  @raise Sys_error if it does not exist. *)
+
+val of_recovery :
+  ?sync_on_commit:bool ->
+  path:string ->
+  partition:Hdd_core.Partition.t ->
+  recovered ->
+  t
+(** Continue a recovered database, appending to the same log. *)
+
+val scheduler : t -> int Hdd_core.Scheduler.t
+(** The underlying scheduler — use it for reads, walls and metrics; all
+    writes and transaction boundaries must go through this module so the
+    log stays ahead of the state. *)
+
+val begin_update : t -> class_id:int -> Txn.t
+val begin_read_only : t -> Txn.t
+
+val begin_adhoc_update : t -> writes:int list -> reads:int list -> Txn.t
+(** Ad-hoc updates (§7.1.1) log like any other update: their writes
+    carry their own timestamps, so recovery needs no special casing. *)
+
+val read : t -> Txn.t -> Granule.t -> int Hdd_core.Outcome.t
+val write : t -> Txn.t -> Granule.t -> int -> unit Hdd_core.Outcome.t
+val commit : t -> Txn.t -> unit
+val abort : t -> Txn.t -> unit
+val close : t -> unit
+
+val checkpoint : t -> unit
+(** Compact the log: write the latest committed version of every granule
+    as one synthetic transaction into a fresh log file, atomically
+    replace the old log (write + rename), and continue appending.  After
+    a checkpoint, recovery replays the snapshot plus the suffix instead
+    of the whole history.  Must be called with no update transaction in
+    flight (the scheduler's state is not snapshot), which the caller
+    arranges; the wall/registry state is rebuilt empty on recovery as
+    usual.
+    @raise Failure when update transactions are in flight. *)
+
+val in_flight : t -> int
+(** Active transactions begun through this handle. *)

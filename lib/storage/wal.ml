@@ -1,0 +1,50 @@
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  oc : out_channel;
+  mutable appended : int;
+}
+
+let create ~path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
+  { path; fd; oc = Unix.out_channel_of_descr fd; appended = 0 }
+
+let append t record =
+  output_bytes t.oc (Codec.encode record);
+  t.appended <- t.appended + 1
+
+let flush t = Stdlib.flush t.oc
+
+let sync t =
+  flush t;
+  Unix.fsync t.fd
+
+let close t =
+  flush t;
+  close_out t.oc (* also closes the descriptor *)
+
+let path t = t.path
+let appended t = t.appended
+
+type recovery = {
+  records : Codec.record list;
+  complete : bool;
+  bytes_read : int;
+}
+
+let read_all ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let buf = Bytes.create len in
+  really_input ic buf 0 len;
+  close_in ic;
+  let rec go pos acc =
+    if pos >= len then
+      { records = List.rev acc; complete = true; bytes_read = pos }
+    else
+      match Codec.decode buf ~pos with
+      | Ok (r, next) -> go next (r :: acc)
+      | Error (`Truncated | `Corrupt) ->
+        { records = List.rev acc; complete = false; bytes_read = pos }
+  in
+  go 0 []

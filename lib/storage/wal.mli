@@ -1,0 +1,32 @@
+(** The write-ahead log: an append-only file of {!Codec} frames.
+
+    Appends go through a buffered channel; {!flush} pushes them to the
+    OS and {!sync} forces them to disk.  {!read_all} recovers the intact
+    prefix of a log file: a torn tail (crash mid-append) is normal and
+    reported as [`Truncated]; a checksum mismatch as [`Corrupt]; both
+    end recovery at the last good frame. *)
+
+type t
+
+val create : path:string -> t
+(** Open for appending, creating the file if needed.
+    @raise Sys_error on an unwritable path. *)
+
+val append : t -> Codec.record -> unit
+val flush : t -> unit
+val sync : t -> unit
+(** [flush] followed by [Unix.fsync]: the durability barrier. *)
+
+val close : t -> unit
+val path : t -> string
+val appended : t -> int
+(** Records appended through this handle. *)
+
+type recovery = {
+  records : Codec.record list;  (** the intact prefix, in log order *)
+  complete : bool;  (** false when a torn or corrupt tail was dropped *)
+  bytes_read : int;
+}
+
+val read_all : path:string -> recovery
+(** @raise Sys_error if the file does not exist. *)

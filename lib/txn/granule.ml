@@ -1,0 +1,29 @@
+type t = { segment : int; key : int }
+
+let make ~segment ~key = { segment; key }
+
+let compare a b =
+  match Int.compare a.segment b.segment with
+  | 0 -> Int.compare a.key b.key
+  | c -> c
+
+let equal a b = a.segment = b.segment && a.key = b.key
+let hash a = (a.segment * 1000003) lxor a.key
+let pp ppf a = Format.fprintf ppf "D%d/%d" a.segment a.key
+let to_string a = Format.asprintf "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,120 @@
+type class_log = {
+  mutable records : Txn.t array;  (* circular-free growable array *)
+  mutable base : int;  (* first live index after pruning *)
+  mutable len : int;  (* one past the last used index *)
+}
+
+type t = { logs : class_log array }
+
+let create ~classes =
+  if classes <= 0 then invalid_arg "Registry.create: classes must be > 0";
+  { logs =
+      Array.init classes (fun _ ->
+          { records = Array.make 8 Txn.bootstrap; base = 0; len = 0 }) }
+
+let class_count t = Array.length t.logs
+
+let log_of t class_id =
+  if class_id < 0 || class_id >= Array.length t.logs then
+    invalid_arg (Printf.sprintf "Registry: class %d out of range" class_id);
+  t.logs.(class_id)
+
+let register_in t ~class_id (txn : Txn.t) =
+  let log = log_of t class_id in
+  if log.len > log.base && (log.records.(log.len - 1)).Txn.init >= txn.init
+  then
+    invalid_arg "Registry.register: initiation times must be increasing";
+  if log.len = Array.length log.records then begin
+    let live = log.len - log.base in
+    let bigger = Array.make (Int.max 8 (2 * live)) Txn.bootstrap in
+    Array.blit log.records log.base bigger 0 live;
+    log.records <- bigger;
+    log.base <- 0;
+    log.len <- live
+  end;
+  log.records.(log.len) <- txn;
+  log.len <- log.len + 1
+
+let register t (txn : Txn.t) =
+  match txn.kind with
+  | Txn.Read_only -> invalid_arg "Registry.register: read-only transaction"
+  | Txn.Update class_id -> register_in t ~class_id txn
+
+(* Iterate the records of a class with init <= m, oldest first; [f] returns
+   [true] to keep going. *)
+let iter_upto log m f =
+  let i = ref log.base in
+  let continue = ref true in
+  while !continue && !i < log.len do
+    let r = log.records.(!i) in
+    if r.Txn.init > m then continue := false
+    else begin
+      continue := f r;
+      incr i
+    end
+  done
+
+let i_old t ~class_id ~at =
+  let log = log_of t class_id in
+  let found = ref at in
+  (try
+     iter_upto log at (fun r ->
+         if Txn.active_at r at then begin
+           found := r.Txn.init;
+           raise Exit
+         end
+         else true)
+   with Exit -> ());
+  !found
+
+let c_late t ~class_id ~at =
+  let log = log_of t class_id in
+  let blocking = ref None in
+  let latest = ref at in
+  let saw_committed_span = ref false in
+  (* strict initiation bound, matching Txn.active_at: transactions
+     initiated exactly at [at] play no role in C_late(at) *)
+  iter_upto log (at - 1) (fun r ->
+      (match r.Txn.status with
+      | Txn.Active -> blocking := Some r.Txn.id
+      | Txn.Committed c | Txn.Aborted c ->
+        (* aborted windows count too: I_old treats the transaction as
+           active until its abort, so the clearing time must cover it,
+           or A(B(m)) >= m (Property 2.1) fails around aborts *)
+        if c > at then begin
+          saw_committed_span := true;
+          if c > !latest then latest := c
+        end);
+      !blocking = None);
+  match !blocking with
+  | Some id -> Error id
+  | None -> Ok (if !saw_committed_span then !latest else at)
+
+let c_late_computable t ~class_id ~at =
+  match c_late t ~class_id ~at with Ok _ -> true | Error _ -> false
+
+let active_count t ~class_id =
+  let log = log_of t class_id in
+  let n = ref 0 in
+  for i = log.base to log.len - 1 do
+    if Txn.is_active log.records.(i) then incr n
+  done;
+  !n
+
+let transactions t ~class_id =
+  let log = log_of t class_id in
+  List.init (log.len - log.base) (fun i -> log.records.(log.base + i))
+
+let prune t ~upto =
+  Array.iter
+    (fun log ->
+      let i = ref log.base in
+      let continue = ref true in
+      while !continue && !i < log.len do
+        let r = log.records.(!i) in
+        match Txn.end_time r with
+        | Some e when e <= upto -> incr i
+        | _ -> continue := false
+      done;
+      log.base <- !i)
+    t.logs

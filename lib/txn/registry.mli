@@ -1,0 +1,66 @@
+(** Per-class transaction activity registries.
+
+    This is the bookkeeping that makes the activity-link machinery of §4.1
+    and §5.1 computable: for every transaction class it records the
+    initiation intervals of its transactions and answers the two historical
+    queries the paper's functions are built from —
+
+    - [I_old(m)] ({!i_old}): the initiation time of the oldest transaction
+      of the class active at time [m], or [m] itself when none was active;
+    - [C_late(m)] ({!c_late}): the latest commit time among transactions of
+      the class active at [m], or [m] when none was; only *computable* once
+      every transaction initiated at or before [m] has finished.
+
+    Aborted transactions count as active until their abort instant (the
+    paper's "uncommitted and un-aborted"), and their abort instant counts
+    as an end time in [C_late]: the clearing time must cover every
+    activity window [I_old] can see, or Property 2.1 ([A∘B >= id]) fails
+    around aborts.  They still install no versions, hence create no
+    dependencies.
+
+    Transactions initiate in clock order, so each class's records arrive
+    sorted by initiation time; queries scan from the oldest retained record
+    and stop at the first match, and {!prune} drops finished prefixes that
+    can no longer be queried (e.g. below a released time wall). *)
+
+type t
+
+val create : classes:int -> t
+(** Registry for update classes [0 .. classes-1]. *)
+
+val class_count : t -> int
+
+val register : t -> Txn.t -> unit
+(** Record an update transaction at initiation, in its declared class.
+    @raise Invalid_argument on a read-only transaction, an out-of-range
+    class, or an initiation time not larger than the last registered one of
+    that class's registry. *)
+
+val register_in : t -> class_id:int -> Txn.t -> unit
+(** Record a transaction in an explicit class, regardless of its declared
+    kind — the hook for ad-hoc transactions (§7.1.1), which join *every*
+    class whose segment they access so all activity-link thresholds
+    account for them.  Same monotonicity requirement per class. *)
+
+val i_old : t -> class_id:int -> at:Time.t -> Time.t
+(** The paper's [I_old^{class}(m)]. *)
+
+val c_late :
+  t -> class_id:int -> at:Time.t -> (Time.t, Txn.id) result
+(** The paper's [C_late^{class}(m)]; [Error id] when not yet computable
+    because transaction [id] (initiated at or before [m]) is still
+    active. *)
+
+val c_late_computable : t -> class_id:int -> at:Time.t -> bool
+
+val active_count : t -> class_id:int -> int
+(** Transactions of the class currently active. *)
+
+val transactions : t -> class_id:int -> Txn.t list
+(** Retained records, oldest first. *)
+
+val prune : t -> upto:Time.t -> unit
+(** Forget prefix records that finished at or before [upto].  Queries with
+    [at < upto] become unreliable after pruning; callers pass the oldest
+    time still reachable by any protocol computation (e.g. the previous
+    released time wall's minimum). *)

@@ -1,0 +1,38 @@
+type action = Read | Write
+
+type step = {
+  txn : Txn.id;
+  action : action;
+  granule : Granule.t;
+  version : Time.t;
+}
+
+type t = {
+  mutable steps : step list;  (* reversed *)
+  mutable count : int;
+  dropped : (Txn.id, unit) Hashtbl.t;
+}
+
+let create () = { steps = []; count = 0; dropped = Hashtbl.create 16 }
+
+let push t s =
+  t.steps <- s :: t.steps;
+  t.count <- t.count + 1
+
+let log_read t ~txn ~granule ~version =
+  push t { txn; action = Read; granule; version }
+
+let log_write t ~txn ~granule ~version =
+  push t { txn; action = Write; granule; version }
+
+let drop_txn t id = Hashtbl.replace t.dropped id ()
+
+let steps t =
+  List.filter (fun s -> not (Hashtbl.mem t.dropped s.txn)) (List.rev t.steps)
+
+let length t = t.count
+
+let pp_step ppf s =
+  Format.fprintf ppf "<t%d,%s,%a^%a>" s.txn
+    (match s.action with Read -> "r" | Write -> "w")
+    Granule.pp s.granule Time.pp s.version

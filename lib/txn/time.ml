@@ -1,0 +1,23 @@
+type t = int
+
+let zero = 0
+let compare = Int.compare
+let equal = Int.equal
+let max = Int.max
+let min = Int.min
+let pp = Format.pp_print_int
+let to_string = string_of_int
+
+module Clock = struct
+  type clock = { mutable now : int }
+
+  let create () = { now = 0 }
+
+  let tick c =
+    c.now <- c.now + 1;
+    c.now
+
+  let now c = c.now
+
+  let catch_up c t = if t > c.now then c.now <- t
+end

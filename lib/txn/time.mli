@@ -1,0 +1,35 @@
+(** Logical time.
+
+    The paper's protocols are defined entirely over the order of initiation
+    and commit events, so a strictly monotone logical clock reproduces them
+    exactly (see DESIGN.md, substitutions).  Times are positive integers;
+    [zero] is reserved for the bootstrap transaction that installs initial
+    database versions. *)
+
+type t = int
+
+val zero : t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A strictly monotone event clock.  Every call to {!tick} returns a fresh,
+    strictly larger time, so initiation and commit instants are unique and
+    totally ordered — the property all the activity-link reasoning rests
+    on. *)
+module Clock : sig
+  type clock
+
+  val create : unit -> clock
+  val tick : clock -> t
+  val now : clock -> t
+  (** Last time handed out (0 initially). *)
+
+  val catch_up : clock -> t -> unit
+  (** Advance the clock so the next {!tick} is strictly after the given
+      time; never moves it backwards.  Used by crash recovery to restart
+      a scheduler past every timestamp in the recovered log. *)
+end

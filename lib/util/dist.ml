@@ -1,0 +1,40 @@
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be > 0";
+  let u = Prng.float g 1.0 in
+  (* 1 - u is in (0, 1], avoiding log 0 *)
+  -.log (1.0 -. u) /. rate
+
+let uniform_int g ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_int: hi < lo";
+  lo + Prng.int g (hi - lo + 1)
+
+type zipf = { cdf : float array }
+
+let zipf ~n ~alpha =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if alpha < 0. then invalid_arg "Dist.zipf: alpha must be >= 0";
+  let w = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** alpha)) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (w.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let zipf_draw { cdf } g =
+  let u = Prng.float g 1.0 in
+  (* binary search for the first index with cdf.(i) >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
+let zipf_n { cdf } = Array.length cdf
+
+let bernoulli g ~p = Prng.float g 1.0 < p

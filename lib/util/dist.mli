@@ -1,0 +1,25 @@
+(** Random variates used by the workload generators.
+
+    All draws are made through {!Prng} so a workload is a pure function of
+    its seed. *)
+
+val exponential : Prng.t -> rate:float -> float
+(** Inter-arrival time of a Poisson process with intensity [rate] (> 0). *)
+
+val uniform_int : Prng.t -> lo:int -> hi:int -> int
+(** Uniform integer in [\[lo, hi\]] inclusive. *)
+
+type zipf
+(** Precomputed Zipf(α) sampler over [{0, …, n-1}]; rank 0 is hottest. *)
+
+val zipf : n:int -> alpha:float -> zipf
+(** Builds the cumulative table.  [alpha = 0.] degenerates to uniform.
+    @raise Invalid_argument if [n <= 0] or [alpha < 0.]. *)
+
+val zipf_draw : zipf -> Prng.t -> int
+
+val zipf_n : zipf -> int
+(** Domain size the sampler was built with. *)
+
+val bernoulli : Prng.t -> p:float -> bool
+(** True with probability [p]. *)

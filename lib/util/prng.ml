@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer: Stafford's mix13. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let s = bits64 g in
+  { state = s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* keep 62 bits so the value is a non-negative OCaml int *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  r mod bound
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  (* 53 significant bits, the double mantissa width *)
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,71 @@
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.columns) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cs ->
+        List.iteri
+          (fun i c -> widths.(i) <- Int.max widths.(i) (String.length c))
+          cs)
+    rows;
+  let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+  let line ch =
+    let total = Array.fold_left ( + ) 0 widths + (3 * Array.length widths) + 1 in
+    String.make total ch
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  let emit cells =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (pad i c);
+        Buffer.add_string buf " | ")
+      cells;
+    (* drop the trailing space for tidy right edge *)
+    let len = Buffer.length buf in
+    Buffer.truncate buf (len - 1);
+    Buffer.add_char buf '\n'
+  in
+  emit t.columns;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Rule ->
+        Buffer.add_string buf (line '-');
+        Buffer.add_char buf '\n'
+      | Cells cs -> emit cs)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int
+
+let cell_pct x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,24 @@
+(** Aligned ASCII tables: the rendering used for every experiment so the
+    benchmark output reads like the paper's tables. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rule : t -> unit
+(** Horizontal separator between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point cell, [“-”] for nan. *)
+
+val cell_int : int -> string
+val cell_pct : float -> string
+(** Percentage with one decimal, e.g. [12.3%]. *)

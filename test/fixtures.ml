@@ -1,0 +1,15 @@
+(* Shared test fixtures. *)
+
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+
+(* the paper's inventory decomposition: D0 reorders, D1 inventory, D2 events *)
+let inventory_spec =
+  Spec.make
+    ~segments:[ "reorders"; "inventory"; "events" ]
+    ~types:
+      [ Spec.txn_type ~name:"type1" ~writes:[ 2 ] ~reads:[];
+        Spec.txn_type ~name:"type2" ~writes:[ 1 ] ~reads:[ 1; 2 ];
+        Spec.txn_type ~name:"type3" ~writes:[ 0 ] ~reads:[ 0; 1; 2 ] ]
+
+let inventory = Partition.build_exn inventory_spec

@@ -1,0 +1,81 @@
+(* Shared test helper: random transaction histories over a partition.
+
+   Generates begin/commit/abort event sequences against a Registry and a
+   logical clock, used by the activity-link, time-wall and follows tests
+   to probe the paper's properties on many histories. *)
+
+module Prng = Hdd_util.Prng
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+
+(* A linear hierarchy D0 <- D1 <- ... (class i writes Di, reads upward). *)
+let chain_partition depth =
+  let segments = List.init depth (fun i -> Printf.sprintf "s%d" i) in
+  let types =
+    List.init depth (fun i ->
+        Spec.txn_type
+          ~name:(Printf.sprintf "c%d" i)
+          ~writes:[ i ]
+          ~reads:(List.init (depth - i) (fun k -> i + k)))
+  in
+  Partition.build_exn (Spec.make ~segments ~types)
+
+(* Base on top, [branches] classes below it reading the base. *)
+let branch_partition branches =
+  let segments =
+    List.init branches (fun i -> Printf.sprintf "b%d" i) @ [ "base" ]
+  in
+  let types =
+    Spec.txn_type ~name:"feed" ~writes:[ branches ] ~reads:[]
+    :: List.init branches (fun i ->
+           Spec.txn_type
+             ~name:(Printf.sprintf "d%d" i)
+             ~writes:[ i ]
+             ~reads:[ i; branches ])
+  in
+  Partition.build_exn (Spec.make ~segments ~types)
+
+type t = {
+  registry : Registry.t;
+  clock : Time.Clock.clock;
+  all : Txn.t list;  (** every generated transaction, oldest first *)
+}
+
+(* Random history: at each step begin a transaction in a random class or
+   finish (commit, mostly) a random active one.  With [quiesce] all
+   remaining transactions commit at the end, making C_late computable
+   everywhere. *)
+let random ?(quiesce = true) ~seed ~steps ~classes () =
+  let rng = Prng.create seed in
+  let registry = Registry.create ~classes in
+  let clock = Time.Clock.create () in
+  let active = ref [] in
+  let all = ref [] in
+  let next_id = ref 1 in
+  for _ = 1 to steps do
+    let begin_one = !active = [] || Prng.bool rng in
+    if begin_one then begin
+      let cls = Prng.int rng classes in
+      let txn =
+        Txn.make ~id:!next_id ~kind:(Txn.Update cls)
+          ~init:(Time.Clock.tick clock)
+      in
+      incr next_id;
+      Registry.register registry txn;
+      active := txn :: !active;
+      all := txn :: !all
+    end
+    else begin
+      let arr = Array.of_list !active in
+      let victim = Prng.pick rng arr in
+      active := List.filter (fun t -> t != victim) !active;
+      if Prng.int rng 10 < 8 then
+        Txn.commit victim ~at:(Time.Clock.tick clock)
+      else Txn.abort victim ~at:(Time.Clock.tick clock)
+    end
+  done;
+  if quiesce then
+    List.iter
+      (fun t -> Txn.commit t ~at:(Time.Clock.tick clock))
+      (List.rev !active);
+  { registry; clock; all = List.rev !all }

@@ -1,0 +1,261 @@
+(* Unit and property tests for the digraph substrate: traversal, closure,
+   reduction, semi-trees, critical paths (paper §3.1). *)
+
+module G = Hdd_graph.Digraph
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_arcs = Alcotest.check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+let check_nodes = Alcotest.check (Alcotest.list Alcotest.int)
+let check_path = Alcotest.check (Alcotest.option (Alcotest.list Alcotest.int))
+
+(* The paper's Figure 5 transitive semi-tree: a chain with a transitively
+   induced shortcut. *)
+let fig5 = G.of_arcs [ (1, 2); (2, 3); (1, 3); (4, 2) ]
+
+let chain = G.of_arcs [ (0, 1); (1, 2); (2, 3) ]
+
+let test_basic_ops () =
+  let g = G.of_arcs [ (1, 2); (2, 3) ] in
+  check_nodes "nodes" [ 1; 2; 3 ] (G.nodes g);
+  check_arcs "arcs" [ (1, 2); (2, 3) ] (G.arcs g);
+  checkb "mem_arc" true (G.mem_arc g 1 2);
+  checkb "not mem_arc" false (G.mem_arc g 2 1);
+  check_nodes "succ" [ 2 ] (G.succ g 1);
+  check_nodes "pred" [ 1 ] (G.pred g 2);
+  checki "node_count" 3 (G.node_count g);
+  checki "arc_count" 2 (G.arc_count g)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Digraph.add_arc: self-loop") (fun () ->
+      ignore (G.add_arc G.empty 1 1))
+
+let test_add_idempotent () =
+  let g = G.add_arc (G.add_arc G.empty 1 2) 1 2 in
+  checki "duplicate arc not double counted" 1 (G.arc_count g)
+
+let test_remove_arc () =
+  let g = G.remove_arc (G.of_arcs [ (1, 2); (2, 3) ]) 1 2 in
+  checkb "removed" false (G.mem_arc g 1 2);
+  checkb "other kept" true (G.mem_arc g 2 3)
+
+let test_reachable () =
+  check_nodes "reach from 1" [ 1; 2; 3 ] (G.reachable fig5 1);
+  check_nodes "reach from 3" [ 3 ] (G.reachable fig5 3);
+  checkb "has_path 4->3" true (G.has_path fig5 4 3);
+  checkb "no path 3->1" false (G.has_path fig5 3 1);
+  checkb "trivial path" true (G.has_path fig5 2 2)
+
+let test_topological_sort () =
+  (match G.topological_sort chain with
+  | None -> Alcotest.fail "chain is acyclic"
+  | Some order ->
+    check_nodes "topo order of a chain" [ 0; 1; 2; 3 ] order);
+  let cyclic = G.of_arcs [ (1, 2); (2, 3); (3, 1) ] in
+  checkb "cyclic has no topo sort" true (G.topological_sort cyclic = None)
+
+let test_is_acyclic () =
+  checkb "fig5 acyclic" true (G.is_acyclic fig5);
+  checkb "2-cycle" false (G.is_acyclic (G.of_arcs [ (1, 2); (2, 1) ]))
+
+let test_find_cycle () =
+  checkb "acyclic: no cycle" true (G.find_cycle chain = None);
+  let g = G.of_arcs [ (1, 2); (2, 3); (3, 1); (0, 1) ] in
+  match G.find_cycle g with
+  | None -> Alcotest.fail "cycle expected"
+  | Some c ->
+    checkb "cycle has >= 2 nodes" true (List.length c >= 2);
+    (* verify it really is a cycle in g *)
+    let rec arcs_ok = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> G.mem_arc g a b && arcs_ok rest
+    in
+    checkb "internal arcs exist" true (arcs_ok c);
+    let first = List.hd c and last = List.nth c (List.length c - 1) in
+    checkb "closing arc exists" true (G.mem_arc g last first)
+
+let test_scc () =
+  let g = G.of_arcs [ (1, 2); (2, 1); (2, 3); (3, 4); (4, 3) ] in
+  let comps = G.scc g |> List.sort compare in
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "two non-trivial sccs" [ [ 1; 2 ]; [ 3; 4 ] ] comps
+
+let test_transitive_closure () =
+  let c = G.transitive_closure chain in
+  checkb "0 reaches 3 directly in closure" true (G.mem_arc c 0 3);
+  checki "closure arc count" 6 (G.arc_count c)
+
+let test_transitive_reduction () =
+  let r = G.transitive_reduction fig5 in
+  check_arcs "shortcut removed" [ (1, 2); (2, 3); (4, 2) ] (G.arcs r);
+  Alcotest.check_raises "cyclic input rejected"
+    (Invalid_argument "Digraph.transitive_reduction: cyclic graph")
+    (fun () -> ignore (G.transitive_reduction (G.of_arcs [ (1, 2); (2, 1) ])))
+
+let test_reduction_preserves_closure () =
+  let r = G.transitive_reduction fig5 in
+  checkb "same closure" true
+    (G.equal (G.transitive_closure r) (G.transitive_closure fig5))
+
+let test_is_semi_tree () =
+  checkb "reduction of fig5 is a semi-tree" true
+    (G.is_semi_tree (G.transitive_reduction fig5));
+  (* two parallel undirected paths *)
+  let diamond = G.of_arcs [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  checkb "diamond is not" false (G.is_semi_tree diamond);
+  (* antiparallel pair is a duplicated undirected edge *)
+  checkb "antiparallel pair is not" false
+    (G.is_semi_tree (G.of_arcs [ (1, 2); (2, 1) ]));
+  checkb "empty is" true (G.is_semi_tree G.empty);
+  checkb "forest is" true (G.is_semi_tree (G.of_arcs [ (1, 2); (3, 4) ]))
+
+let test_is_transitive_semi_tree () =
+  checkb "fig5" true (G.is_transitive_semi_tree fig5);
+  checkb "chain with all shortcuts" true
+    (G.is_transitive_semi_tree
+       (G.of_arcs [ (0, 1); (1, 2); (2, 3); (0, 2); (0, 3); (1, 3) ]));
+  checkb "diamond is not" false
+    (G.is_transitive_semi_tree (G.of_arcs [ (1, 2); (1, 3); (2, 4); (3, 4) ]));
+  checkb "cyclic is not" false
+    (G.is_transitive_semi_tree (G.of_arcs [ (1, 2); (2, 1) ]))
+
+let test_critical_arcs () =
+  check_arcs "critical arcs of fig5" [ (1, 2); (2, 3); (4, 2) ]
+    (G.critical_arcs fig5)
+
+let test_critical_path () =
+  check_path "1 to 3 via 2" (Some [ 1; 2; 3 ]) (G.critical_path fig5 1 3);
+  check_path "same node" (Some [ 2 ]) (G.critical_path fig5 2 2);
+  check_path "no path 3 to 1" None (G.critical_path fig5 3 1);
+  check_path "4 to 3" (Some [ 4; 2; 3 ]) (G.critical_path fig5 4 3);
+  check_path "absent node" None (G.critical_path fig5 9 1)
+
+let test_higher_than () =
+  checkb "3 higher than 1" true (G.higher_than fig5 3 1);
+  checkb "1 not higher than 3" false (G.higher_than fig5 1 3);
+  checkb "not higher than itself" false (G.higher_than fig5 2 2);
+  checkb "3 higher than 4" true (G.higher_than fig5 3 4);
+  checkb "1 and 4 unrelated" false
+    (G.higher_than fig5 1 4 || G.higher_than fig5 4 1)
+
+let test_undirected_critical_path () =
+  check_path "1 to 4 through 2" (Some [ 1; 2; 4 ])
+    (G.undirected_critical_path fig5 1 4);
+  check_path "4 to 3" (Some [ 4; 2; 3 ]) (G.undirected_critical_path fig5 4 3);
+  check_path "same node" (Some [ 1 ]) (G.undirected_critical_path fig5 1 1);
+  let forest = G.of_arcs [ (1, 2); (3, 4) ] in
+  check_path "disconnected" None (G.undirected_critical_path forest 1 3)
+
+let test_to_dot () =
+  let dot = G.to_dot ~name:"t" fig5 in
+  checkb "mentions digraph" true
+    (String.length dot > 7 && String.sub dot 0 7 = "digraph");
+  checkb "dashes the induced arc" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains dot "style=dashed")
+
+(* --- property tests --- *)
+
+let arb_dag =
+  (* random DAG over n nodes: only arcs low -> high *)
+  QCheck2.Gen.(
+    sized_size (int_range 2 9) (fun n ->
+        let pairs =
+          List.concat
+            (List.init n (fun i ->
+                 List.init (n - i - 1) (fun k -> (i, i + k + 1))))
+        in
+        let* keep = flatten_l (List.map (fun p -> map (fun b -> (p, b)) bool) pairs) in
+        return
+          (List.filter_map (fun (p, b) -> if b then Some p else None) keep)))
+
+let prop_reduction_idempotent =
+  QCheck2.Test.make ~name:"transitive reduction is idempotent" ~count:200
+    arb_dag (fun arcs ->
+      let g = G.of_arcs arcs in
+      let r = G.transitive_reduction g in
+      G.equal r (G.transitive_reduction r))
+
+let prop_reduction_closure =
+  QCheck2.Test.make ~name:"reduction preserves the transitive closure"
+    ~count:200 arb_dag (fun arcs ->
+      let g = G.of_arcs arcs in
+      let r = G.transitive_reduction g in
+      G.equal (G.transitive_closure r) (G.transitive_closure g))
+
+let prop_reduction_minimal =
+  QCheck2.Test.make ~name:"every reduction arc is necessary" ~count:100
+    arb_dag (fun arcs ->
+      let g = G.of_arcs arcs in
+      let r = G.transitive_reduction g in
+      List.for_all
+        (fun (u, v) ->
+          not (G.has_path (G.remove_arc r u v) u v))
+        (G.arcs r))
+
+let prop_topo_respects_arcs =
+  QCheck2.Test.make ~name:"topological sort respects arcs" ~count:200 arb_dag
+    (fun arcs ->
+      let g = G.of_arcs arcs in
+      match G.topological_sort g with
+      | None -> false (* DAGs always sort *)
+      | Some order ->
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun i u -> Hashtbl.replace pos u i) order;
+        List.for_all
+          (fun (u, v) -> Hashtbl.find pos u < Hashtbl.find pos v)
+          (G.arcs g))
+
+let prop_semi_tree_unique_ucp =
+  QCheck2.Test.make
+    ~name:"in a semi-tree reduction the UCP exists within a component"
+    ~count:100 arb_dag (fun arcs ->
+      let g = G.of_arcs arcs in
+      if not (G.is_transitive_semi_tree g) then true
+      else
+        let nodes = G.nodes g in
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun j ->
+                match G.undirected_critical_path g i j with
+                | Some (first :: _ as path) ->
+                  first = i && List.nth path (List.length path - 1) = j
+                | Some [] -> false
+                | None -> true)
+              nodes)
+          nodes)
+
+let suite =
+  [ Alcotest.test_case "basic operations" `Quick test_basic_ops;
+    Alcotest.test_case "self loops rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "add is idempotent" `Quick test_add_idempotent;
+    Alcotest.test_case "remove arc" `Quick test_remove_arc;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "topological sort" `Quick test_topological_sort;
+    Alcotest.test_case "acyclicity" `Quick test_is_acyclic;
+    Alcotest.test_case "cycle witness" `Quick test_find_cycle;
+    Alcotest.test_case "strongly connected components" `Quick test_scc;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+    Alcotest.test_case "reduction keeps closure" `Quick test_reduction_preserves_closure;
+    Alcotest.test_case "semi-tree recognition" `Quick test_is_semi_tree;
+    Alcotest.test_case "transitive semi-tree recognition" `Quick test_is_transitive_semi_tree;
+    Alcotest.test_case "critical arcs" `Quick test_critical_arcs;
+    Alcotest.test_case "critical paths" `Quick test_critical_path;
+    Alcotest.test_case "higher-than order" `Quick test_higher_than;
+    Alcotest.test_case "undirected critical paths" `Quick test_undirected_critical_path;
+    Alcotest.test_case "dot export" `Quick test_to_dot;
+    QCheck_alcotest.to_alcotest prop_reduction_idempotent;
+    QCheck_alcotest.to_alcotest prop_reduction_closure;
+    QCheck_alcotest.to_alcotest prop_reduction_minimal;
+    QCheck_alcotest.to_alcotest prop_topo_respects_arcs;
+    QCheck_alcotest.to_alcotest prop_semi_tree_unique_ucp ]

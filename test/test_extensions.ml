@@ -1,0 +1,426 @@
+(* Tests for the §7 future-work features built out in this repository:
+   legalizing acyclic decompositions (§7.2.1), decomposition from access
+   traces (§7.2.2), ad-hoc update transactions (§7.1.1), and wall-driven
+   garbage collection (§7.3). *)
+
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+module Legalize = Hdd_core.Legalize
+module Decompose = Hdd_core.Decompose
+module Scheduler = Hdd_core.Scheduler
+module Outcome = Hdd_core.Outcome
+module Certifier = Hdd_core.Certifier
+module Store = Hdd_mvstore.Store
+module Prng = Hdd_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- legalize --- *)
+
+let test_legal_spec_untouched () =
+  let r = Legalize.legalize Fixtures.inventory_spec in
+  checki "no merges" 0 (List.length r.Legalize.merges);
+  checki "same segment count" 3 (Spec.segment_count r.Legalize.spec);
+  checkb "identity map" true
+    (Array.to_list r.Legalize.segment_map = [ 0; 1; 2 ])
+
+let diamond_spec =
+  Spec.make ~segments:[ "bottom"; "l"; "r"; "top" ]
+    ~types:
+      [ Spec.txn_type ~name:"l" ~writes:[ 1 ] ~reads:[ 3 ];
+        Spec.txn_type ~name:"r" ~writes:[ 2 ] ~reads:[ 3 ];
+        Spec.txn_type ~name:"b" ~writes:[ 0 ] ~reads:[ 1; 2 ] ]
+
+let test_legalize_diamond () =
+  checkb "diamond illegal before" false (Legalize.is_legal diamond_spec);
+  let r = Legalize.legalize diamond_spec in
+  checkb "legal after" true (Legalize.is_legal r.Legalize.spec);
+  checkb "merged something" true (List.length r.Legalize.merges >= 1);
+  checkb "granularity preserved where possible" true
+    (Spec.segment_count r.Legalize.spec >= 2);
+  (* the map is consistent with the merged spec *)
+  Array.iter
+    (fun m ->
+      checkb "mapped id in range" true
+        (m >= 0 && m < Spec.segment_count r.Legalize.spec))
+    r.Legalize.segment_map
+
+let test_legalize_cycle () =
+  let spec =
+    Spec.make ~segments:[ "a"; "b"; "c" ]
+      ~types:
+        [ Spec.txn_type ~name:"x" ~writes:[ 0 ] ~reads:[ 1 ];
+          Spec.txn_type ~name:"y" ~writes:[ 1 ] ~reads:[ 2 ];
+          Spec.txn_type ~name:"z" ~writes:[ 2 ] ~reads:[ 0 ] ]
+  in
+  let r = Legalize.legalize spec in
+  checkb "cycle collapsed to a legal spec" true (Legalize.is_legal r.Legalize.spec);
+  checki "one segment remains" 1 (Spec.segment_count r.Legalize.spec)
+
+let test_legalize_multi_write () =
+  let spec =
+    Spec.make ~segments:[ "a"; "b"; "c" ]
+      ~types:
+        [ Spec.txn_type ~name:"wide" ~writes:[ 0; 2 ] ~reads:[ 1 ];
+          Spec.txn_type ~name:"feed" ~writes:[ 1 ] ~reads:[] ]
+  in
+  let r = Legalize.legalize spec in
+  checkb "legal" true (Legalize.is_legal r.Legalize.spec);
+  checkb "a and c merged" true
+    (r.Legalize.segment_map.(0) = r.Legalize.segment_map.(2));
+  checkb "b kept apart" true
+    (r.Legalize.segment_map.(1) <> r.Legalize.segment_map.(0))
+
+let prop_legalize_random =
+  (* random read patterns over a fixed class-per-segment skeleton must
+     always legalize, and the result must validate *)
+  QCheck2.Test.make ~name:"legalize: random acyclic specs become legal"
+    ~count:100
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 4 in
+      let types =
+        List.init n (fun i ->
+            (* class i reads a random subset of strictly-higher segments:
+               acyclic by construction, semi-tree not guaranteed *)
+            let reads =
+              List.filter (fun _ -> Prng.bool rng)
+                (List.init (n - i - 1) (fun k -> i + k + 1))
+            in
+            Spec.txn_type
+              ~name:(Printf.sprintf "t%d" i)
+              ~writes:[ i ] ~reads)
+      in
+      let spec =
+        Spec.make ~segments:(List.init n (fun i -> Printf.sprintf "s%d" i))
+          ~types
+      in
+      let r = Legalize.legalize spec in
+      Legalize.is_legal r.Legalize.spec
+      && Array.length r.Legalize.segment_map = n)
+
+(* --- decompose --- *)
+
+let test_decompose_inventory_like () =
+  let trace =
+    [ { Decompose.tag = "log-sale"; writes = [ "sales" ]; reads = [] };
+      { Decompose.tag = "log-arrival"; writes = [ "arrivals" ]; reads = [] };
+      { Decompose.tag = "recompute";
+        writes = [ "level" ];
+        reads = [ "sales"; "arrivals"; "level" ] };
+      { Decompose.tag = "reorder";
+        writes = [ "orders" ];
+        reads = [ "arrivals"; "level"; "orders" ] } ]
+  in
+  let d = Decompose.decompose trace in
+  checkb "legal" true (Legalize.is_legal d.Decompose.legal.Legalize.spec);
+  (* sales and arrivals are never co-written, but the reorder type reads
+     arrivals+level while recompute reads sales+arrivals: the hierarchy
+     glues what it must and no more *)
+  let seg = Decompose.segment_of d in
+  checkb "orders apart from level" true (seg "orders" <> seg "level");
+  checkb "level apart from the event items" true
+    (seg "level" <> seg "sales" || seg "level" <> seg "arrivals")
+
+let test_decompose_co_written_items () =
+  let trace =
+    [ { Decompose.tag = "pair-writer"; writes = [ "x"; "y" ]; reads = [] };
+      { Decompose.tag = "reader"; writes = [ "z" ]; reads = [ "x" ] } ]
+  in
+  let d = Decompose.decompose trace in
+  checki "x and y share a segment" (Decompose.segment_of d "x")
+    (Decompose.segment_of d "y");
+  checkb "z separate" true
+    (Decompose.segment_of d "z" <> Decompose.segment_of d "x")
+
+let test_decompose_validation () =
+  checkb "empty trace rejected" true
+    (try
+       ignore (Decompose.decompose []);
+       false
+     with Invalid_argument _ -> true);
+  checkb "writeless type rejected" true
+    (try
+       ignore
+         (Decompose.decompose
+            [ { Decompose.tag = "ro"; writes = []; reads = [ "a" ] } ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "duplicate tags rejected" true
+    (try
+       ignore
+         (Decompose.decompose
+            [ { Decompose.tag = "t"; writes = [ "a" ]; reads = [] };
+              { Decompose.tag = "t"; writes = [ "b" ]; reads = [] } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_decompose_random =
+  QCheck2.Test.make ~name:"decompose: random traces yield legal partitions"
+    ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let items = Array.init 8 (fun i -> Printf.sprintf "i%d" i) in
+      let pick () = items.(Prng.int rng 8) in
+      let trace =
+        List.init (2 + Prng.int rng 4) (fun k ->
+            { Decompose.tag = Printf.sprintf "t%d" k;
+              writes = [ pick () ];
+              reads = List.init (Prng.int rng 3) (fun _ -> pick ()) })
+      in
+      let d = Decompose.decompose trace in
+      Legalize.is_legal d.Decompose.legal.Legalize.spec
+      && List.for_all
+           (fun (_, s) ->
+             s >= 0
+             && s < Spec.segment_count d.Decompose.legal.Legalize.spec)
+           d.Decompose.items)
+
+(* --- ad-hoc update transactions --- *)
+
+let gr s k = Granule.make ~segment:s ~key:k
+
+let mk_sched ?log () =
+  let clock = Time.Clock.create () in
+  let store = Store.create ~segments:3 ~init:(fun _ -> 0) in
+  (Scheduler.create ?log ~partition:Fixtures.inventory ~clock ~store (), store)
+
+let ok = function
+  | Outcome.Granted v -> v
+  | Outcome.Blocked _ -> Alcotest.fail "unexpected block"
+  | Outcome.Rejected why -> Alcotest.fail ("unexpected rejection: " ^ why)
+
+let test_adhoc_basic () =
+  let log = Sched_log.create () in
+  let s, _ = mk_sched ~log () in
+  (* an ad-hoc transaction that writes both the events and the orders
+     segments — impossible for any declared class *)
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 0; 2 ] ~reads:[ 1 ] in
+  ok (Scheduler.write s a (gr 2 0) 5);
+  checki "reads the inventory" 0 (ok (Scheduler.read s a (gr 1 0)));
+  ok (Scheduler.write s a (gr 0 0) 1);
+  Scheduler.commit s a;
+  let t = Scheduler.begin_update s ~class_id:1 in
+  checki "committed adhoc write visible" 5 (ok (Scheduler.read s t (gr 2 0)));
+  Scheduler.commit s t;
+  checkb "serializable" true (Certifier.serializable log)
+
+let test_adhoc_validation () =
+  let s, _ = mk_sched () in
+  checkb "empty writes rejected" true
+    (try
+       ignore (Scheduler.begin_adhoc_update s ~writes:[] ~reads:[ 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "segment range" true
+    (try
+       ignore (Scheduler.begin_adhoc_update s ~writes:[ 9 ] ~reads:[]);
+       false
+     with Invalid_argument _ -> true);
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 0 ] ~reads:[ 1 ] in
+  (match Scheduler.read s a (gr 2 0) with
+  | Outcome.Rejected _ -> ()
+  | _ -> Alcotest.fail "undeclared read must be rejected");
+  (match Scheduler.write s a (gr 1 0) 1 with
+  | Outcome.Rejected _ -> ()
+  | _ -> Alcotest.fail "undeclared write must be rejected");
+  Scheduler.abort s a
+
+let test_adhoc_barrier_rejects_window_timestamps () =
+  (* an update transaction whose timestamp falls inside the ad-hoc
+     window must not execute: it restarts with a later timestamp *)
+  let s, _ = mk_sched () in
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 2 ] ~reads:[] in
+  ok (Scheduler.write s a (gr 2 0) 42);
+  let t = Scheduler.begin_update s ~class_id:0 in
+  (match Scheduler.read s t (gr 2 0) with
+  | Outcome.Rejected _ -> ()
+  | _ -> Alcotest.fail "in-window timestamp must be rejected");
+  Scheduler.abort s t;
+  Scheduler.commit s a;
+  (* a transaction begun before the window is untouched by the barrier *)
+  let t2 = Scheduler.begin_update s ~class_id:0 in
+  checki "post-window reader sees the ad-hoc write" 42
+    (ok (Scheduler.read s t2 (gr 2 0)));
+  Scheduler.commit s t2
+
+let test_adhoc_older_transactions_unaffected () =
+  let s, _ = mk_sched () in
+  (* begun BEFORE the ad-hoc: its timestamp is outside the window *)
+  let t = Scheduler.begin_update s ~class_id:0 in
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 2 ] ~reads:[] in
+  ok (Scheduler.write s a (gr 2 0) 42);
+  checki "older reader proceeds and misses the ad-hoc write" 0
+    (ok (Scheduler.read s t (gr 2 0)));
+  Scheduler.commit s a;
+  checki "still its own snapshot" 0 (ok (Scheduler.read s t (gr 2 0)));
+  Scheduler.commit s t
+
+let test_adhoc_read_only_unaffected () =
+  let s, _ = mk_sched () in
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 2 ] ~reads:[] in
+  ok (Scheduler.write s a (gr 2 0) 42);
+  (* a read-only transaction inside the window still runs: its wall
+     thresholds exclude the ad-hoc consistently in every segment *)
+  let ro = Scheduler.begin_read_only s in
+  checki "wall snapshot excludes the pending ad-hoc" 0
+    (ok (Scheduler.read s ro (gr 2 0)));
+  Scheduler.commit s ro;
+  Scheduler.commit s a
+
+let test_adhoc_registers_reads () =
+  let s, _ = mk_sched () in
+  let a = Scheduler.begin_adhoc_update s ~writes:[ 0 ] ~reads:[ 2 ] in
+  ignore (ok (Scheduler.read s a (gr 2 0)));
+  Scheduler.commit s a;
+  checki "adhoc reads register" 1
+    (Scheduler.metrics s).Scheduler.read_registrations
+
+let prop_adhoc_mixed_serializable =
+  QCheck2.Test.make
+    ~name:"adhoc: random mixes of classed and ad-hoc transactions certify"
+    ~count:40
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let log = Sched_log.create () in
+      let clock = Time.Clock.create () in
+      let store = Store.create ~segments:3 ~init:(fun _ -> 0) in
+      let s =
+        Scheduler.create ~log ~partition:Fixtures.inventory ~clock ~store ()
+      in
+      let active = ref [] in
+      let steps = 120 in
+      for _ = 1 to steps do
+        match Prng.int rng 5 with
+        | 0 ->
+          (* begin a transaction: mostly classed, sometimes ad-hoc *)
+          let txn =
+            if Prng.int rng 4 = 0 then
+              Scheduler.begin_adhoc_update s
+                ~writes:[ Prng.int rng 3 ]
+                ~reads:[ Prng.int rng 3 ]
+            else Scheduler.begin_update s ~class_id:(Prng.int rng 3)
+          in
+          active := txn :: !active
+        | 1 | 2 when !active <> [] ->
+          (* an operation by a random active transaction; outcome ignored:
+             blocked operations simply do nothing, rejected ones abort *)
+          let txn = Prng.pick rng (Array.of_list !active) in
+          let g = gr (Prng.int rng 3) (Prng.int rng 4) in
+          (match
+             if Prng.bool rng then
+               match Scheduler.read s txn g with
+               | Outcome.Granted _ -> `Ok
+               | Outcome.Blocked _ -> `Ok
+               | Outcome.Rejected _ -> `Dead
+             else
+               match Scheduler.write s txn g (Prng.int rng 100) with
+               | Outcome.Granted _ -> `Ok
+               | Outcome.Blocked _ -> `Ok
+               | Outcome.Rejected _ -> `Dead
+           with
+          | `Ok -> ()
+          | `Dead ->
+            Scheduler.abort s txn;
+            active := List.filter (fun t -> t != txn) !active)
+        | 3 when !active <> [] ->
+          let txn = Prng.pick rng (Array.of_list !active) in
+          Scheduler.commit s txn;
+          active := List.filter (fun t -> t != txn) !active
+        | _ -> ()
+      done;
+      List.iter (fun txn -> Scheduler.commit s txn) !active;
+      Certifier.serializable log)
+
+(* --- garbage collection --- *)
+
+let test_gc_drops_and_preserves () =
+  let log = Sched_log.create () in
+  let s, store = mk_sched ~log () in
+  (* write the same event granule many times *)
+  for i = 1 to 20 do
+    let t = Scheduler.begin_update s ~class_id:2 in
+    ignore (Scheduler.write s t (gr 2 0) i);
+    Scheduler.commit s t
+  done;
+  let before = Store.version_count store in
+  checkb "versions accumulated" true (before >= 20);
+  let dropped = Scheduler.collect_garbage s in
+  checkb "something collected" true (dropped > 10);
+  (* correctness after collection *)
+  let t = Scheduler.begin_update s ~class_id:0 in
+  checki "latest value still served" 20 (ok (Scheduler.read s t (gr 2 0)));
+  Scheduler.commit s t;
+  checkb "still serializable" true (Certifier.serializable log)
+
+let test_gc_respects_active_readers () =
+  let s, store = mk_sched () in
+  (* a long-running class-0 transaction pins its activity-link snapshot *)
+  let pinned = Scheduler.begin_update s ~class_id:0 in
+  let seen_before = ok (Scheduler.read s pinned (gr 2 0)) in
+  for i = 1 to 10 do
+    let t = Scheduler.begin_update s ~class_id:2 in
+    ignore (Scheduler.write s t (gr 2 0) i);
+    Scheduler.commit s t
+  done;
+  ignore (Scheduler.collect_garbage s);
+  (* the pinned transaction must still read its snapshot *)
+  checki "snapshot survives collection" seen_before
+    (ok (Scheduler.read s pinned (gr 2 0)));
+  Scheduler.commit s pinned;
+  ignore store
+
+let test_auto_gc_bounds_versions () =
+  let clock = Time.Clock.create () in
+  let store = Store.create ~segments:3 ~init:(fun _ -> 0) in
+  let s =
+    Scheduler.create ~gc_every_commits:8 ~partition:Fixtures.inventory ~clock
+      ~store ()
+  in
+  for i = 1 to 200 do
+    let t = Scheduler.begin_update s ~class_id:2 in
+    ignore (Scheduler.write s t (gr 2 (i mod 4)) i);
+    Scheduler.commit s t
+  done;
+  (* 200 writes over 4 granules: without collection that is ~204 versions *)
+  checkb "auto-GC keeps the version count bounded" true
+    (Store.version_count store < 40);
+  let t = Scheduler.begin_update s ~class_id:0 in
+  checkb "latest values still served" true
+    (ok (Scheduler.read s t (gr 2 0)) > 0);
+  Scheduler.commit s t
+
+let test_gc_watermark_monotone_enough () =
+  let s, _ = mk_sched () in
+  let w0 = Scheduler.gc_watermark s in
+  let t = Scheduler.begin_update s ~class_id:2 in
+  ignore (Scheduler.write s t (gr 2 0) 1);
+  Scheduler.commit s t;
+  let w1 = Scheduler.gc_watermark s in
+  checkb "watermark does not regress on idle commit" true (w1 >= w0)
+
+let suite =
+  [ Alcotest.test_case "legalize: legal spec untouched" `Quick test_legal_spec_untouched;
+    Alcotest.test_case "legalize: diamond" `Quick test_legalize_diamond;
+    Alcotest.test_case "legalize: cycle collapses" `Quick test_legalize_cycle;
+    Alcotest.test_case "legalize: multi-write types" `Quick test_legalize_multi_write;
+    QCheck_alcotest.to_alcotest prop_legalize_random;
+    Alcotest.test_case "decompose: inventory-like trace" `Quick test_decompose_inventory_like;
+    Alcotest.test_case "decompose: co-written items cluster" `Quick test_decompose_co_written_items;
+    Alcotest.test_case "decompose: validation" `Quick test_decompose_validation;
+    QCheck_alcotest.to_alcotest prop_decompose_random;
+    Alcotest.test_case "adhoc: basic multi-segment update" `Quick test_adhoc_basic;
+    Alcotest.test_case "adhoc: validation" `Quick test_adhoc_validation;
+    Alcotest.test_case "adhoc: barrier rejects window timestamps" `Quick test_adhoc_barrier_rejects_window_timestamps;
+    Alcotest.test_case "adhoc: older transactions unaffected" `Quick test_adhoc_older_transactions_unaffected;
+    Alcotest.test_case "adhoc: read-only unaffected" `Quick test_adhoc_read_only_unaffected;
+    Alcotest.test_case "adhoc: reads register" `Quick test_adhoc_registers_reads;
+    QCheck_alcotest.to_alcotest prop_adhoc_mixed_serializable;
+    Alcotest.test_case "gc: drops and preserves" `Quick test_gc_drops_and_preserves;
+    Alcotest.test_case "gc: respects active readers" `Quick test_gc_respects_active_readers;
+    Alcotest.test_case "gc: auto-collection bounds versions" `Quick test_auto_gc_bounds_versions;
+    Alcotest.test_case "gc: watermark sanity" `Quick test_gc_watermark_monotone_enough ]

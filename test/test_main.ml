@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "hdd"
+    [ ("util", Test_util.suite);
+      ("digraph", Test_digraph.suite);
+      ("txn", Test_txn.suite);
+      ("mvstore", Test_mvstore.suite);
+      ("partition", Test_partition.suite);
+      ("activity", Test_activity.suite);
+      ("certifier", Test_certifier.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("baselines", Test_baselines.suite);
+      ("sim", Test_sim.suite);
+      ("extensions", Test_extensions.suite);
+      ("storage", Test_storage.suite) ]

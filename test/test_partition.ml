@@ -1,0 +1,190 @@
+(* Tests for Spec and Partition: DHG construction, TST-hierarchy
+   validation (§3.2), classification, critical paths and UCPs. *)
+
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+module G = Hdd_graph.Digraph
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_path = Alcotest.check (Alcotest.option (Alcotest.list Alcotest.int))
+
+(* the paper's inventory decomposition: D0 reorders, D1 inventory, D2 events *)
+let inventory_spec =
+  Spec.make
+    ~segments:[ "reorders"; "inventory"; "events" ]
+    ~types:
+      [ Spec.txn_type ~name:"t1" ~writes:[ 2 ] ~reads:[];
+        Spec.txn_type ~name:"t2" ~writes:[ 1 ] ~reads:[ 1; 2 ];
+        Spec.txn_type ~name:"t3" ~writes:[ 0 ] ~reads:[ 0; 1; 2 ] ]
+
+let test_spec_accessors () =
+  checki "segments" 3 (Spec.segment_count inventory_spec);
+  Alcotest.check Alcotest.string "name" "inventory"
+    (Spec.segment_name inventory_spec 1);
+  checki "index lookup" 2 (Spec.segment_index inventory_spec "events");
+  Alcotest.check_raises "unknown name" Not_found (fun () ->
+      ignore (Spec.segment_index inventory_spec "nope"));
+  let t3 = inventory_spec.Spec.types.(2) in
+  Alcotest.check (Alcotest.list Alcotest.int) "access set" [ 0; 1; 2 ]
+    (Spec.access_set t3);
+  checki "types writing D1" 1 (List.length (Spec.types_writing inventory_spec 1))
+
+let test_spec_validation () =
+  Alcotest.check_raises "empty segments"
+    (Invalid_argument "Spec.make: no segments") (fun () ->
+      ignore (Spec.make ~segments:[] ~types:[]));
+  Alcotest.check_raises "duplicate segment"
+    (Invalid_argument "Spec.make: duplicate segment \"a\"") (fun () ->
+      ignore (Spec.make ~segments:[ "a"; "a" ] ~types:[]));
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Spec.make: type \"x\" references segment 9 (of 1)")
+    (fun () ->
+      ignore
+        (Spec.make ~segments:[ "a" ]
+           ~types:[ Spec.txn_type ~name:"x" ~writes:[ 9 ] ~reads:[] ]));
+  Alcotest.check_raises "writeless type"
+    (Invalid_argument "Spec.make: type \"x\" writes no segment") (fun () ->
+      ignore
+        (Spec.make ~segments:[ "a" ]
+           ~types:[ Spec.txn_type ~name:"x" ~writes:[] ~reads:[ 0 ] ]))
+
+let test_dhg_construction () =
+  let dhg = Partition.dhg_of_spec inventory_spec in
+  (* t2: 1 -> 2; t3: 0 -> 1 and 0 -> 2; reads of the own segment add no arc *)
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "arcs" [ (0, 1); (0, 2); (1, 2) ] (G.arcs dhg);
+  checki "all segments present" 3 (G.node_count dhg)
+
+let test_build_accepts_inventory () =
+  match Partition.build inventory_spec with
+  | Ok p ->
+    checki "segment count" 3 (Partition.segment_count p);
+    Alcotest.check
+      (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+      "critical arcs drop the transitive 0->2" [ (0, 1); (1, 2) ]
+      (G.arcs p.Partition.reduction)
+  | Error e -> Alcotest.fail (Partition.error_to_string e)
+
+let test_build_rejects_multi_write () =
+  let spec =
+    Spec.make ~segments:[ "a"; "b" ]
+      ~types:[ Spec.txn_type ~name:"bad" ~writes:[ 0; 1 ] ~reads:[] ]
+  in
+  match Partition.build spec with
+  | Error (Partition.Multiple_write_segments ("bad", [ 0; 1 ])) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Partition.error_to_string e)
+  | Ok _ -> Alcotest.fail "multi-write accepted"
+
+let test_build_rejects_cycle () =
+  (* class 0 writes a and reads b; class 1 writes b and reads a *)
+  let spec =
+    Spec.make ~segments:[ "a"; "b" ]
+      ~types:
+        [ Spec.txn_type ~name:"x" ~writes:[ 0 ] ~reads:[ 1 ];
+          Spec.txn_type ~name:"y" ~writes:[ 1 ] ~reads:[ 0 ] ]
+  in
+  match Partition.build spec with
+  | Error (Partition.Cyclic _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Partition.error_to_string e)
+  | Ok _ -> Alcotest.fail "cycle accepted"
+
+let test_build_rejects_diamond () =
+  (* two undirected paths: 0 -> 1 -> 3 and 0 -> 2 -> 3 *)
+  let spec =
+    Spec.make ~segments:[ "bottom"; "l"; "r"; "top" ]
+      ~types:
+        [ Spec.txn_type ~name:"l" ~writes:[ 1 ] ~reads:[ 3 ];
+          Spec.txn_type ~name:"r" ~writes:[ 2 ] ~reads:[ 3 ];
+          Spec.txn_type ~name:"b" ~writes:[ 0 ] ~reads:[ 1; 2 ] ]
+  in
+  match Partition.build spec with
+  | Error (Partition.Not_semi_tree _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Partition.error_to_string e)
+  | Ok _ -> Alcotest.fail "diamond accepted"
+
+let test_build_exn () =
+  checkb "ok case" true (Partition.build_exn inventory_spec |> fun _ -> true);
+  checkb "error case raises" true
+    (try
+       ignore
+         (Partition.build_exn
+            (Spec.make ~segments:[ "a"; "b" ]
+               ~types:[ Spec.txn_type ~name:"bad" ~writes:[ 0; 1 ] ~reads:[] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let inv = Partition.build_exn inventory_spec
+
+let test_critical_path () =
+  check_path "CP 0 to 2" (Some [ 0; 1; 2 ]) (Partition.critical_path inv 0 2);
+  check_path "CP to itself" (Some [ 1 ]) (Partition.critical_path inv 1 1);
+  check_path "no downward CP" None (Partition.critical_path inv 2 0)
+
+let test_higher_than () =
+  checkb "events higher than reorders" true (Partition.higher_than inv 2 0);
+  checkb "inventory higher than reorders" true (Partition.higher_than inv 1 0);
+  checkb "not reflexive" false (Partition.higher_than inv 1 1);
+  checkb "not symmetric" false (Partition.higher_than inv 0 2)
+
+let test_on_one_critical_path () =
+  checkb "0 and 2" true (Partition.on_one_critical_path inv 0 2);
+  checkb "2 and 0" true (Partition.on_one_critical_path inv 2 0);
+  checkb "same class" true (Partition.on_one_critical_path inv 1 1)
+
+let test_ucp () =
+  check_path "ucp 0 to 2" (Some [ 0; 1; 2 ]) (Partition.ucp inv 0 2);
+  check_path "ucp 2 to 0 reverses" (Some [ 2; 1; 0 ]) (Partition.ucp inv 2 0)
+
+let test_lowest_classes () =
+  Alcotest.check (Alcotest.list Alcotest.int) "reorders is lowest" [ 0 ]
+    (Partition.lowest_classes inv)
+
+let test_may_read () =
+  checkb "own segment" true (Partition.may_read inv ~class_id:1 ~segment:1);
+  checkb "higher segment" true (Partition.may_read inv ~class_id:0 ~segment:2);
+  checkb "lower segment forbidden" false
+    (Partition.may_read inv ~class_id:2 ~segment:0)
+
+let test_branching_hierarchy () =
+  (* a semi-tree that is not a chain: two classes below one base *)
+  let spec =
+    Spec.make ~segments:[ "left"; "right"; "base" ]
+      ~types:
+        [ Spec.txn_type ~name:"feed" ~writes:[ 2 ] ~reads:[];
+          Spec.txn_type ~name:"l" ~writes:[ 0 ] ~reads:[ 2 ];
+          Spec.txn_type ~name:"r" ~writes:[ 1 ] ~reads:[ 2 ] ]
+  in
+  let p = Partition.build_exn spec in
+  checkb "siblings not on one CP" false (Partition.on_one_critical_path p 0 1);
+  check_path "ucp crosses the base" (Some [ 0; 2; 1 ]) (Partition.ucp p 0 1);
+  Alcotest.check (Alcotest.list Alcotest.int) "two lowest classes" [ 0; 1 ]
+    (Partition.lowest_classes p)
+
+let test_class_of_type () =
+  checki "t3 rooted in D0" 0
+    (Partition.class_of_type inv inventory_spec.Spec.types.(2))
+
+let test_to_dot () =
+  let dot = Partition.to_dot inv in
+  checkb "nonempty dot" true (String.length dot > 20)
+
+let suite =
+  [ Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "DHG construction" `Quick test_dhg_construction;
+    Alcotest.test_case "accepts the inventory partition" `Quick test_build_accepts_inventory;
+    Alcotest.test_case "rejects multi-write types" `Quick test_build_rejects_multi_write;
+    Alcotest.test_case "rejects cyclic DHGs" `Quick test_build_rejects_cycle;
+    Alcotest.test_case "rejects non-semi-tree DHGs" `Quick test_build_rejects_diamond;
+    Alcotest.test_case "build_exn" `Quick test_build_exn;
+    Alcotest.test_case "critical paths" `Quick test_critical_path;
+    Alcotest.test_case "higher-than" `Quick test_higher_than;
+    Alcotest.test_case "on one critical path" `Quick test_on_one_critical_path;
+    Alcotest.test_case "undirected critical paths" `Quick test_ucp;
+    Alcotest.test_case "lowest classes" `Quick test_lowest_classes;
+    Alcotest.test_case "declared access control" `Quick test_may_read;
+    Alcotest.test_case "branching hierarchy" `Quick test_branching_hierarchy;
+    Alcotest.test_case "class of type" `Quick test_class_of_type;
+    Alcotest.test_case "dot export" `Quick test_to_dot ]

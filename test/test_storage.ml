@@ -1,0 +1,377 @@
+(* Tests for the durability substrate: codec roundtrips, WAL recovery
+   with torn and corrupt tails, and end-to-end crash/recover/resume of a
+   durable HDD database. *)
+
+module Codec = Hdd_storage.Codec
+module Wal = Hdd_storage.Wal
+module Durable = Hdd_storage.Durable
+module Scheduler = Hdd_core.Scheduler
+module Outcome = Hdd_core.Outcome
+module Store = Hdd_mvstore.Store
+module Prng = Hdd_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let fresh name =
+  let path = tmp name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let gr s k = Granule.make ~segment:s ~key:k
+
+let ok = function
+  | Outcome.Granted v -> v
+  | Outcome.Blocked _ -> Alcotest.fail "unexpected block"
+  | Outcome.Rejected why -> Alcotest.fail ("unexpected rejection: " ^ why)
+
+(* --- codec --- *)
+
+let sample_records =
+  [ Codec.Begin { txn = 7; class_id = 2; init = 13 };
+    Codec.Write { txn = 7; granule = gr 2 5; ts = 13; value = 42 };
+    Codec.Write { txn = 7; granule = gr 0 0; ts = 13; value = -1 };
+    Codec.Commit { txn = 7; at = 15 };
+    Codec.Abort { txn = 9; at = 20 } ]
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun r ->
+      let frame = Codec.encode r in
+      match Codec.decode frame ~pos:0 with
+      | Ok (r', next) ->
+        checkb "roundtrip" true (Codec.equal_record r r');
+        checki "consumed whole frame" (Bytes.length frame) next
+      | Error _ -> Alcotest.fail "decode failed")
+    sample_records
+
+let test_codec_truncation () =
+  let frame = Codec.encode (List.hd sample_records) in
+  for cut = 0 to Bytes.length frame - 1 do
+    match Codec.decode (Bytes.sub frame 0 cut) ~pos:0 with
+    | Error `Truncated -> ()
+    | Error `Corrupt -> Alcotest.fail "truncation misread as corruption"
+    | Ok _ -> Alcotest.fail "decoded a truncated frame"
+  done
+
+let test_codec_corruption () =
+  let frame = Codec.encode (List.nth sample_records 1) in
+  (* flip one payload byte *)
+  let bad = Bytes.copy frame in
+  Bytes.set_uint8 bad 12 (Bytes.get_uint8 bad 12 lxor 0xff);
+  match Codec.decode bad ~pos:0 with
+  | Error `Corrupt -> ()
+  | _ -> Alcotest.fail "corruption undetected"
+
+let prop_codec_random =
+  QCheck2.Test.make ~name:"codec: random records roundtrip" ~count:300
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let r =
+        match Prng.int rng 4 with
+        | 0 ->
+          Codec.Begin
+            { txn = Prng.int rng 10000; class_id = Prng.int rng 8;
+              init = Prng.int rng 100000 }
+        | 1 ->
+          Codec.Write
+            { txn = Prng.int rng 10000;
+              granule = gr (Prng.int rng 8) (Prng.int rng 1000);
+              ts = Prng.int rng 100000;
+              value = Prng.int rng 1000000 - 500000 }
+        | 2 -> Codec.Commit { txn = Prng.int rng 10000; at = Prng.int rng 100000 }
+        | _ -> Codec.Abort { txn = Prng.int rng 10000; at = Prng.int rng 100000 }
+      in
+      match Codec.decode (Codec.encode r) ~pos:0 with
+      | Ok (r', _) -> Codec.equal_record r r'
+      | Error _ -> false)
+
+(* --- WAL --- *)
+
+let test_wal_roundtrip () =
+  let path = fresh "hdd_wal_roundtrip.log" in
+  let wal = Wal.create ~path in
+  List.iter (Wal.append wal) sample_records;
+  checki "appended" 5 (Wal.appended wal);
+  Wal.sync wal;
+  Wal.close wal;
+  let { Wal.records; complete; _ } = Wal.read_all ~path in
+  checkb "complete" true complete;
+  checki "all back" 5 (List.length records);
+  List.iter2
+    (fun a b -> checkb "in order" true (Codec.equal_record a b))
+    sample_records records
+
+let test_wal_torn_tail () =
+  let path = fresh "hdd_wal_torn.log" in
+  let wal = Wal.create ~path in
+  List.iter (Wal.append wal) sample_records;
+  Wal.close wal;
+  (* tear the last 3 bytes off, as a crash mid-append would *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - 3)));
+  let { Wal.records; complete; _ } = Wal.read_all ~path in
+  checkb "tail dropped" false complete;
+  checki "intact prefix survives" 4 (List.length records)
+
+let test_wal_append_across_sessions () =
+  let path = fresh "hdd_wal_sessions.log" in
+  let w1 = Wal.create ~path in
+  Wal.append w1 (List.hd sample_records);
+  Wal.close w1;
+  let w2 = Wal.create ~path in
+  Wal.append w2 (List.nth sample_records 3);
+  Wal.close w2;
+  let { Wal.records; complete; _ } = Wal.read_all ~path in
+  checkb "complete" true complete;
+  checki "both sessions present" 2 (List.length records)
+
+(* --- durable database end to end --- *)
+
+let partition = Fixtures.inventory
+
+let test_durable_crash_recovery () =
+  let path = fresh "hdd_durable_crash.log" in
+  let db = Durable.create ~sync_on_commit:true ~path ~partition () in
+  (* committed work *)
+  let t1 = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t1 (gr 2 0) 11);
+  ok (Durable.write db t1 (gr 2 1) 22);
+  Durable.commit db t1;
+  let t2 = Durable.begin_update db ~class_id:1 in
+  let base = ok (Durable.read db t2 (gr 2 0)) in
+  ok (Durable.write db t2 (gr 1 0) (base * 2));
+  Durable.commit db t2;
+  (* an aborted transaction *)
+  let t3 = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t3 (gr 2 0) 999);
+  Durable.abort db t3;
+  (* an in-flight transaction lost to the crash *)
+  let t4 = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t4 (gr 2 1) 777);
+  Durable.close db (* crash: t4 never committed *);
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "log intact" true r.Durable.log_intact;
+  checki "two commits recovered" 2 r.Durable.committed;
+  checki "one abort recovered" 1 r.Durable.aborted;
+  checki "t4 lost" 1 r.Durable.lost_uncommitted;
+  (* recovered state: committed values visible, aborted/lost invisible *)
+  let read_latest g =
+    match
+      Store.committed_before r.Durable.store g ~ts:(r.Durable.last_time + 1)
+    with
+    | Some v -> v.Hdd_mvstore.Chain.value
+    | None -> Alcotest.fail "missing recovered version"
+  in
+  checki "t1's first write" 11 (read_latest (gr 2 0));
+  checki "t1's second write" 22 (read_latest (gr 2 1));
+  checki "t2's derived value" 22 (read_latest (gr 1 0));
+  (* resume and keep working *)
+  let db2 = Durable.of_recovery ~path ~partition r in
+  let t5 = Durable.begin_update db2 ~class_id:0 in
+  checki "resumed reads see recovered data" 22
+    (ok (Durable.read db2 t5 (gr 2 1)));
+  ok (Durable.write db2 t5 (gr 0 0) 5);
+  Durable.commit db2 t5;
+  Durable.close db2;
+  let r2 = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checki "post-resume commit recovered too" 3 r2.Durable.committed
+
+let test_durable_torn_commit_loses_transaction () =
+  let path = fresh "hdd_durable_torn.log" in
+  let db = Durable.create ~path ~partition () in
+  let t1 = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t1 (gr 2 0) 1);
+  Durable.commit db t1;
+  let t2 = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t2 (gr 2 0) 2);
+  Durable.commit db t2;
+  Durable.close db;
+  (* tear into t2's commit record *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - 5)));
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "tear detected" false r.Durable.log_intact;
+  checki "only t1 committed" 1 r.Durable.committed;
+  (match
+     Store.committed_before r.Durable.store (gr 2 0)
+       ~ts:(r.Durable.last_time + 1)
+   with
+  | Some v -> checki "t1's value stands" 1 v.Hdd_mvstore.Chain.value
+  | None -> Alcotest.fail "t1 lost")
+
+let test_durable_rewrite_same_granule () =
+  let path = fresh "hdd_durable_rewrite.log" in
+  let db = Durable.create ~path ~partition () in
+  let t = Durable.begin_update db ~class_id:2 in
+  ok (Durable.write db t (gr 2 0) 1);
+  ok (Durable.write db t (gr 2 0) 2);
+  Durable.commit db t;
+  Durable.close db;
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  match
+    Store.committed_before r.Durable.store (gr 2 0)
+      ~ts:(r.Durable.last_time + 1)
+  with
+  | Some v -> checki "last write wins after recovery" 2 v.Hdd_mvstore.Chain.value
+  | None -> Alcotest.fail "version lost"
+
+let prop_durable_random_recovery =
+  QCheck2.Test.make
+    ~name:"durable: recovery agrees with the in-memory committed state"
+    ~count:25
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let path = fresh (Printf.sprintf "hdd_durable_rand_%d.log" seed) in
+      let db = Durable.create ~path ~partition () in
+      let expected : (Granule.t, int) Hashtbl.t = Hashtbl.create 16 in
+      for _ = 1 to 40 do
+        let cls = Prng.int rng 3 in
+        let t = Durable.begin_update db ~class_id:cls in
+        let writes =
+          List.init
+            (1 + Prng.int rng 2)
+            (fun _ -> (gr cls (Prng.int rng 3), Prng.int rng 1000))
+        in
+        let granted =
+          List.filter_map
+            (fun (g, v) ->
+              match Durable.write db t g v with
+              | Outcome.Granted () -> Some (g, v)
+              | _ -> None)
+            writes
+        in
+        if Prng.int rng 10 < 8 && granted <> [] then begin
+          Durable.commit db t;
+          List.iter (fun (g, v) -> Hashtbl.replace expected g v) granted
+        end
+        else Durable.abort db t
+      done;
+      Durable.close db;
+      let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+      Hashtbl.fold
+        (fun g v acc ->
+          acc
+          &&
+          match
+            Store.committed_before r.Durable.store g
+              ~ts:(r.Durable.last_time + 1)
+          with
+          | Some version -> version.Hdd_mvstore.Chain.value = v
+          | None -> false)
+        expected true)
+
+let test_checkpoint_compacts_and_preserves () =
+  let path = fresh "hdd_durable_ckpt.log" in
+  let db = Durable.create ~path ~partition () in
+  (* many overwrites of few granules: the log grows, the state does not *)
+  for i = 1 to 50 do
+    let t = Durable.begin_update db ~class_id:2 in
+    ok (Durable.write db t (gr 2 (i mod 3)) i);
+    Durable.commit db t
+  done;
+  let size_before = (Unix.stat path).Unix.st_size in
+  checki "nothing in flight" 0 (Durable.in_flight db);
+  Durable.checkpoint db;
+  let size_after = (Unix.stat path).Unix.st_size in
+  checkb "log shrank considerably" true (size_after * 4 < size_before);
+  (* the database keeps working and appending after the swap *)
+  let t = Durable.begin_update db ~class_id:1 in
+  let latest = ok (Durable.read db t (gr 2 2)) in
+  ok (Durable.write db t (gr 1 0) latest);
+  Durable.commit db t;
+  Durable.close db;
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "intact" true r.Durable.log_intact;
+  let read_latest g =
+    match
+      Store.committed_before r.Durable.store g ~ts:(r.Durable.last_time + 1)
+    with
+    | Some v -> v.Hdd_mvstore.Chain.value
+    | None -> Alcotest.fail "missing version"
+  in
+  checki "latest of granule 0" 48 (read_latest (gr 2 0));
+  checki "latest of granule 1" 49 (read_latest (gr 2 1));
+  checki "latest of granule 2" 50 (read_latest (gr 2 2));
+  checki "post-checkpoint commit present" 50 (read_latest (gr 1 0))
+
+let test_checkpoint_refuses_in_flight () =
+  let path = fresh "hdd_durable_ckpt_busy.log" in
+  let db = Durable.create ~path ~partition () in
+  let t = Durable.begin_update db ~class_id:2 in
+  checki "one in flight" 1 (Durable.in_flight db);
+  Alcotest.check_raises "refused"
+    (Failure "Durable.checkpoint: update transactions in flight") (fun () ->
+      Durable.checkpoint db);
+  Durable.abort db t;
+  Durable.checkpoint db;
+  Durable.close db
+
+let test_crash_point_fuzz () =
+  (* cut the log at EVERY byte boundary: recovery must never raise, never
+     resurrect an uncommitted write, and the committed count must be
+     monotone in the cut position *)
+  let path = fresh "hdd_durable_fuzz.log" in
+  let db = Durable.create ~path ~partition () in
+  for i = 1 to 6 do
+    let t = Durable.begin_update db ~class_id:2 in
+    ok (Durable.write db t (gr 2 (i mod 2)) i);
+    if i mod 3 = 0 then Durable.abort db t else Durable.commit db t
+  done;
+  Durable.close db;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let cut_path = fresh "hdd_durable_fuzz_cut.log" in
+  let last_committed = ref 0 in
+  for cut = 0 to String.length full do
+    Out_channel.with_open_bin cut_path (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 cut));
+    let r = Durable.recover ~path:cut_path ~segments:3 ~init:(fun _ -> 0) in
+    checkb "commits monotone in the prefix" true
+      (r.Durable.committed >= !last_committed);
+    last_committed := Int.max !last_committed r.Durable.committed
+  done;
+  checki "the full log recovers every commit" 4 !last_committed
+
+let test_durable_adhoc_logged () =
+  let path = fresh "hdd_durable_adhoc.log" in
+  let db = Durable.create ~path ~partition () in
+  let a = Durable.begin_adhoc_update db ~writes:[ 1; 2 ] ~reads:[] in
+  ok (Durable.write db a (gr 2 0) 7);
+  ok (Durable.write db a (gr 1 0) 8);
+  Durable.commit db a;
+  Durable.close db;
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  let read_latest g =
+    match
+      Store.committed_before r.Durable.store g ~ts:(r.Durable.last_time + 1)
+    with
+    | Some v -> v.Hdd_mvstore.Chain.value
+    | None -> Alcotest.fail "missing version"
+  in
+  checki "adhoc write to D2 recovered" 7 (read_latest (gr 2 0));
+  checki "adhoc write to D1 recovered" 8 (read_latest (gr 1 0))
+
+let suite =
+  [ Alcotest.test_case "codec: roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec: truncation" `Quick test_codec_truncation;
+    Alcotest.test_case "codec: corruption" `Quick test_codec_corruption;
+    QCheck_alcotest.to_alcotest prop_codec_random;
+    Alcotest.test_case "wal: roundtrip" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal: torn tail" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal: sessions append" `Quick test_wal_append_across_sessions;
+    Alcotest.test_case "durable: crash and recover" `Quick test_durable_crash_recovery;
+    Alcotest.test_case "durable: torn commit loses the txn" `Quick test_durable_torn_commit_loses_transaction;
+    Alcotest.test_case "durable: rewrite same granule" `Quick test_durable_rewrite_same_granule;
+    Alcotest.test_case "durable: checkpoint compacts" `Quick test_checkpoint_compacts_and_preserves;
+    Alcotest.test_case "durable: checkpoint refuses in-flight" `Quick test_checkpoint_refuses_in_flight;
+    Alcotest.test_case "durable: crash-point fuzz" `Quick test_crash_point_fuzz;
+    Alcotest.test_case "durable: ad-hoc transactions logged" `Quick test_durable_adhoc_logged;
+    QCheck_alcotest.to_alcotest prop_durable_random_recovery ]

@@ -1,0 +1,201 @@
+(* Tests for the transaction substrate: logical clock, records, the
+   activity registry's I_old / C_late queries, and the schedule log. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_clock_monotone () =
+  let c = Time.Clock.create () in
+  checki "starts at zero" 0 (Time.Clock.now c);
+  let a = Time.Clock.tick c in
+  let b = Time.Clock.tick c in
+  checkb "strictly increasing" true (b > a && a > 0);
+  checki "now tracks last tick" b (Time.Clock.now c)
+
+let test_granule () =
+  let g1 = Granule.make ~segment:1 ~key:5 in
+  let g2 = Granule.make ~segment:1 ~key:5 in
+  let g3 = Granule.make ~segment:2 ~key:5 in
+  checkb "equal" true (Granule.equal g1 g2);
+  checkb "not equal" false (Granule.equal g1 g3);
+  checkb "compare orders by segment first" true (Granule.compare g1 g3 < 0);
+  Alcotest.check Alcotest.string "printing" "D1/5" (Granule.to_string g1)
+
+let test_txn_lifecycle () =
+  let t = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:5 in
+  checkb "active" true (Txn.is_active t);
+  checkb "update" true (Txn.is_update t);
+  Alcotest.check (Alcotest.option Alcotest.int) "class" (Some 0) (Txn.class_of t);
+  Txn.commit t ~at:9;
+  checkb "committed" true (Txn.is_committed t);
+  Alcotest.check (Alcotest.option Alcotest.int) "end time" (Some 9) (Txn.end_time t);
+  Alcotest.check_raises "double commit rejected"
+    (Invalid_argument "Txn.commit: transaction 1 not active") (fun () ->
+      Txn.commit t ~at:10)
+
+let test_txn_commit_before_init_rejected () =
+  let t = Txn.make ~id:2 ~kind:(Txn.Update 0) ~init:5 in
+  Alcotest.check_raises "commit at init rejected"
+    (Invalid_argument "Txn.commit: end time 5 not after initiation 5")
+    (fun () -> Txn.commit t ~at:5)
+
+let test_active_at () =
+  let t = Txn.make ~id:3 ~kind:(Txn.Update 0) ~init:5 in
+  checkb "before init" false (Txn.active_at t 4);
+  checkb "at init (strict bound)" false (Txn.active_at t 5);
+  checkb "just after init" true (Txn.active_at t 6);
+  checkb "while open" true (Txn.active_at t 100);
+  Txn.commit t ~at:10;
+  checkb "before commit" true (Txn.active_at t 9);
+  checkb "at commit" false (Txn.active_at t 10)
+
+let test_read_only_txn () =
+  let t = Txn.make ~id:4 ~kind:Txn.Read_only ~init:3 in
+  checkb "not update" false (Txn.is_update t);
+  Alcotest.check (Alcotest.option Alcotest.int) "no class" None (Txn.class_of t)
+
+(* --- registry --- *)
+
+let mk_registry () = Registry.create ~classes:3
+
+let test_registry_register_validation () =
+  let r = mk_registry () in
+  Alcotest.check_raises "read-only rejected"
+    (Invalid_argument "Registry.register: read-only transaction") (fun () ->
+      Registry.register r (Txn.make ~id:1 ~kind:Txn.Read_only ~init:1));
+  Registry.register r (Txn.make ~id:2 ~kind:(Txn.Update 0) ~init:5);
+  Alcotest.check_raises "initiation must increase"
+    (Invalid_argument "Registry.register: initiation times must be increasing")
+    (fun () ->
+      Registry.register r (Txn.make ~id:3 ~kind:(Txn.Update 0) ~init:5))
+
+let test_i_old_empty () =
+  let r = mk_registry () in
+  checki "no transactions: identity" 42 (Registry.i_old r ~class_id:0 ~at:42)
+
+let test_i_old_basic () =
+  let r = mk_registry () in
+  let t1 = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:10 in
+  let t2 = Txn.make ~id:2 ~kind:(Txn.Update 0) ~init:20 in
+  Registry.register r t1;
+  Registry.register r t2;
+  (* both active at 25: oldest is t1 *)
+  checki "oldest active at 25" 10 (Registry.i_old r ~class_id:0 ~at:25);
+  (* before t1 started *)
+  checki "identity before any initiation" 5 (Registry.i_old r ~class_id:0 ~at:5);
+  Txn.commit t1 ~at:30;
+  checki "t1 still counted at 25 (historic)" 10 (Registry.i_old r ~class_id:0 ~at:25);
+  checki "after t1's commit the oldest is t2" 20
+    (Registry.i_old r ~class_id:0 ~at:35);
+  Txn.commit t2 ~at:40;
+  checki "all finished: identity" 50 (Registry.i_old r ~class_id:0 ~at:50)
+
+let test_i_old_ignores_other_classes () =
+  let r = mk_registry () in
+  Registry.register r (Txn.make ~id:1 ~kind:(Txn.Update 1) ~init:10);
+  checki "class 0 unaffected" 15 (Registry.i_old r ~class_id:0 ~at:15);
+  checki "class 1 sees it" 10 (Registry.i_old r ~class_id:1 ~at:15)
+
+let test_i_old_aborted () =
+  let r = mk_registry () in
+  let t = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:10 in
+  Registry.register r t;
+  Txn.abort t ~at:12;
+  checki "active until abort" 10 (Registry.i_old r ~class_id:0 ~at:11);
+  checki "gone after abort" 20 (Registry.i_old r ~class_id:0 ~at:20)
+
+let test_c_late_computable () =
+  let r = mk_registry () in
+  let t1 = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:10 in
+  Registry.register r t1;
+  (match Registry.c_late r ~class_id:0 ~at:15 with
+  | Error id -> checki "blocked by t1" 1 id
+  | Ok _ -> Alcotest.fail "should not be computable while t1 is active");
+  checkb "computable flag" false (Registry.c_late_computable r ~class_id:0 ~at:15);
+  Txn.commit t1 ~at:30;
+  (match Registry.c_late r ~class_id:0 ~at:15 with
+  | Ok v -> checki "latest commit spanning 15" 30 v
+  | Error _ -> Alcotest.fail "computable after commit")
+
+let test_c_late_no_spanning () =
+  let r = mk_registry () in
+  let t1 = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:10 in
+  Registry.register r t1;
+  Txn.commit t1 ~at:12;
+  (* nothing active at 20 *)
+  (match Registry.c_late r ~class_id:0 ~at:20 with
+  | Ok v -> checki "identity when idle" 20 v
+  | Error _ -> Alcotest.fail "computable");
+  (* aborted transactions contribute their abort instant as an end time *)
+  let t2 = Txn.make ~id:2 ~kind:(Txn.Update 0) ~init:30 in
+  Registry.register r t2;
+  Txn.abort t2 ~at:50;
+  match Registry.c_late r ~class_id:0 ~at:35 with
+  | Ok v -> checki "aborted window covered" 50 v
+  | Error _ -> Alcotest.fail "computable"
+
+let test_registry_active_count_and_prune () =
+  let r = mk_registry () in
+  let t1 = Txn.make ~id:1 ~kind:(Txn.Update 0) ~init:10 in
+  let t2 = Txn.make ~id:2 ~kind:(Txn.Update 0) ~init:20 in
+  Registry.register r t1;
+  Registry.register r t2;
+  checki "two active" 2 (Registry.active_count r ~class_id:0);
+  Txn.commit t1 ~at:25;
+  checki "one active" 1 (Registry.active_count r ~class_id:0);
+  checki "two retained" 2 (List.length (Registry.transactions r ~class_id:0));
+  Registry.prune r ~upto:25;
+  checki "t1 pruned" 1 (List.length (Registry.transactions r ~class_id:0));
+  (* t2 still active, never pruned *)
+  Txn.commit t2 ~at:30;
+  Registry.prune r ~upto:29;
+  checki "t2 kept: finished after watermark" 1
+    (List.length (Registry.transactions r ~class_id:0));
+  Registry.prune r ~upto:30;
+  checki "t2 pruned" 0 (List.length (Registry.transactions r ~class_id:0))
+
+let test_registry_growth () =
+  let r = mk_registry () in
+  for i = 1 to 100 do
+    Registry.register r (Txn.make ~id:i ~kind:(Txn.Update 2) ~init:i)
+  done;
+  checki "all retained" 100 (List.length (Registry.transactions r ~class_id:2));
+  checki "oldest active" 1 (Registry.i_old r ~class_id:2 ~at:100)
+
+(* --- schedule log --- *)
+
+let g0 = Granule.make ~segment:0 ~key:0
+
+let test_sched_log () =
+  let log = Sched_log.create () in
+  Sched_log.log_write log ~txn:1 ~granule:g0 ~version:5;
+  Sched_log.log_read log ~txn:2 ~granule:g0 ~version:5;
+  checki "two steps" 2 (Sched_log.length log);
+  (match Sched_log.steps log with
+  | [ w; r ] ->
+    checkb "write first" true (w.Sched_log.action = Sched_log.Write);
+    checkb "read second" true (r.Sched_log.action = Sched_log.Read);
+    checki "read version" 5 r.Sched_log.version
+  | _ -> Alcotest.fail "expected two steps");
+  Sched_log.drop_txn log 1;
+  (match Sched_log.steps log with
+  | [ r ] -> checki "only the read survives" 2 r.Sched_log.txn
+  | _ -> Alcotest.fail "expected one step after drop")
+
+let suite =
+  [ Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
+    Alcotest.test_case "granules" `Quick test_granule;
+    Alcotest.test_case "transaction lifecycle" `Quick test_txn_lifecycle;
+    Alcotest.test_case "commit-at-init rejected" `Quick test_txn_commit_before_init_rejected;
+    Alcotest.test_case "active_at" `Quick test_active_at;
+    Alcotest.test_case "read-only transactions" `Quick test_read_only_txn;
+    Alcotest.test_case "registry: validation" `Quick test_registry_register_validation;
+    Alcotest.test_case "registry: I_old on empty class" `Quick test_i_old_empty;
+    Alcotest.test_case "registry: I_old basic" `Quick test_i_old_basic;
+    Alcotest.test_case "registry: I_old per class" `Quick test_i_old_ignores_other_classes;
+    Alcotest.test_case "registry: I_old with aborts" `Quick test_i_old_aborted;
+    Alcotest.test_case "registry: C_late computability" `Quick test_c_late_computable;
+    Alcotest.test_case "registry: C_late idle and aborted" `Quick test_c_late_no_spanning;
+    Alcotest.test_case "registry: active count and prune" `Quick test_registry_active_count_and_prune;
+    Alcotest.test_case "registry: growth" `Quick test_registry_growth;
+    Alcotest.test_case "schedule log" `Quick test_sched_log ]
