@@ -172,11 +172,30 @@ let bechamel_tests () =
        Staged.stage (fun () ->
            EQ.push q ~time:1.0 0;
            EQ.pop q));
+    Test.make ~name:"sim: Retry.backoff (jittered exponential)"
+      (let rng = Hdd_util.Prng.create 7 in
+       Staged.stage (fun () ->
+           Hdd_sim.Retry.backoff Hdd_sim.Retry.default rng ~attempt:5));
+    Test.make ~name:"storage: fault-sink append (armed, no fault)"
+      (let path =
+         Filename.concat (Filename.get_temp_dir_name ()) "hdd_bench_sink.log"
+       in
+       let sink =
+         Hdd_storage.Fault.apply
+           (Hdd_storage.Fault.plan
+              [ Hdd_storage.Fault.Bit_flip { byte = max_int; bit = 0 } ])
+           (Hdd_storage.Fault.file_sink ~path ())
+       in
+       let frame =
+         Hdd_storage.Codec.encode
+           (Hdd_storage.Codec.Commit { txn = 1; at = 1 })
+       in
+       Staged.stage (fun () -> sink.Hdd_storage.Fault.append frame));
     Test.make ~name:"storage: WAL append (buffered)"
       (let path =
          Filename.concat (Filename.get_temp_dir_name ()) "hdd_bench.log"
        in
-       let wal = Hdd_storage.Wal.create ~path in
+       let wal = Hdd_storage.Wal.create ~path () in
        let record =
          Hdd_storage.Codec.Write
            { txn = 1; granule = T.Granule.make ~segment:0 ~key:0; ts = 1;
@@ -188,7 +207,7 @@ let bechamel_tests () =
          Filename.concat (Filename.get_temp_dir_name ()) "hdd_bench_rec.log"
        in
        (if Sys.file_exists path then Sys.remove path);
-       let wal = Hdd_storage.Wal.create ~path in
+       let wal = Hdd_storage.Wal.create ~path () in
        for i = 1 to 1000 do
          Hdd_storage.Wal.append wal
            (Hdd_storage.Codec.Begin { txn = i; class_id = 0; init = i });

@@ -269,8 +269,9 @@ let print_results results =
   let table =
     Table.create ~title:"simulation results"
       ~columns:
-        [ "protocol"; "commits"; "restarts"; "deadlocks"; "read regs";
-          "blocks"; "rejects"; "throughput"; "p95 resp" ]
+        [ "protocol"; "commits"; "restarts"; "deadlocks"; "gave up";
+          "backoff"; "read regs"; "blocks"; "rejects"; "throughput";
+          "p95 resp" ]
   in
   List.iter
     (fun (r : Runner.result) ->
@@ -279,6 +280,8 @@ let print_results results =
           string_of_int r.Runner.committed;
           string_of_int r.Runner.restarts;
           string_of_int r.Runner.deadlocks;
+          string_of_int r.Runner.gave_up;
+          Table.cell_float ~decimals:1 r.Runner.total_backoff;
           string_of_int r.Runner.counters.Controller.read_registrations;
           string_of_int r.Runner.counters.Controller.blocks;
           string_of_int r.Runner.counters.Controller.rejects;
@@ -354,6 +357,46 @@ live versions: %d
        ~doc:"Replay a write-ahead log and report the recovered state")
     Term.(const run $ file $ segments)
 
+let torture_cmd =
+  let seeds =
+    Arg.(value & opt int 50 & info [ "n"; "seeds" ] ~docv:"N"
+           ~doc:"Crash/recover cycles to run (one per seed).")
+  in
+  let first_seed =
+    Arg.(value & opt int 0 & info [ "first-seed" ] ~docv:"S"
+           ~doc:"Seed of the first cycle.")
+  in
+  let workload =
+    Arg.(value & opt string "inventory" & info [ "w"; "workload" ]
+           ~docv:"NAME" ~doc:"Workload whose partition to torture.")
+  in
+  let path =
+    Arg.(value & opt string "" & info [ "log" ] ~docv:"FILE"
+           ~doc:"Log file to hammer (default: a file under the system \
+                 temporary directory).")
+  in
+  let run seeds first_seed wname path =
+    let wl = workload_of_name wname in
+    let path =
+      if path <> "" then path
+      else
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "hdd_torture_%d.log" (Unix.getpid ()))
+    in
+    let report =
+      Hdd_storage.Torture.run ~first_seed
+        ~partition:wl.Workload.partition ~path ~seeds ()
+    in
+    Format.printf "%a@." Hdd_storage.Torture.pp_report report;
+    if report.Hdd_storage.Torture.violating <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Seeded crash/recover torture of the durable store: inject \
+             crashes, torn writes and corruption, then verify the \
+             recovery invariants")
+    Term.(const run $ seeds $ first_seed $ workload $ path)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -382,5 +425,5 @@ let () =
   let info = Cmd.info "hdd_cli" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
-                      simulate_cmd; compare_cmd; recover_cmd;
+                      simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
                       experiments_cmd ]))

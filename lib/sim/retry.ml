@@ -1,0 +1,35 @@
+module Prng = Hdd_util.Prng
+
+type policy = {
+  base : float;
+  multiplier : float;
+  cap : float;
+  jitter : float;
+  max_restarts : int;
+  livelock_window : int;
+}
+
+let default =
+  { base = 4.0; multiplier = 2.0; cap = 64.0; jitter = 0.5; max_restarts = 50;
+    livelock_window = 50_000 }
+
+let fixed d =
+  { base = d; multiplier = 1.0; cap = d; jitter = 0.0; max_restarts = 0;
+    livelock_window = 0 }
+
+let backoff p rng ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff: attempt must be >= 1";
+  let d =
+    Float.min p.cap (p.base *. (p.multiplier ** float_of_int (attempt - 1)))
+  in
+  if p.jitter > 0. then d +. Prng.float rng (p.jitter *. d) else d
+
+let exhausted p ~attempt = p.max_restarts > 0 && attempt >= p.max_restarts
+
+type monitor = { p : policy; mutable streak : int }
+
+let monitor p = { p; streak = 0 }
+let note_commit m = m.streak <- 0
+let note_restart m = m.streak <- m.streak + 1
+let consecutive_restarts m = m.streak
+let livelocked m = m.p.livelock_window > 0 && m.streak >= m.p.livelock_window

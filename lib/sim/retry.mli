@@ -1,0 +1,59 @@
+(** Bounded-restart policy for the simulator: how long an aborted
+    transaction backs off before re-running, when it gives up, and when
+    the whole system counts as livelocked.
+
+    The paper's controllers resolve conflicts by rejection, so the
+    restart discipline is part of the concurrency-control story:
+    immediate blind restart of a rejected transaction can livelock two
+    antagonists into rejecting each other forever, and a fixed backoff
+    merely slows the loop down.  The policy here is the classic
+    exponential backoff with jitter — deterministic given the caller's
+    {!Hdd_util.Prng} — plus a per-transaction restart cap (starvation
+    bound) and a system-wide livelock detector. *)
+
+type policy = {
+  base : float;  (** backoff before the first re-run, in virtual time *)
+  multiplier : float;  (** growth per consecutive restart of one txn *)
+  cap : float;  (** ceiling on the deterministic part of the backoff *)
+  jitter : float;
+      (** extra uniform delay in [0, jitter * backoff): decorrelates
+          antagonists that would otherwise re-collide in lockstep *)
+  max_restarts : int;
+      (** give up on a transaction after this many consecutive
+          restarts; 0 means never *)
+  livelock_window : int;
+      (** declare livelock after this many consecutive restarts
+          system-wide with no commit in between; 0 disables *)
+}
+
+val default : policy
+(** [base = 4.0] (the historical fixed backoff), [multiplier = 2.0],
+    [cap = 64.0], [jitter = 0.5], [max_restarts = 50],
+    [livelock_window = 50_000]. *)
+
+val fixed : float -> policy
+(** The legacy discipline: constant backoff, no jitter, no give-up, no
+    livelock detection.  [fixed d] restarts forever every [d]. *)
+
+val backoff : policy -> Hdd_util.Prng.t -> attempt:int -> float
+(** Delay before re-running a transaction restarted [attempt] times
+    ([attempt >= 1]): [min cap (base * multiplier^(attempt-1))] plus
+    the jitter draw.  @raise Invalid_argument if [attempt < 1]. *)
+
+val exhausted : policy -> attempt:int -> bool
+(** True when a transaction restarted [attempt] times should give up
+    rather than back off again. *)
+
+(** Mutable livelock/starvation monitor: feed it every commit and every
+    restart; it trips when [livelock_window] restarts accumulate with no
+    commit between them. *)
+type monitor
+
+val monitor : policy -> monitor
+val note_commit : monitor -> unit
+val note_restart : monitor -> unit
+
+val consecutive_restarts : monitor -> int
+(** Restarts since the last commit. *)
+
+val livelocked : monitor -> bool

@@ -7,13 +7,13 @@ type config = {
   target_commits : int;
   seed : int;
   op_cost : float;
-  restart_backoff : float;
+  retry : Retry.policy;
   max_events : int;
 }
 
 let default_config =
   { mpl = 8; target_commits = 2000; seed = 42; op_cost = 1.0;
-    restart_backoff = 4.0; max_events = 10_000_000 }
+    retry = Retry.default; max_events = 10_000_000 }
 
 type result = {
   controller : string;
@@ -21,6 +21,9 @@ type result = {
   committed : int;
   restarts : int;
   deadlocks : int;
+  gave_up : int;
+  total_backoff : float;
+  max_restart_streak : int;
   vtime : float;
   throughput : float;
   mean_response : float;
@@ -31,11 +34,13 @@ type result = {
 type worker = {
   wid : int;
   rng : Prng.t;
+  retry_rng : Prng.t;  (** backoff jitter, kept off the workload stream *)
   mutable txn : Txn.t option;
   mutable tpl : Workload.template option;
   mutable ops : Workload.op list;  (** remaining operations *)
   mutable all_ops : Workload.op list;  (** for restarts *)
   mutable first_begin : float;  (** response time includes restarts *)
+  mutable attempts : int;  (** consecutive restarts of the current txn *)
   mutable parked_on : Txn.id list;  (** empty when runnable *)
   mutable needs_restart : bool;
   mutable idle : bool;  (** open mode: waiting for an arrival *)
@@ -57,9 +62,10 @@ let run_impl ~mode config workload (c : Controller.t) =
   let arrival_rng = Prng.split base_rng in
   let workers =
     Array.init config.mpl (fun wid ->
-        { wid; rng = Prng.split base_rng; txn = None; tpl = None; ops = [];
-          all_ops = []; first_begin = 0.; parked_on = [];
-          needs_restart = false; idle = false })
+        let rng = Prng.split base_rng in
+        { wid; rng; retry_rng = Prng.split base_rng; txn = None; tpl = None;
+          ops = []; all_ops = []; first_begin = 0.; attempts = 0;
+          parked_on = []; needs_restart = false; idle = false })
   in
   (* waiters: finished-transaction wakeups.  txn id -> worker ids parked on
      it. *)
@@ -69,6 +75,10 @@ let run_impl ~mode config workload (c : Controller.t) =
   let committed = ref 0 in
   let restarts = ref 0 in
   let deadlocks = ref 0 in
+  let gave_up = ref 0 in
+  let total_backoff = ref 0. in
+  let max_streak = ref 0 in
+  let retry_monitor = Retry.monitor config.retry in
   let response = Stats.create () in
   let start_counters = c.Controller.snapshot () in
   let now = ref 0. in
@@ -137,6 +147,55 @@ let run_impl ~mode config workload (c : Controller.t) =
       workers.(start_wid).parked_on
   in
 
+  (* what a worker does once its transaction has committed or been
+     abandoned *)
+  let next_assignment w =
+    match mode with
+    | Closed -> Event_queue.push q ~time:(!now +. config.op_cost) (Start w.wid)
+    | Open _ ->
+      if Queue.is_empty backlog then w.idle <- true
+      else begin
+        let arrived = Queue.pop backlog in
+        w.first_begin <- arrived;
+        Event_queue.push q ~time:(!now +. config.op_cost) (Start w.wid)
+      end
+  in
+
+  (* Abort and re-run the worker's transaction under the retry policy:
+     back off exponentially (with jitter) per consecutive restart, give
+     the transaction up entirely once the policy is exhausted, and fail
+     fast when the whole system restarts without ever committing. *)
+  let restart w =
+    incr restarts;
+    Retry.note_restart retry_monitor;
+    if Retry.consecutive_restarts retry_monitor > !max_streak then
+      max_streak := Retry.consecutive_restarts retry_monitor;
+    if Retry.livelocked retry_monitor then
+      failwith
+        (Printf.sprintf
+           "Runner.run: livelock detected (%d consecutive restarts without \
+            a commit)"
+           (Retry.consecutive_restarts retry_monitor));
+    finish_txn w ~commit:false;
+    w.attempts <- w.attempts + 1;
+    if Retry.exhausted config.retry ~attempt:w.attempts then begin
+      (* starvation bound: drop this transaction rather than retry it
+         forever; the worker moves on to fresh work *)
+      incr gave_up;
+      w.attempts <- 0;
+      w.tpl <- None;
+      w.all_ops <- [];
+      w.needs_restart <- false;
+      next_assignment w
+    end
+    else begin
+      let delay = Retry.backoff config.retry w.retry_rng ~attempt:w.attempts in
+      total_backoff := !total_backoff +. delay;
+      w.needs_restart <- true;
+      Event_queue.push q ~time:(!now +. delay) (Do w.wid)
+    end
+  in
+
   let park w blockers =
     let live =
       List.filter (fun b -> Hashtbl.mem owner b) blockers
@@ -157,7 +216,6 @@ let run_impl ~mode config workload (c : Controller.t) =
       if in_deadlock w.wid then begin
         (* break the cycle by aborting the requester *)
         incr deadlocks;
-        incr restarts;
         (* unpark first so the wakeups of our own finish don't re-add us *)
         List.iter
           (fun b ->
@@ -167,31 +225,9 @@ let run_impl ~mode config workload (c : Controller.t) =
               Hashtbl.replace waiters b (List.filter (fun x -> x <> w.wid) ws))
           w.parked_on;
         w.parked_on <- [];
-        finish_txn w ~commit:false;
-        w.needs_restart <- true;
-        Event_queue.push q ~time:(!now +. config.restart_backoff) (Do w.wid)
+        restart w
       end
     end
-  in
-
-  let restart_after_reject w =
-    incr restarts;
-    finish_txn w ~commit:false;
-    w.needs_restart <- true;
-    Event_queue.push q ~time:(!now +. config.restart_backoff) (Do w.wid)
-  in
-
-  (* what a worker does once its transaction has committed *)
-  let next_assignment w =
-    match mode with
-    | Closed -> Event_queue.push q ~time:(!now +. config.op_cost) (Start w.wid)
-    | Open _ ->
-      if Queue.is_empty backlog then w.idle <- true
-      else begin
-        let arrived = Queue.pop backlog in
-        w.first_begin <- arrived;
-        Event_queue.push q ~time:(!now +. config.op_cost) (Start w.wid)
-      end
   in
 
   let do_op w =
@@ -207,6 +243,8 @@ let run_impl ~mode config workload (c : Controller.t) =
         (* all operations done: commit *)
         finish_txn w ~commit:true;
         incr committed;
+        Retry.note_commit retry_monitor;
+        w.attempts <- 0;
         Stats.add response (!now -. w.first_begin);
         w.tpl <- None;
         w.all_ops <- [];
@@ -226,7 +264,7 @@ let run_impl ~mode config workload (c : Controller.t) =
           w.ops <- rest;
           Event_queue.push q ~time:(!now +. config.op_cost) (Do w.wid)
         | Hdd_core.Outcome.Blocked blockers -> park w blockers
-        | Hdd_core.Outcome.Rejected _ -> restart_after_reject w))
+        | Hdd_core.Outcome.Rejected _ -> restart w))
   in
 
   let start_worker w =
@@ -288,6 +326,9 @@ let run_impl ~mode config workload (c : Controller.t) =
     committed = !committed;
     restarts = !restarts;
     deadlocks = !deadlocks;
+    gave_up = !gave_up;
+    total_backoff = !total_backoff;
+    max_restart_streak = !max_streak;
     vtime = !now;
     throughput = (if !now > 0. then float_of_int !committed /. !now else 0.);
     mean_response = Stats.mean response;
@@ -304,9 +345,10 @@ let run_open ~arrival_rate config workload c =
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s on %s: %d committed, %d restarts (%d deadlocks), vtime %.1f, \
-     tput %.3f, resp mean %.2f p95 %.2f, regs %d, blocks %d, rejects %d@]"
-    r.controller r.workload r.committed r.restarts r.deadlocks r.vtime
-    r.throughput r.mean_response r.p95_response
-    r.counters.Controller.read_registrations r.counters.Controller.blocks
-    r.counters.Controller.rejects
+    "@[<v>%s on %s: %d committed, %d restarts (%d deadlocks, %d gave up, \
+     backoff %.1f, worst streak %d), vtime %.1f, tput %.3f, resp mean %.2f \
+     p95 %.2f, regs %d, blocks %d, rejects %d@]"
+    r.controller r.workload r.committed r.restarts r.deadlocks r.gave_up
+    r.total_backoff r.max_restart_streak r.vtime r.throughput r.mean_response
+    r.p95_response r.counters.Controller.read_registrations
+    r.counters.Controller.blocks r.counters.Controller.rejects

@@ -5,11 +5,14 @@
     draw a template, begin, issue operations (each costing [op_cost] of
     virtual time), commit, repeat.  A blocked operation parks the worker until all its
     blockers finish; a rejected operation aborts the transaction and
-    restarts it with a fresh timestamp after [restart_backoff].  The
-    driver maintains the waits-for relation over parked workers and
-    resolves deadlocks by aborting the requester whose wait closed a
-    cycle (none of the timestamp-based controllers can deadlock; the
-    locking ones can).
+    restarts it with a fresh timestamp under the [retry] policy:
+    exponential backoff with jitter per consecutive restart, a
+    per-transaction restart cap after which the transaction is given up
+    ({!result.gave_up}), and a system-wide livelock detector that fails
+    the run rather than spin.  The driver maintains the waits-for
+    relation over parked workers and resolves deadlocks by aborting the
+    requester whose wait closed a cycle (none of the timestamp-based
+    controllers can deadlock; the locking ones can).
 
     Virtual time, not wall time, is reported: the simulator substitutes
     for the paper's multi-processor testbed (see DESIGN.md). *)
@@ -19,7 +22,7 @@ type config = {
   target_commits : int;  (** stop once this many transactions committed *)
   seed : int;
   op_cost : float;  (** virtual service time per granted operation *)
-  restart_backoff : float;  (** virtual delay before restarting *)
+  retry : Retry.policy;  (** restart/backoff/give-up discipline *)
   max_events : int;  (** hard safety bound; exceeded = livelock bug *)
 }
 
@@ -31,6 +34,10 @@ type result = {
   committed : int;
   restarts : int;  (** aborts from rejections and deadlocks *)
   deadlocks : int;
+  gave_up : int;  (** transactions dropped by the restart cap *)
+  total_backoff : float;  (** virtual time spent backing off *)
+  max_restart_streak : int;
+      (** longest run of restarts with no commit in between *)
   vtime : float;  (** virtual time consumed *)
   throughput : float;  (** commits per unit of virtual time *)
   mean_response : float;

@@ -19,23 +19,25 @@ type recovered = {
   aborted : int;
   lost_uncommitted : int;
   log_intact : bool;
+  valid_bytes : int;
 }
 
-let build ?(sync_on_commit = false) ~path ~partition ~clock ~store () =
-  let sched = Scheduler.create ~partition ~clock ~store () in
-  { wal = Wal.create ~path; sched; store; partition; sync_on_commit;
+let build ?(sync_on_commit = false) ?sink ?log ~path ~partition ~clock ~store
+    () =
+  let sched = Scheduler.create ?log ~partition ~clock ~store () in
+  { wal = Wal.create ?sink ~path (); sched; store; partition; sync_on_commit;
     in_flight = 0 }
 
-let create ?sync_on_commit ~path ~partition () =
+let create ?sync_on_commit ?sink ?log ~path ~partition () =
   let clock = Time.Clock.create () in
   let store =
     Store.create ~segments:(Partition.segment_count partition)
       ~init:(fun _ -> 0)
   in
-  build ?sync_on_commit ~path ~partition ~clock ~store ()
+  build ?sync_on_commit ?sink ?log ~path ~partition ~clock ~store ()
 
 let recover ~path ~segments ~init =
-  let { Wal.records; complete; _ } = Wal.read_all ~path in
+  let { Wal.records; complete; bytes_read } = Wal.read_all ~path in
   let store = Store.create ~segments ~init in
   (* redo-only replay: buffer each transaction's writes, install them at
      its commit record; txn ids may recur across sessions, so buffers are
@@ -87,30 +89,47 @@ let recover ~path ~segments ~init =
     committed = !committed;
     aborted = !aborted;
     lost_uncommitted = Hashtbl.length pending;
-    log_intact = complete }
+    log_intact = complete;
+    valid_bytes = bytes_read }
 
-let of_recovery ?sync_on_commit ~path ~partition recovered =
+let of_recovery ?sync_on_commit ?sink ?log ~path ~partition recovered =
+  (* A torn or corrupt tail is dead bytes: recovery already ignores it,
+     but appending after it would put every future record beyond the
+     reach of the next recovery (replay stops at the first bad frame).
+     Cut the log back to the intact prefix before reopening. *)
+  if
+    Sys.file_exists path
+    && (Unix.stat path).Unix.st_size > recovered.valid_bytes
+  then Unix.truncate path recovered.valid_bytes;
   let clock = Time.Clock.create () in
   Time.Clock.catch_up clock recovered.last_time;
-  build ?sync_on_commit ~path ~partition ~clock ~store:recovered.store ()
+  build ?sync_on_commit ?sink ?log ~path ~partition ~clock
+    ~store:recovered.store ()
 
 let scheduler t = t.sched
 
-let begin_update t ~class_id =
-  let txn = Scheduler.begin_update t.sched ~class_id in
-  Wal.append t.wal
-    (Codec.Begin { txn = txn.Txn.id; class_id; init = txn.Txn.init });
+(* If the Begin record cannot be logged the transaction must not exist:
+   roll the scheduler back before re-raising, so a transient append
+   failure leaves no half-begun transaction behind. *)
+let log_begin t txn record =
+  (try Wal.append t.wal record
+   with e ->
+     (try Scheduler.abort t.sched txn with _ -> ());
+     raise e);
   t.in_flight <- t.in_flight + 1;
   txn
 
+let begin_update t ~class_id =
+  let txn = Scheduler.begin_update t.sched ~class_id in
+  log_begin t txn
+    (Codec.Begin { txn = txn.Txn.id; class_id; init = txn.Txn.init })
+
 let begin_adhoc_update t ~writes ~reads =
   let txn = Scheduler.begin_adhoc_update t.sched ~writes ~reads in
-  Wal.append t.wal
+  log_begin t txn
     (Codec.Begin
        { txn = txn.Txn.id; class_id = List.hd (List.sort compare writes);
-         init = txn.Txn.init });
-  t.in_flight <- t.in_flight + 1;
-  txn
+         init = txn.Txn.init })
 
 let begin_read_only t = Scheduler.begin_read_only t.sched
 
@@ -158,7 +177,7 @@ let checkpoint t =
     failwith "Durable.checkpoint: update transactions in flight";
   let side = Wal.path t.wal ^ ".ckpt" in
   if Sys.file_exists side then Sys.remove side;
-  let snapshot = Wal.create ~path:side in
+  let snapshot = Wal.create ~path:side () in
   let latest = ref Time.zero in
   let versions = ref [] in
   for seg = 0 to Store.segment_count t.store - 1 do
@@ -191,4 +210,4 @@ let checkpoint t =
   let path = Wal.path t.wal in
   Wal.close t.wal;
   Sys.rename side path;
-  t.wal <- Wal.create ~path
+  t.wal <- Wal.create ~path ()

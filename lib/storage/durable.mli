@@ -12,7 +12,19 @@
     the clock advanced past every recovered timestamp, so new
     transactions order strictly after everything recovered.
 
-    Read-only transactions are never logged: they write nothing. *)
+    Read-only transactions are never logged: they write nothing.
+
+    {b Fault contract} (see {!Fault} and the DESIGN.md fault-model
+    section).  When the WAL sink raises {!Fault.Io_error} the failure is
+    transient and the handle stays usable: a failed {!begin_update}
+    leaves no transaction behind (the scheduler is rolled back), and a
+    failed {!write} leaves the granted write in memory but not on disk —
+    the caller must {!abort} that transaction, or recovery could lose a
+    write of a committed transaction.  An exception escaping {!commit}
+    means the commit was {e not acknowledged}: the transaction may or
+    may not be durable, and the handle must be abandoned and re-opened
+    through {!recover} (the policy real engines adopt for WAL failures
+    at commit).  {!Fault.Crash} is always fatal to the handle. *)
 
 type t
 
@@ -23,10 +35,13 @@ type recovered = {
   aborted : int;
   lost_uncommitted : int;  (** transactions begun but never committed *)
   log_intact : bool;  (** false when a torn/corrupt tail was dropped *)
+  valid_bytes : int;  (** length of the intact prefix replayed *)
 }
 
 val create :
   ?sync_on_commit:bool ->
+  ?sink:Fault.sink ->
+  ?log:Hdd_txn.Sched_log.t ->
   path:string ->
   partition:Hdd_core.Partition.t ->
   unit ->
@@ -34,19 +49,29 @@ val create :
 (** Opens (or appends to) the log at [path] over a fresh in-memory store.
     [sync_on_commit] defaults to false: the log is flushed but not
     fsynced per commit, trading the durability of the last few commits
-    for speed — the classic group-commit knob, minus the grouping. *)
+    for speed — the classic group-commit knob, minus the grouping.
+    [sink] (default the production file sink) carries the WAL bytes —
+    the fault-injection seam.  [log] is handed to the scheduler so the
+    live schedule can be certified. *)
 
 val recover :
   path:string -> segments:int -> init:(Granule.t -> int) -> recovered
-(** Replay the log at [path].  @raise Sys_error if it does not exist. *)
+(** Replay the log at [path].  A missing file recovers as the empty
+    database (all counters zero, [log_intact = true]): a database that
+    was never written has an empty history, not an error. *)
 
 val of_recovery :
   ?sync_on_commit:bool ->
+  ?sink:Fault.sink ->
+  ?log:Hdd_txn.Sched_log.t ->
   path:string ->
   partition:Hdd_core.Partition.t ->
   recovered ->
   t
-(** Continue a recovered database, appending to the same log. *)
+(** Continue a recovered database, appending to the same log.  When the
+    recovery dropped a torn or corrupt tail, the file is first truncated
+    back to [recovered.valid_bytes]: appending after dead bytes would
+    strand every future record beyond the next recovery's reach. *)
 
 val scheduler : t -> int Hdd_core.Scheduler.t
 (** The underlying scheduler — use it for reads, walls and metrics; all

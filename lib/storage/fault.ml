@@ -1,0 +1,154 @@
+exception Crash of string
+exception Io_error of string
+
+type sink = {
+  append : bytes -> unit;
+  flush : unit -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+let file_sink ?(fsync = true) ~path () =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  { append = (fun b -> output_bytes oc b);
+    flush = (fun () -> Stdlib.flush oc);
+    sync =
+      (fun () ->
+        Stdlib.flush oc;
+        if fsync then Unix.fsync fd);
+    close = (fun () -> close_out oc (* flushes, closes the descriptor *)) }
+
+type event =
+  | Crash_after_frames of int
+  | Crash_after_bytes of int
+  | Torn_write of { frame : int; keep : int }
+  | Bit_flip of { byte : int; bit : int }
+  | Append_error of { frame : int }
+  | Sync_error of { sync : int }
+
+let pp_event ppf = function
+  | Crash_after_frames n -> Format.fprintf ppf "crash-after-%d-frames" n
+  | Crash_after_bytes n -> Format.fprintf ppf "crash-after-%d-bytes" n
+  | Torn_write { frame; keep } ->
+    Format.fprintf ppf "torn-write frame %d keep %d" frame keep
+  | Bit_flip { byte; bit } ->
+    Format.fprintf ppf "bit-flip byte %d bit %d" byte bit
+  | Append_error { frame } -> Format.fprintf ppf "append-error frame %d" frame
+  | Sync_error { sync } -> Format.fprintf ppf "sync-error sync %d" sync
+
+type plan = {
+  events : event list;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable sync_count : int;
+  mutable is_crashed : bool;
+  mutable fired_events : event list;
+}
+
+let plan events =
+  { events; frames = 0; bytes = 0; sync_count = 0; is_crashed = false;
+    fired_events = [] }
+
+let crashed p = p.is_crashed
+let fired p = p.fired_events
+let bytes_appended p = p.bytes
+let frames_appended p = p.frames
+let syncs p = p.sync_count
+
+let fire p ev = p.fired_events <- ev :: p.fired_events
+
+(* the first not-yet-fired event satisfying [select] *)
+let next_match p select =
+  List.find_opt
+    (fun ev -> select ev && not (List.mem ev p.fired_events))
+    p.events
+
+let apply p inner =
+  let die msg =
+    (* everything appended so far becomes the recoverable prefix *)
+    p.is_crashed <- true;
+    inner.flush ();
+    raise (Crash msg)
+  in
+  let alive () =
+    if p.is_crashed then raise (Crash "operation after simulated crash")
+  in
+  let append frame =
+    alive ();
+    let idx = p.frames in
+    (match next_match p (function Append_error { frame = f } -> f = idx | _ -> false) with
+    | Some ev ->
+      fire p ev;
+      raise (Io_error (Printf.sprintf "injected append error at frame %d" idx))
+    | None -> ());
+    let len = Bytes.length frame in
+    let start = p.bytes in
+    let frame =
+      match
+        List.filter
+          (fun ev ->
+            (match ev with
+            | Bit_flip { byte; _ } -> byte >= start && byte < start + len
+            | _ -> false)
+            && not (List.mem ev p.fired_events))
+          p.events
+      with
+      | [] -> frame
+      | flips ->
+        let b = Bytes.copy frame in
+        List.iter
+          (function
+            | Bit_flip { byte; bit } as ev ->
+              fire p ev;
+              let off = byte - start in
+              Bytes.set_uint8 b off
+                (Bytes.get_uint8 b off lxor (1 lsl (bit land 7)))
+            | _ -> ())
+          flips;
+        b
+    in
+    (match next_match p (function Torn_write { frame = f; _ } -> f = idx | _ -> false) with
+    | Some (Torn_write { keep; _ } as ev) ->
+      fire p ev;
+      let keep = max 0 (min keep (len - 1)) in
+      inner.append (Bytes.sub frame 0 keep);
+      p.bytes <- start + keep;
+      die (Printf.sprintf "torn write: frame %d cut to %d bytes" idx keep)
+    | _ -> ());
+    (match next_match p (function Crash_after_bytes n -> start + len >= n | _ -> false) with
+    | Some (Crash_after_bytes n as ev) ->
+      fire p ev;
+      let keep = max 0 (min len (n - start)) in
+      inner.append (Bytes.sub frame 0 keep);
+      p.bytes <- start + keep;
+      die (Printf.sprintf "crash after %d bytes" n)
+    | _ -> ());
+    inner.append frame;
+    p.bytes <- start + len;
+    p.frames <- p.frames + 1;
+    match next_match p (function Crash_after_frames n -> p.frames >= n | _ -> false) with
+    | Some ev ->
+      fire p ev;
+      die (Printf.sprintf "crash after %d frames" p.frames)
+    | None -> ()
+  in
+  let flush () =
+    alive ();
+    inner.flush ()
+  in
+  let sync () =
+    alive ();
+    p.sync_count <- p.sync_count + 1;
+    (match next_match p (function Sync_error { sync = s } -> s = p.sync_count | _ -> false) with
+    | Some ev ->
+      fire p ev;
+      raise
+        (Io_error (Printf.sprintf "injected fsync failure (sync %d)" p.sync_count))
+    | None -> ());
+    inner.sync ()
+  in
+  (* close must work even after a crash so tests can release descriptors *)
+  { append; flush; sync; close = inner.close }

@@ -1,0 +1,98 @@
+(** Deterministic fault injection for the durable storage layer.
+
+    A {!sink} is the byte-level append interface the {!Wal} writes
+    through.  The production path is {!file_sink} — plain append-only
+    file I/O, exactly what the WAL did before the sink existed.  Tests
+    and the {!Torture} harness wrap any sink with {!apply} and a
+    scripted {!plan} of faults: simulated crashes after a byte or frame
+    count, torn final writes, silent bit flips, transient append errors
+    and fsync failures.  All fault logic lives in the wrapper, so the
+    hot path carries no test hooks.
+
+    {b Crash model.}  {!Crash} simulates the machine dying at a chosen
+    point in the append stream.  Everything appended before the crash
+    point is flushed to the file — recovery will see exactly that
+    prefix — and nothing after it is ever written; once crashed, every
+    operation except {!sink.close} raises {!Crash} again.  Loss of
+    OS-buffered bytes is expressed by scripting an earlier crash point,
+    so the one model covers both torn appends and lost buffers while
+    staying fully deterministic. *)
+
+exception Crash of string
+(** The simulated machine died.  The sink's file holds exactly the bytes
+    appended before the crash point; the handle is unusable except for
+    {!sink.close}. *)
+
+exception Io_error of string
+(** A transient I/O failure: the operation did not happen and the sink
+    remains usable.  Callers treat it like a failed syscall — abort the
+    affected transaction, or give the operation up. *)
+
+type sink = {
+  append : bytes -> unit;  (** append one encoded frame *)
+  flush : unit -> unit;  (** push buffered bytes to the OS *)
+  sync : unit -> unit;  (** durability barrier (flush, then fsync) *)
+  close : unit -> unit;  (** release resources; never injects faults *)
+}
+
+val file_sink : ?fsync:bool -> path:string -> unit -> sink
+(** The production sink: open [path] for appending (creating it if
+    needed) with the same flags the WAL always used.  [fsync] (default
+    true) set to false turns {!sink.sync} into a plain flush — torture
+    runs use it because under the simulated crash model the flush
+    boundary {e is} the durability boundary, and skipping thousands of
+    real fsyncs keeps 500-cycle runs fast.
+    @raise Sys_error on an unwritable path. *)
+
+(** One scripted fault.  Frame indexes are 0-based positions in the
+    append stream; byte offsets are absolute positions in the log file.
+    Each event fires at most once. *)
+type event =
+  | Crash_after_frames of int
+      (** crash at the end of the append that completes this many
+          frames: the frame is on disk, but the appender never hears the
+          acknowledgement *)
+  | Crash_after_bytes of int
+      (** bytes at offsets [>= n] never reach the file; the append that
+          crosses the boundary is cut short and the crash fires — a torn
+          tail at an arbitrary byte *)
+  | Torn_write of { frame : int; keep : int }
+      (** the append of frame [frame] writes only its first [keep] bytes
+          (clamped to at most the frame length - 1) and then crashes *)
+  | Bit_flip of { byte : int; bit : int }
+      (** flip bit [bit land 7] of the byte at absolute offset [byte] as
+          it is appended — silent corruption, no error is raised *)
+  | Append_error of { frame : int }
+      (** the append of frame [frame] raises {!Io_error} once, writing
+          nothing; a retried append of the same frame index succeeds *)
+  | Sync_error of { sync : int }
+      (** the [sync]-th call to {!sink.sync} (1-based) raises
+          {!Io_error} before reaching the inner sink *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type plan
+(** A mutable fault script: the events plus counters of frames, bytes
+    and syncs seen so far, and which events have fired. *)
+
+val plan : event list -> plan
+
+val apply : plan -> sink -> sink
+(** Wrap a sink so the plan's faults fire at their scripted points.  The
+    wrapper counts every frame and byte that reaches the inner sink;
+    wrapping with an empty plan is the identity plus counters. *)
+
+val crashed : plan -> bool
+(** Has a crash event fired? *)
+
+val fired : plan -> event list
+(** Events that have fired, most recent first. *)
+
+val bytes_appended : plan -> int
+(** Bytes that reached the inner sink (the on-disk length, for an
+    initially empty file). *)
+
+val frames_appended : plan -> int
+(** Frames fully appended through the wrapper. *)
+
+val syncs : plan -> int

@@ -1,0 +1,483 @@
+module Partition = Hdd_core.Partition
+module Certifier = Hdd_core.Certifier
+module Outcome = Hdd_core.Outcome
+module Store = Hdd_mvstore.Store
+module Chain = Hdd_mvstore.Chain
+module Segment = Hdd_mvstore.Segment
+module Prng = Hdd_util.Prng
+
+type config = {
+  txns : int;
+  concurrency : int;
+  keys_per_segment : int;
+  max_writes : int;
+  read_fraction : float;
+  corruption_probability : float;
+  transient_probability : float;
+  second_fault_probability : float;
+}
+
+let default_config =
+  { txns = 12; concurrency = 3; keys_per_segment = 4; max_writes = 3;
+    read_fraction = 0.4; corruption_probability = 0.25;
+    transient_probability = 0.3; second_fault_probability = 0.5 }
+
+type outcome = {
+  seed : int;
+  crashed : bool;
+  fired : Fault.event list;
+  acknowledged : int;
+  recovered_committed : int;
+  log_intact : bool;
+  violations : string list;
+}
+
+type report = {
+  cycles : int;
+  crashes : int;
+  corruptions : int;
+  acknowledged : int;
+  recovered : int;
+  violating : outcome list;
+}
+
+(* --- fault-plan generation --- *)
+
+(* Rough per-phase log sizes, for placing fault points: a transaction
+   logs one Begin (33 bytes), up to [max_writes] Writes (49 bytes each)
+   and one Commit or Abort (25 bytes).  Points beyond the actual log
+   simply never fire, which gives clean-shutdown cycles for free. *)
+let gen_plan rng (c : config) =
+  let est_frames = c.txns * (2 + c.max_writes) in
+  let est_bytes = est_frames * 44 in
+  let events = ref [] in
+  (match Prng.int rng 4 with
+  | 0 -> events := [ Fault.Crash_after_frames (1 + Prng.int rng est_frames) ]
+  | 1 -> events := [ Fault.Crash_after_bytes (1 + Prng.int rng est_bytes) ]
+  | 2 ->
+    events :=
+      [ Fault.Torn_write
+          { frame = Prng.int rng est_frames; keep = Prng.int rng 48 } ]
+  | _ -> () (* no scripted crash: the phase may reach a clean shutdown *));
+  if Prng.float rng 1.0 < c.corruption_probability then
+    events :=
+      Fault.Bit_flip { byte = Prng.int rng est_bytes; bit = Prng.int rng 8 }
+      :: !events;
+  if Prng.float rng 1.0 < c.transient_probability then
+    events :=
+      (if Prng.bool rng then
+         Fault.Append_error { frame = Prng.int rng est_frames }
+       else Fault.Sync_error { sync = 1 + Prng.int rng c.txns })
+      :: !events;
+  Fault.plan !events
+
+(* --- the seeded workload, driven into the fault plan --- *)
+
+type active = {
+  txn : Txn.t;
+  class_id : int;
+  mutable to_do : int;  (** writes still to perform before finishing *)
+  writes : (Granule.t, Time.t * int) Hashtbl.t;  (** last write per granule *)
+}
+
+(* One acknowledged commit: the id, the absolute log offset just past its
+   commit frame (everything the client was promised is within it), and
+   the final value written to each granule. *)
+type ack = {
+  a_txn : Txn.id;
+  a_offset : int;
+  a_writes : (Granule.t * Time.t * int) list;
+}
+
+type phase = {
+  acked : ack list;
+  pending : (Txn.id * (Granule.t * Time.t * int) list) option;
+      (** commit attempted but not acknowledged: durability unknown *)
+  phase_crashed : bool;
+}
+
+let run_phase db plan rng (c : config) ~partition ~base =
+  let n_classes = Partition.segment_count partition in
+  let readable =
+    Array.init n_classes (fun cls ->
+        List.init n_classes Fun.id
+        |> List.filter (fun seg ->
+               Partition.may_read partition ~class_id:cls ~segment:seg)
+        |> Array.of_list)
+  in
+  let active = ref [] in
+  let started = ref 0 in
+  let acked = ref [] in
+  let pending = ref None in
+  let crashed = ref false in
+  let snapshot_writes a =
+    Hashtbl.fold (fun g (ts, v) l -> (g, ts, v) :: l) a.writes []
+  in
+  let remove a = active := List.filter (fun x -> x != a) !active in
+  let abort_active a =
+    remove a;
+    match Durable.abort db a.txn with
+    | () -> ()
+    | exception Fault.Io_error _ ->
+      () (* the abort record is lost; recovery sees an in-flight txn *)
+    | exception Fault.Crash _ -> crashed := true
+  in
+  (try
+     while
+       (!started < c.txns || !active <> [])
+       && (not !crashed) && !pending = None
+     do
+       let want_new =
+         !started < c.txns
+         && List.length !active < c.concurrency
+         && (!active = [] || Prng.int rng 3 = 0)
+       in
+       if want_new then begin
+         incr started;
+         let class_id = Prng.int rng n_classes in
+         match Durable.begin_update db ~class_id with
+         | txn ->
+           active :=
+             { txn; class_id; to_do = 1 + Prng.int rng c.max_writes;
+               writes = Hashtbl.create 4 }
+             :: !active
+         | exception Fault.Io_error _ -> () (* the begin never happened *)
+       end
+       else begin
+         let a = List.nth !active (Prng.int rng (List.length !active)) in
+         if a.to_do <= 0 then begin
+           if Prng.int rng 8 = 0 then abort_active a
+           else begin
+             remove a;
+             match Durable.commit db a.txn with
+             | () ->
+               acked :=
+                 { a_txn = a.txn.Txn.id;
+                   a_offset = base + Fault.bytes_appended plan;
+                   a_writes = snapshot_writes a }
+                 :: !acked
+             | exception Fault.Io_error _ ->
+               (* maybe durable, never acknowledged; handle poisoned *)
+               pending := Some (a.txn.Txn.id, snapshot_writes a)
+             | exception Fault.Crash _ ->
+               (* the crash may have fired just after the commit frame
+                  was written: durable but unacknowledged *)
+               pending := Some (a.txn.Txn.id, snapshot_writes a);
+               crashed := true
+           end
+         end
+         else if Prng.float rng 1.0 < c.read_fraction then begin
+           let segs = readable.(a.class_id) in
+           if Array.length segs > 0 then
+             let g =
+               Granule.make ~segment:(Prng.pick rng segs)
+                 ~key:(Prng.int rng c.keys_per_segment)
+             in
+             match Durable.read db a.txn g with
+             | Outcome.Granted _ -> ()
+             | Outcome.Blocked _ | Outcome.Rejected _ -> abort_active a
+         end
+         else begin
+           let g =
+             Granule.make ~segment:a.class_id
+               ~key:(Prng.int rng c.keys_per_segment)
+           in
+           let v = Prng.int rng 1_000_000 in
+           match Durable.write db a.txn g v with
+           | Outcome.Granted () ->
+             Hashtbl.replace a.writes g (a.txn.Txn.init, v);
+             a.to_do <- a.to_do - 1
+           | Outcome.Blocked _ | Outcome.Rejected _ -> abort_active a
+           | exception Fault.Io_error _ ->
+             (* granted in memory, lost on disk: Durable's contract says
+                abort, or recovery could under-replay this txn *)
+             abort_active a
+         end
+       end
+     done
+   with Fault.Crash _ -> crashed := true);
+  (try Durable.close db
+   with Fault.Crash _ | Fault.Io_error _ | Sys_error _ -> ());
+  { acked = !acked; pending = !pending; phase_crashed = !crashed }
+
+(* --- invariants --- *)
+
+(* Rebuild the committed write schedule from a log, replaying sessions
+   the way recovery does: a Begin opens a fresh incarnation of its txn id
+   (ids recur across sessions), writes buffer, a Commit emits the
+   surviving (last-per-granule) writes in commit order. *)
+let committed_write_log records =
+  let log = Sched_log.create () in
+  let session : (Txn.id, int) Hashtbl.t = Hashtbl.create 32 in
+  let buf : (int, (Granule.t * Time.t) list) Hashtbl.t = Hashtbl.create 32 in
+  let next = ref 1 in
+  let incarnation txn =
+    match Hashtbl.find_opt session txn with
+    | Some s -> s
+    | None ->
+      let s = !next in
+      incr next;
+      Hashtbl.replace session txn s;
+      s
+  in
+  List.iter
+    (fun (r : Codec.record) ->
+      match r with
+      | Codec.Begin { txn; _ } ->
+        let s = !next in
+        incr next;
+        Hashtbl.replace session txn s;
+        Hashtbl.replace buf s []
+      | Codec.Write { txn; granule; ts; _ } ->
+        let s = incarnation txn in
+        let prior =
+          match Hashtbl.find_opt buf s with Some l -> l | None -> []
+        in
+        (* last write of a granule wins, as in recovery replay *)
+        Hashtbl.replace buf s
+          ((granule, ts) :: List.filter (fun (g, _) -> g <> granule) prior)
+      | Codec.Commit { txn; _ } ->
+        let s = incarnation txn in
+        (match Hashtbl.find_opt buf s with
+        | Some writes ->
+          List.iter
+            (fun (g, ts) -> Sched_log.log_write log ~txn:s ~granule:g ~version:ts)
+            (List.rev writes);
+          Hashtbl.remove buf s
+        | None -> ());
+        Hashtbl.remove session txn
+      | Codec.Abort { txn; _ } -> (
+        match Hashtbl.find_opt session txn with
+        | Some s ->
+          Hashtbl.remove buf s;
+          Hashtbl.remove session txn
+        | None -> ()))
+    records;
+  log
+
+let check_recovery add ~label (r : Durable.recovered) ~visible ~allowed =
+  (* invariant 1: every acknowledged commit within the intact prefix is
+     present, with exactly the values it wrote *)
+  List.iter
+    (fun ack ->
+      List.iter
+        (fun (g, ts, v) ->
+          match Store.committed_before r.Durable.store g ~ts:(ts + 1) with
+          | Some ver when ver.Chain.ts = ts && ver.Chain.value = v -> ()
+          | Some ver ->
+            add
+              (Printf.sprintf
+                 "%s: acked txn %d wrote %s ts %d value %d; recovered ts %d \
+                  value %d"
+                 label ack.a_txn
+                 (Format.asprintf "%a" Granule.pp g)
+                 ts v ver.Chain.ts ver.Chain.value)
+          | None ->
+            add
+              (Printf.sprintf "%s: acked txn %d write to %s ts %d lost" label
+                 ack.a_txn
+                 (Format.asprintf "%a" Granule.pp g)
+                 ts))
+        ack.a_writes)
+    visible;
+  (* invariants 2 and 3: nothing uncommitted resurrected, no pending
+     version, and last_time dominates every recovered timestamp *)
+  for seg = 0 to Store.segment_count r.Durable.store - 1 do
+    let s = Store.segment r.Durable.store seg in
+    List.iter
+      (fun key ->
+        let g = Granule.make ~segment:seg ~key in
+        List.iter
+          (fun (ver : int Chain.version) ->
+            if ver.Chain.ts > Time.zero then begin
+              if ver.Chain.ts > r.Durable.last_time then
+                add
+                  (Printf.sprintf
+                     "%s: version %s ts %d beyond last_time %d" label
+                     (Format.asprintf "%a" Granule.pp g)
+                     ver.Chain.ts r.Durable.last_time);
+              if ver.Chain.state <> Chain.Committed then
+                add
+                  (Printf.sprintf "%s: pending version survived at %s ts %d"
+                     label
+                     (Format.asprintf "%a" Granule.pp g)
+                     ver.Chain.ts);
+              match Hashtbl.find_all allowed (g, ver.Chain.ts) with
+              | [] ->
+                add
+                  (Printf.sprintf
+                     "%s: uncommitted write resurrected at %s ts %d value %d"
+                     label
+                     (Format.asprintf "%a" Granule.pp g)
+                     ver.Chain.ts ver.Chain.value)
+              | vs when List.mem ver.Chain.value vs -> ()
+              | v :: _ ->
+                add
+                  (Printf.sprintf
+                     "%s: version %s ts %d recovered value %d, written %d"
+                     label
+                     (Format.asprintf "%a" Granule.pp g)
+                     ver.Chain.ts ver.Chain.value v)
+            end)
+          (Chain.versions (Segment.chain s key)))
+      (Segment.keys s)
+  done
+
+(* Multi-valued: a phase-1 pending commit whose frames were truncated
+   never reached the disk, so its timestamps are legitimately reused by
+   the resumed clock — one (granule, ts) key can have two permissible
+   writers across the two phases. *)
+let allowed_table visible pendings =
+  let allowed : (Granule.t * Time.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun ack ->
+      List.iter (fun (g, ts, v) -> Hashtbl.add allowed (g, ts) v)
+        ack.a_writes)
+    visible;
+  List.iter
+    (fun (_, writes) ->
+      List.iter (fun (g, ts, v) -> Hashtbl.add allowed (g, ts) v) writes)
+    pendings;
+  allowed
+
+let flipped plan =
+  List.exists
+    (function Fault.Bit_flip _ -> true | _ -> false)
+    (Fault.fired plan)
+
+let run_cycle ?(config = default_config) ~partition ~path ~seed () =
+  if Sys.file_exists path then Sys.remove path;
+  let rng = Prng.create seed in
+  let segments = Partition.segment_count partition in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* phase 1: run into the fault *)
+  let plan1 = gen_plan rng config in
+  let log1 = Sched_log.create () in
+  let db1 =
+    Durable.create ~sync_on_commit:true
+      ~sink:(Fault.apply plan1 (Fault.file_sink ~fsync:false ~path ()))
+      ~log:log1 ~path ~partition ()
+  in
+  let p1 = run_phase db1 plan1 rng config ~partition ~base:0 in
+  if not (Certifier.serializable log1) then
+    add "phase 1: live schedule not serializable";
+  (* first recovery *)
+  let r1 = Durable.recover ~path ~segments ~init:(fun _ -> 0) in
+  let visible1 =
+    List.filter (fun a -> a.a_offset <= r1.Durable.valid_bytes) p1.acked
+  in
+  if not (flipped plan1) then
+    List.iter
+      (fun a ->
+        if a.a_offset > r1.Durable.valid_bytes then
+          add
+            (Printf.sprintf
+               "recovery 1: acked txn %d (log offset %d > intact %d) lost \
+                without corruption"
+               a.a_txn a.a_offset r1.Durable.valid_bytes))
+      p1.acked;
+  let pendings1 = Option.to_list p1.pending in
+  check_recovery add ~label:"recovery 1" r1 ~visible:visible1
+    ~allowed:(allowed_table visible1 pendings1);
+  if
+    not
+      (Certifier.serializable
+         (committed_write_log (Wal.read_all ~path).Wal.records))
+  then add "recovery 1: recovered committed schedule not serializable";
+  (* phase 2: continue on the recovered database, maybe into a new fault *)
+  let plan2 =
+    if Prng.float rng 1.0 < config.second_fault_probability then
+      gen_plan rng config
+    else Fault.plan []
+  in
+  let log2 = Sched_log.create () in
+  let db2 =
+    Durable.of_recovery ~sync_on_commit:true
+      ~sink:(Fault.apply plan2 (Fault.file_sink ~fsync:false ~path ()))
+      ~log:log2 ~path ~partition r1
+  in
+  let p2 =
+    run_phase db2 plan2 rng config ~partition ~base:r1.Durable.valid_bytes
+  in
+  if not (Certifier.serializable log2) then
+    add "phase 2: live schedule not serializable";
+  (* final recovery over the full log *)
+  let r2 = Durable.recover ~path ~segments ~init:(fun _ -> 0) in
+  if r2.Durable.valid_bytes < r1.Durable.valid_bytes then
+    add
+      (Printf.sprintf
+         "recovery 2: intact prefix shrank (%d < %d): phase 1 state damaged"
+         r2.Durable.valid_bytes r1.Durable.valid_bytes);
+  let visible2 =
+    List.filter (fun a -> a.a_offset <= r2.Durable.valid_bytes) p2.acked
+  in
+  if not (flipped plan2) then
+    List.iter
+      (fun a ->
+        if a.a_offset > r2.Durable.valid_bytes then
+          add
+            (Printf.sprintf
+               "recovery 2: acked txn %d (log offset %d > intact %d) lost \
+                without corruption"
+               a.a_txn a.a_offset r2.Durable.valid_bytes))
+      p2.acked;
+  let visible = visible1 @ visible2 in
+  let pendings = pendings1 @ Option.to_list p2.pending in
+  check_recovery add ~label:"recovery 2" r2 ~visible
+    ~allowed:(allowed_table visible pendings);
+  if
+    not
+      (Certifier.serializable
+         (committed_write_log (Wal.read_all ~path).Wal.records))
+  then add "recovery 2: recovered committed schedule not serializable";
+  { seed;
+    crashed = p1.phase_crashed || p2.phase_crashed;
+    fired = Fault.fired plan2 @ Fault.fired plan1;
+    acknowledged = List.length p1.acked + List.length p2.acked;
+    recovered_committed = r2.Durable.committed;
+    log_intact = r2.Durable.log_intact;
+    violations = List.rev !violations }
+
+let run ?(config = default_config) ?(first_seed = 0) ~partition ~path ~seeds
+    () =
+  let outcomes =
+    List.init seeds (fun i ->
+        run_cycle ~config ~partition ~path ~seed:(first_seed + i) ())
+  in
+  if Sys.file_exists path then Sys.remove path;
+  { cycles = seeds;
+    crashes =
+      List.length (List.filter (fun (o : outcome) -> o.crashed) outcomes);
+    corruptions =
+      List.length
+        (List.filter
+           (fun (o : outcome) ->
+             List.exists
+               (function Fault.Bit_flip _ -> true | _ -> false)
+               o.fired)
+           outcomes);
+    acknowledged =
+      List.fold_left (fun n (o : outcome) -> n + o.acknowledged) 0 outcomes;
+    recovered =
+      List.fold_left
+        (fun n (o : outcome) -> n + o.recovered_committed)
+        0 outcomes;
+    violating =
+      List.filter (fun (o : outcome) -> o.violations <> []) outcomes }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>torture: %d cycles (%d crashed, %d corrupted), %d commits \
+     acknowledged, %d recovered, %d violating seed(s)%a@]"
+    r.cycles r.crashes r.corruptions r.acknowledged r.recovered
+    (List.length r.violating)
+    (fun ppf -> function
+      | [] -> ()
+      | vs ->
+        List.iter
+          (fun o ->
+            Format.fprintf ppf "@,  seed %d:" o.seed;
+            List.iter (fun v -> Format.fprintf ppf "@,    %s" v) o.violations)
+          vs)
+    r.violating

@@ -1,0 +1,85 @@
+(** Crash-recovery torture: seeded workloads driven into injected
+    faults, recovered, and checked against the durability invariants.
+
+    One {!run_cycle} plays a pseudo-random update workload against a
+    {!Durable} database writing through a {!Fault}-wrapped sink, lets
+    the scripted fault fire ("the machine dies"), recovers, verifies,
+    then continues the workload on {!Durable.of_recovery} — possibly
+    into a second fault — and recovers and verifies once more.  The
+    invariants checked after every recovery:
+
+    + {b Durability}: every transaction whose commit was acknowledged
+      (returned, under [sync_on_commit]) is present in the recovered
+      store with exactly its written values — unless silent corruption
+      (a scripted bit flip) destroyed its frames, in which case it must
+      be hidden, never half-applied.
+    + {b No resurrection}: every non-bootstrap version in the recovered
+      store belongs to an acknowledged transaction or to the at most one
+      transaction whose commit was in flight when the fault fired;
+      aborted and unfinished transactions leave no trace.
+    + {b Clock domination}: [recovered.last_time] is at least every
+      version timestamp recovered, so the resumed clock orders new work
+      strictly after everything recovered.
+    + {b Serializability}: the committed write schedule reconstructed
+      from the log certifies against {!Hdd_core.Certifier}, and so does
+      the live schedule the scheduler produced before the fault.
+
+    Everything is a pure function of the seed: a failing seed replays
+    exactly. *)
+
+type config = {
+  txns : int;  (** update transactions attempted per phase *)
+  concurrency : int;  (** transactions kept open and interleaved *)
+  keys_per_segment : int;
+  max_writes : int;  (** writes per transaction, 1 to this many *)
+  read_fraction : float;  (** probability an operation is a read *)
+  corruption_probability : float;  (** chance the plan adds a bit flip *)
+  transient_probability : float;
+      (** chance the plan adds a transient append or fsync error *)
+  second_fault_probability : float;
+      (** chance the post-recovery phase gets its own fault plan *)
+}
+
+val default_config : config
+
+type outcome = {
+  seed : int;
+  crashed : bool;  (** a crash event fired in either phase *)
+  fired : Fault.event list;  (** every fault event that fired *)
+  acknowledged : int;  (** commits acknowledged across both phases *)
+  recovered_committed : int;  (** commit records in the final replay *)
+  log_intact : bool;  (** final recovery saw no torn/corrupt tail *)
+  violations : string list;  (** empty when every invariant held *)
+}
+
+val run_cycle :
+  ?config:config ->
+  partition:Hdd_core.Partition.t ->
+  path:string ->
+  seed:int ->
+  unit ->
+  outcome
+(** One crash/recover/resume/recover cycle at [path] (the file is
+    removed first). *)
+
+type report = {
+  cycles : int;
+  crashes : int;  (** cycles in which a crash event fired *)
+  corruptions : int;  (** cycles in which a bit flip fired *)
+  acknowledged : int;
+  recovered : int;
+  violating : outcome list;  (** outcomes with a non-empty violation list *)
+}
+
+val run :
+  ?config:config ->
+  ?first_seed:int ->
+  partition:Hdd_core.Partition.t ->
+  path:string ->
+  seeds:int ->
+  unit ->
+  report
+(** [run ~partition ~path ~seeds ()] executes [seeds] cycles with seeds
+    [first_seed] (default 0) onward and aggregates. *)
+
+val pp_report : Format.formatter -> report -> unit

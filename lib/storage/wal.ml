@@ -1,28 +1,22 @@
 type t = {
   path : string;
-  fd : Unix.file_descr;
-  oc : out_channel;
+  sink : Fault.sink;
   mutable appended : int;
 }
 
-let create ~path =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 in
-  { path; fd; oc = Unix.out_channel_of_descr fd; appended = 0 }
+let create ?sink ~path () =
+  let sink =
+    match sink with Some s -> s | None -> Fault.file_sink ~path ()
+  in
+  { path; sink; appended = 0 }
 
 let append t record =
-  output_bytes t.oc (Codec.encode record);
+  t.sink.Fault.append (Codec.encode record);
   t.appended <- t.appended + 1
 
-let flush t = Stdlib.flush t.oc
-
-let sync t =
-  flush t;
-  Unix.fsync t.fd
-
-let close t =
-  flush t;
-  close_out t.oc (* also closes the descriptor *)
-
+let flush t = t.sink.Fault.flush ()
+let sync t = t.sink.Fault.sync ()
+let close t = t.sink.Fault.close ()
 let path t = t.path
 let appended t = t.appended
 
@@ -33,18 +27,23 @@ type recovery = {
 }
 
 let read_all ~path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let buf = Bytes.create len in
-  really_input ic buf 0 len;
-  close_in ic;
-  let rec go pos acc =
-    if pos >= len then
-      { records = List.rev acc; complete = true; bytes_read = pos }
-    else
-      match Codec.decode buf ~pos with
-      | Ok (r, next) -> go next (r :: acc)
-      | Error (`Truncated | `Corrupt) ->
-        { records = List.rev acc; complete = false; bytes_read = pos }
-  in
-  go 0 []
+  if not (Sys.file_exists path) then
+    (* a database that was never written: recovery of the empty log *)
+    { records = []; complete = true; bytes_read = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let buf = Bytes.create len in
+    really_input ic buf 0 len;
+    close_in ic;
+    let rec go pos acc =
+      if pos >= len then
+        { records = List.rev acc; complete = true; bytes_read = pos }
+      else
+        match Codec.decode buf ~pos with
+        | Ok (r, next) -> go next (r :: acc)
+        | Error (`Truncated | `Corrupt) ->
+          { records = List.rev acc; complete = false; bytes_read = pos }
+    in
+    go 0 []
+  end

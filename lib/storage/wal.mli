@@ -1,18 +1,27 @@
 (** The write-ahead log: an append-only file of {!Codec} frames.
 
-    Appends go through a buffered channel; {!flush} pushes them to the
-    OS and {!sync} forces them to disk.  {!read_all} recovers the intact
+    All bytes leave through a {!Fault.sink}: the default is the
+    production {!Fault.file_sink} (buffered appends; {!flush} pushes
+    them to the OS and {!sync} forces them to disk), and tests pass a
+    fault-wrapped sink to inject crashes, torn writes and corruption
+    without any hooks in this module.  {!read_all} recovers the intact
     prefix of a log file: a torn tail (crash mid-append) is normal and
     reported as [`Truncated]; a checksum mismatch as [`Corrupt]; both
     end recovery at the last good frame. *)
 
 type t
 
-val create : path:string -> t
-(** Open for appending, creating the file if needed.
+val create : ?sink:Fault.sink -> path:string -> unit -> t
+(** Open for appending, creating the file if needed.  [sink] (default
+    [Fault.file_sink ~path ()]) carries every appended byte; pass a
+    {!Fault.apply}-wrapped sink to inject faults.
     @raise Sys_error on an unwritable path. *)
 
 val append : t -> Codec.record -> unit
+(** @raise Fault.Crash or {!Fault.Io_error} when an injected (or real)
+    failure stops the frame from reaching the sink; the appended count
+    is not incremented in that case. *)
+
 val flush : t -> unit
 val sync : t -> unit
 (** [flush] followed by [Unix.fsync]: the durability barrier. *)
@@ -25,8 +34,10 @@ val appended : t -> int
 type recovery = {
   records : Codec.record list;  (** the intact prefix, in log order *)
   complete : bool;  (** false when a torn or corrupt tail was dropped *)
-  bytes_read : int;
+  bytes_read : int;  (** length of the intact prefix in bytes *)
 }
 
 val read_all : path:string -> recovery
-(** @raise Sys_error if the file does not exist. *)
+(** A missing file reads as the empty log — a database that was never
+    written recovers to its initial state ([records = []],
+    [complete = true]) rather than raising. *)

@@ -353,6 +353,99 @@ let test_hdd_never_blocks_or_rejects_cross_reads () =
   checkb "hdd commits everything it starts eventually" true
     (r.Runner.committed = 300)
 
+(* --- retry policy --- *)
+
+module Retry = Hdd_sim.Retry
+
+let test_retry_backoff_shape () =
+  let p = { Retry.default with Retry.jitter = 0.0 } in
+  let rng = Prng.create 1 in
+  Alcotest.check (Alcotest.float 1e-9) "first backoff is base" p.Retry.base
+    (Retry.backoff p rng ~attempt:1);
+  Alcotest.check (Alcotest.float 1e-9) "doubles per restart"
+    (p.Retry.base *. 2.)
+    (Retry.backoff p rng ~attempt:2);
+  Alcotest.check (Alcotest.float 1e-9) "caps" p.Retry.cap
+    (Retry.backoff p rng ~attempt:40);
+  Alcotest.check_raises "attempt 0 rejected"
+    (Invalid_argument "Retry.backoff: attempt must be >= 1") (fun () ->
+      ignore (Retry.backoff p rng ~attempt:0))
+
+let test_retry_jitter_bounded_and_deterministic () =
+  let p = Retry.default in
+  for attempt = 1 to 10 do
+    let d = Retry.backoff p (Prng.create 5) ~attempt in
+    let det =
+      Float.min p.Retry.cap
+        (p.Retry.base *. (p.Retry.multiplier ** float_of_int (attempt - 1)))
+    in
+    checkb "at least the deterministic part" true (d >= det);
+    checkb "jitter bounded" true (d < det *. (1. +. p.Retry.jitter));
+    Alcotest.check (Alcotest.float 1e-9) "same seed, same draw" d
+      (Retry.backoff p (Prng.create 5) ~attempt)
+  done
+
+let test_retry_fixed_matches_legacy () =
+  let p = Retry.fixed 4.0 in
+  let rng = Prng.create 2 in
+  for attempt = 1 to 5 do
+    Alcotest.check (Alcotest.float 1e-9) "constant" 4.0
+      (Retry.backoff p rng ~attempt)
+  done;
+  checkb "never gives up" false (Retry.exhausted p ~attempt:1_000_000);
+  let m = Retry.monitor p in
+  for _ = 1 to 1_000_000 do
+    Retry.note_restart m
+  done;
+  checkb "never livelocked" false (Retry.livelocked m)
+
+let test_retry_exhaustion_and_livelock () =
+  let p = { Retry.default with Retry.max_restarts = 3; livelock_window = 5 } in
+  checkb "below the cap" false (Retry.exhausted p ~attempt:2);
+  checkb "at the cap" true (Retry.exhausted p ~attempt:3);
+  let m = Retry.monitor p in
+  for _ = 1 to 4 do
+    Retry.note_restart m
+  done;
+  checkb "four restarts: not yet" false (Retry.livelocked m);
+  Retry.note_commit m;
+  checki "a commit resets the streak" 0 (Retry.consecutive_restarts m);
+  for _ = 1 to 5 do
+    Retry.note_restart m
+  done;
+  checkb "five consecutive restarts trip the detector" true
+    (Retry.livelocked m)
+
+let test_runner_restart_cap_gives_up () =
+  (* TSO on the contended inventory workload restarts plenty; with an
+     immediate give-up policy every restart becomes an abandonment and
+     the run still terminates *)
+  let wl = Workload.inventory () in
+  let config =
+    { small_config with
+      Runner.retry = { (Retry.fixed 4.0) with Retry.max_restarts = 1 } }
+  in
+  let r = Runner.run config wl (Harness.make Harness.Tso wl) in
+  checki "target still reached" 300 r.Runner.committed;
+  checkb "transactions were abandoned" true (r.Runner.gave_up > 0);
+  checki "every restart gave up" r.Runner.restarts r.Runner.gave_up;
+  Alcotest.check (Alcotest.float 1e-9) "no backoff was ever scheduled" 0.
+    r.Runner.total_backoff
+
+let test_runner_backoff_accumulates () =
+  let wl = Workload.inventory () in
+  let r =
+    Runner.run small_config wl (Harness.make Harness.Tso wl)
+  in
+  checkb "some restarts happened" true (r.Runner.restarts > 0);
+  checkb "give-ups are rare under the default cap" true
+    (r.Runner.gave_up * 10 < r.Runner.restarts + 10);
+  checkb "backoff time accumulated" true
+    (r.Runner.total_backoff >= 4.0 *. float_of_int (r.Runner.restarts - r.Runner.gave_up));
+  checkb "streak recorded" true
+    (r.Runner.max_restart_streak > 0
+     && r.Runner.max_restart_streak <= r.Runner.restarts)
+
 let suite =
   [ Alcotest.test_case "event queue: time order" `Quick test_event_queue_order;
     Alcotest.test_case "event queue: fifo on ties" `Quick test_event_queue_fifo_ties;
@@ -374,4 +467,10 @@ let suite =
     Alcotest.test_case "gc: under concurrency, certified" `Slow test_gc_under_concurrency_certifies;
     Alcotest.test_case "NoCC under contention is not serializable" `Quick test_nocc_not_serializable_under_contention;
     Alcotest.test_case "HDD: zero registrations on cross-class reads" `Quick test_hdd_zero_cross_class_registrations;
-    Alcotest.test_case "HDD: full completion on the tree" `Quick test_hdd_never_blocks_or_rejects_cross_reads ]
+    Alcotest.test_case "HDD: full completion on the tree" `Quick test_hdd_never_blocks_or_rejects_cross_reads;
+    Alcotest.test_case "retry: backoff shape" `Quick test_retry_backoff_shape;
+    Alcotest.test_case "retry: jitter bounded, deterministic" `Quick test_retry_jitter_bounded_and_deterministic;
+    Alcotest.test_case "retry: fixed matches legacy" `Quick test_retry_fixed_matches_legacy;
+    Alcotest.test_case "retry: exhaustion and livelock" `Quick test_retry_exhaustion_and_livelock;
+    Alcotest.test_case "runner: restart cap gives up" `Quick test_runner_restart_cap_gives_up;
+    Alcotest.test_case "runner: backoff accumulates" `Quick test_runner_backoff_accumulates ]

@@ -5,6 +5,8 @@
 module Codec = Hdd_storage.Codec
 module Wal = Hdd_storage.Wal
 module Durable = Hdd_storage.Durable
+module Fault = Hdd_storage.Fault
+module Torture = Hdd_storage.Torture
 module Scheduler = Hdd_core.Scheduler
 module Outcome = Hdd_core.Outcome
 module Store = Hdd_mvstore.Store
@@ -93,7 +95,7 @@ let prop_codec_random =
 
 let test_wal_roundtrip () =
   let path = fresh "hdd_wal_roundtrip.log" in
-  let wal = Wal.create ~path in
+  let wal = Wal.create ~path () in
   List.iter (Wal.append wal) sample_records;
   checki "appended" 5 (Wal.appended wal);
   Wal.sync wal;
@@ -107,7 +109,7 @@ let test_wal_roundtrip () =
 
 let test_wal_torn_tail () =
   let path = fresh "hdd_wal_torn.log" in
-  let wal = Wal.create ~path in
+  let wal = Wal.create ~path () in
   List.iter (Wal.append wal) sample_records;
   Wal.close wal;
   (* tear the last 3 bytes off, as a crash mid-append would *)
@@ -121,10 +123,10 @@ let test_wal_torn_tail () =
 
 let test_wal_append_across_sessions () =
   let path = fresh "hdd_wal_sessions.log" in
-  let w1 = Wal.create ~path in
+  let w1 = Wal.create ~path () in
   Wal.append w1 (List.hd sample_records);
   Wal.close w1;
-  let w2 = Wal.create ~path in
+  let w2 = Wal.create ~path () in
   Wal.append w2 (List.nth sample_records 3);
   Wal.close w2;
   let { Wal.records; complete; _ } = Wal.read_all ~path in
@@ -359,6 +361,196 @@ let test_durable_adhoc_logged () =
   checki "adhoc write to D2 recovered" 7 (read_latest (gr 2 0));
   checki "adhoc write to D1 recovered" 8 (read_latest (gr 1 0))
 
+(* --- fault injection through the sink --- *)
+
+let faulty_db ~plan ~path =
+  Durable.create ~sync_on_commit:true
+    ~sink:(Fault.apply plan (Fault.file_sink ~fsync:false ~path ()))
+    ~path ~partition ()
+
+let test_wal_missing_file () =
+  let path = fresh "hdd_wal_missing.log" in
+  let { Wal.records; complete; bytes_read } = Wal.read_all ~path in
+  checkb "missing file is the empty log" true complete;
+  checki "no records" 0 (List.length records);
+  checki "no bytes" 0 bytes_read;
+  (* recovery of a database that was never written: initial state *)
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 42) in
+  checkb "intact" true r.Durable.log_intact;
+  checki "nothing committed" 0 r.Durable.committed;
+  (match
+     Store.committed_before r.Durable.store (gr 2 0)
+       ~ts:(r.Durable.last_time + 1)
+   with
+  | Some v -> checki "bootstrap value" 42 v.Hdd_mvstore.Chain.value
+  | None -> Alcotest.fail "bootstrap version missing")
+
+(* Crash between the write-append and the commit-append must never
+   resurrect the transaction.  The workload logs exactly 7 frames
+   (B,W,C for t1; B,W,W,C for t2); crash after every prefix length and
+   check that t2's writes appear only once its commit frame is down.
+   Note the crash fires while the commit append is still in flight, so
+   the ack is returned only if the NEXT frame is also reached: acked
+   implies the commit frame is durable, never the converse — at
+   crash_at = 7 t2's commit is durable but unacknowledged (the
+   "in-flight commit" recovery may keep). *)
+let test_flush_ordering_no_resurrection () =
+  for crash_at = 1 to 8 do
+    let path = fresh "hdd_fault_order.log" in
+    let plan = Fault.plan [ Fault.Crash_after_frames crash_at ] in
+    let db = faulty_db ~plan ~path in
+    let t1_acked = ref false and t2_acked = ref false in
+    (try
+       let t1 = Durable.begin_update db ~class_id:2 in
+       ignore (Durable.write db t1 (gr 2 0) 1);
+       Durable.commit db t1;
+       t1_acked := true;
+       let t2 = Durable.begin_update db ~class_id:2 in
+       ignore (Durable.write db t2 (gr 2 1) 2);
+       ignore (Durable.write db t2 (gr 2 0) 3);
+       Durable.commit db t2;
+       t2_acked := true
+     with Fault.Crash _ -> ());
+    (try Durable.close db with Fault.Crash _ -> ());
+    checkb "t1 acked iff a frame beyond its commit went down" (crash_at >= 4)
+      !t1_acked;
+    checkb "t2 acked iff the crash never fired" (crash_at >= 8) !t2_acked;
+    let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+    let latest g =
+      match
+        Store.committed_before r.Durable.store g
+          ~ts:(r.Durable.last_time + 1)
+      with
+      | Some v -> v.Hdd_mvstore.Chain.value
+      | None -> Alcotest.fail "missing version"
+    in
+    (* everything is deterministic: a txn's values are installed exactly
+       when its commit frame (t1: frame 3, t2: frame 7) is durable; a
+       write frame without its commit frame never resurrects *)
+    let expect_0 = if crash_at >= 7 then 3 else if crash_at >= 3 then 1 else 0
+    and expect_1 = if crash_at >= 7 then 2 else 0 in
+    checki "granule 0 recovers its committed prefix" expect_0
+      (latest (gr 2 0));
+    checki "granule 1 recovers its committed prefix" expect_1
+      (latest (gr 2 1))
+  done
+
+let test_fault_corrupt_mid_log () =
+  let path = fresh "hdd_fault_corrupt.log" in
+  (* three committed txns, one bit flipped inside the second txn's
+     frames: recovery keeps the first, hides the rest, reports damage *)
+  let plan = Fault.plan [ Fault.Bit_flip { byte = 130; bit = 4 } ] in
+  let db = faulty_db ~plan ~path in
+  for i = 1 to 3 do
+    let t = Durable.begin_update db ~class_id:2 in
+    ignore (Durable.write db t (gr 2 i) i);
+    Durable.commit db t
+  done;
+  Durable.close db;
+  checkb "the flip fired" true
+    (List.exists
+       (function Fault.Bit_flip _ -> true | _ -> false)
+       (Fault.fired plan));
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "damage detected" false r.Durable.log_intact;
+  checki "only the prefix commit survives" 1 r.Durable.committed;
+  (match
+     Store.committed_before r.Durable.store (gr 2 1)
+       ~ts:(r.Durable.last_time + 1)
+   with
+  | Some v -> checki "first txn intact" 1 v.Hdd_mvstore.Chain.value
+  | None -> Alcotest.fail "first txn lost");
+  (* the corrupted txns are hidden entirely, never half-applied *)
+  List.iter
+    (fun key ->
+      match
+        Store.committed_before r.Durable.store (gr 2 key)
+          ~ts:(r.Durable.last_time + 1)
+      with
+      | Some v -> checki "corrupted txn hidden" 0 v.Hdd_mvstore.Chain.value
+      | None -> ())
+    [ 2; 3 ]
+
+let test_double_recovery () =
+  let path = fresh "hdd_fault_double.log" in
+  (* session 1 tears mid-append; session 2 (on the recovered state)
+     crashes whole-frame; session 3 must see both sessions' commits *)
+  let plan1 = Fault.plan [ Fault.Torn_write { frame = 4; keep = 10 } ] in
+  let db1 = faulty_db ~plan:plan1 ~path in
+  (try
+     let t1 = Durable.begin_update db1 ~class_id:2 in
+     ignore (Durable.write db1 t1 (gr 2 0) 1);
+     Durable.commit db1 t1;
+     let t2 = Durable.begin_update db1 ~class_id:2 in
+     ignore (Durable.write db1 t2 (gr 2 1) 2);
+     Durable.commit db1 t2
+   with Fault.Crash _ -> ());
+  (try Durable.close db1 with Fault.Crash _ -> ());
+  let r1 = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "tear detected" false r1.Durable.log_intact;
+  checki "session 1 commit recovered" 1 r1.Durable.committed;
+  (* resume on the recovery (truncating the torn tail), commit, crash *)
+  let plan2 = Fault.plan [ Fault.Crash_after_frames 3 ] in
+  let db2 =
+    Durable.of_recovery ~sync_on_commit:true
+      ~sink:(Fault.apply plan2 (Fault.file_sink ~fsync:false ~path ()))
+      ~path ~partition r1
+  in
+  (try
+     let t3 = Durable.begin_update db2 ~class_id:1 in
+     ignore (Durable.write db2 t3 (gr 1 0) 33);
+     Durable.commit db2 t3;
+     let t4 = Durable.begin_update db2 ~class_id:1 in
+     ignore (Durable.write db2 t4 (gr 1 1) 44);
+     Durable.commit db2 t4
+   with Fault.Crash _ -> ());
+  (try Durable.close db2 with Fault.Crash _ -> ());
+  let r2 = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checki "both sessions' commits recovered" 2 r2.Durable.committed;
+  let latest g =
+    match
+      Store.committed_before r2.Durable.store g ~ts:(r2.Durable.last_time + 1)
+    with
+    | Some v -> v.Hdd_mvstore.Chain.value
+    | None -> Alcotest.fail "missing version"
+  in
+  checki "session 1's value" 1 (latest (gr 2 0));
+  checki "session 2's value" 33 (latest (gr 1 0));
+  checkb "session 2's unfinished txn hidden" true (latest (gr 1 1) = 0);
+  checkb "clock dominates both sessions" true
+    (r2.Durable.last_time >= r1.Durable.last_time)
+
+let test_transient_append_error () =
+  let path = fresh "hdd_fault_transient.log" in
+  let plan = Fault.plan [ Fault.Append_error { frame = 0 } ] in
+  let db = faulty_db ~plan ~path in
+  (* the very first begin fails; Durable rolls the scheduler back *)
+  (match Durable.begin_update db ~class_id:2 with
+  | _ -> Alcotest.fail "append error swallowed"
+  | exception Fault.Io_error _ -> ());
+  checki "no half-begun transaction" 0 (Durable.in_flight db);
+  (* the fault was transient: the next transaction goes through *)
+  let t = Durable.begin_update db ~class_id:2 in
+  ignore (Durable.write db t (gr 2 0) 9);
+  Durable.commit db t;
+  Durable.close db;
+  let r = Durable.recover ~path ~segments:3 ~init:(fun _ -> 0) in
+  checkb "log intact" true r.Durable.log_intact;
+  checki "the retried transaction committed" 1 r.Durable.committed
+
+let test_torture_500_cycles () =
+  let path = fresh "hdd_torture.log" in
+  let report = Torture.run ~partition ~path ~seeds:500 () in
+  (match report.Torture.violating with
+  | [] -> ()
+  | bad ->
+    Alcotest.failf "%a" Torture.pp_report { report with Torture.violating = bad });
+  checki "all cycles ran" 500 report.Torture.cycles;
+  checkb "crashes actually fired" true (report.Torture.crashes > 100);
+  checkb "corruption actually fired" true (report.Torture.corruptions > 20);
+  checkb "work was acknowledged" true (report.Torture.acknowledged > 1000);
+  checkb "work was recovered" true (report.Torture.recovered > 0)
+
 let suite =
   [ Alcotest.test_case "codec: roundtrip" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec: truncation" `Quick test_codec_truncation;
@@ -374,4 +566,10 @@ let suite =
     Alcotest.test_case "durable: checkpoint refuses in-flight" `Quick test_checkpoint_refuses_in_flight;
     Alcotest.test_case "durable: crash-point fuzz" `Quick test_crash_point_fuzz;
     Alcotest.test_case "durable: ad-hoc transactions logged" `Quick test_durable_adhoc_logged;
-    QCheck_alcotest.to_alcotest prop_durable_random_recovery ]
+    QCheck_alcotest.to_alcotest prop_durable_random_recovery;
+    Alcotest.test_case "wal: missing file recovers empty" `Quick test_wal_missing_file;
+    Alcotest.test_case "fault: write/commit flush ordering" `Quick test_flush_ordering_no_resurrection;
+    Alcotest.test_case "fault: corruption mid-log" `Quick test_fault_corrupt_mid_log;
+    Alcotest.test_case "fault: double recovery" `Quick test_double_recovery;
+    Alcotest.test_case "fault: transient append error" `Quick test_transient_append_error;
+    Alcotest.test_case "torture: 500 crash/recover cycles" `Slow test_torture_500_cycles ]
