@@ -108,7 +108,9 @@ let workload_of_name name =
 let spec_of_name = function
   | "HDD" | "hdd" -> Harness.Hdd
   | "2PL" | "2pl" -> Harness.S2pl
+  | "2PL-noRL" | "2pl-norl" -> Harness.S2plNoRl
   | "TSO" | "tso" -> Harness.Tso
+  | "TSO-noRTS" | "tso-norts" -> Harness.TsoNoRts
   | "MVTO" | "mvto" -> Harness.Mvto
   | "MV2PL" | "mv2pl" -> Harness.Mv2pl
   | "SDD-1" | "sdd1" -> Harness.Sdd1
@@ -397,6 +399,102 @@ let torture_cmd =
              recovery invariants")
     Term.(const run $ seeds $ first_seed $ workload $ path)
 
+let explore_cmd =
+  let module Explore = Hdd_check.Explore in
+  let module Scenarios = Hdd_check.Scenarios in
+  let module Shrink = Hdd_check.Shrink in
+  let scenario =
+    Arg.(value & opt string "all" & info [ "s"; "scenario" ] ~docv:"NAME"
+           ~doc:"Scenario (fig1, fig34, wall, adhoc) or 'all'.")
+  in
+  let system =
+    Arg.(value & opt string "all" & info [ "p"; "system" ] ~docv:"SYS"
+           ~doc:"System (HDD, 2PL, 2PL-noRL, TSO, TSO-noRTS, MVTO, MV2PL, \
+                 SDD-1, NoCC) or 'all'.")
+  in
+  let exhaustive =
+    Arg.(value & flag & info [ "exhaustive" ]
+           ~doc:"Enumerate every interleaving literally instead of one \
+                 representative per Mazurkiewicz trace.")
+  in
+  let max_schedules =
+    Arg.(value & opt int 500_000 & info [ "max-schedules" ] ~docv:"N"
+           ~doc:"Stop after N complete interleavings.")
+  in
+  let shrink =
+    Arg.(value & flag & info [ "shrink" ]
+           ~doc:"Minimise and print the first anomalous trial of each \
+                 system that shows one.")
+  in
+  let run sc_name sys_name exhaustive max_schedules do_shrink =
+    let scenarios =
+      if sc_name = "all" then Scenarios.all else [ Scenarios.find sc_name ]
+    in
+    let systems =
+      if sys_name = "all" then Explore.all_systems
+      else [ Explore.system sys_name ]
+    in
+    let table =
+      Table.create ~title:"schedule-space exploration"
+        ~columns:
+          [ "scenario"; "system"; "schedules"; "pruned"; "serializable";
+            "anomalies"; "deadlocks"; "rejections"; "verdict" ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (sc : Scenarios.t) ->
+        List.iter
+          (fun (sys : Explore.system) ->
+            let s =
+              Explore.explore ~prune:(not exhaustive) ~max_schedules sys
+                sc.Scenarios.workload
+            in
+            let expected =
+              List.mem sys.Explore.sys_name sc.Scenarios.expect_anomaly
+            in
+            let ok =
+              (not s.Explore.capped)
+              && (s.Explore.anomalies > 0) = expected
+            in
+            if not ok then incr failures;
+            Table.add_row table
+              [ sc.Scenarios.sc_name; s.Explore.sum_system;
+                string_of_int s.Explore.schedules;
+                string_of_int s.Explore.pruned;
+                string_of_int s.Explore.serializable;
+                string_of_int s.Explore.anomalies;
+                string_of_int s.Explore.deadlocks;
+                string_of_int s.Explore.rejections;
+                (if s.Explore.capped then "CAPPED"
+                 else if ok then "ok"
+                 else "UNEXPECTED") ];
+            if do_shrink && s.Explore.anomalies > 0 then
+              match s.Explore.examples with
+              | [] -> ()
+              | trial :: _ -> (
+                match
+                  Shrink.minimize sys sc.Scenarios.workload
+                    trial.Explore.t_schedule
+                with
+                | Some r ->
+                  Format.printf "@[<v>%s on %s:@,%a@]@.@."
+                    sys.Explore.sys_name sc.Scenarios.sc_name
+                    Shrink.pp_report r
+                | None -> ()))
+          systems)
+      scenarios;
+    Table.print table;
+    if !failures > 0 then begin
+      Printf.printf "%d scenario/system pairs off expectation\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Enumerate the schedule space of the anomaly scenarios and \
+             certify every interleaving under each system")
+    Term.(const run $ scenario $ system $ exhaustive $ max_schedules $ shrink)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -426,4 +524,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
-                      experiments_cmd ]))
+                      explore_cmd; experiments_cmd ]))

@@ -8,6 +8,7 @@ type 'a undo = { granule : Granule.t; old_value : 'a; old_wts : Time.t }
 type 'a txn_state = {
   txn : Txn.t;
   class_id : int;  (** the ad-hoc class is index [segment_count] *)
+  updates : bool;  (** ad-hoc members only: may this one write? *)
   mutable undo : 'a undo list;
 }
 
@@ -15,8 +16,8 @@ type 'a t = {
   clock : Time.Clock.clock;
   store : 'a Sv.t;
   states : (Txn.id, 'a txn_state) Hashtbl.t;
-  active : (Txn.id, Txn.t) Hashtbl.t array;
-      (** per class; the last slot is the ad-hoc read-only class *)
+  active : (Txn.id, 'a txn_state) Hashtbl.t array;
+      (** per class; the last slot is the ad-hoc class *)
   accessors : int list array;  (** classes whose access set meets segment *)
   writers : int list array;  (** classes writing the segment *)
   adhoc : int;  (** index of the ad-hoc class *)
@@ -26,15 +27,17 @@ type 'a t = {
 }
 
 (* Static conflict analysis over the declared transaction types.  Ad-hoc
-   read-only transactions get a synthetic class whose access set covers
-   every segment: SDD-1 gives them no special handling, so conflict
-   analysis must assume they may read anything. *)
+   transactions get a synthetic class whose access set covers every
+   segment: SDD-1 gives them no special handling, so conflict analysis
+   must assume they may read anything — and, for ad-hoc updates, write
+   anything.  The class joins every [writers] list too; reads filter out
+   its read-only members dynamically, since only updaters conflict. *)
 let analyse (partition : Partition.t) =
   let spec = partition.Partition.spec in
   let n = Spec.segment_count spec in
   let adhoc = n in
   let accessors = Array.make n [ adhoc ] in
-  let writers = Array.make n [] in
+  let writers = Array.make n [ adhoc ] in
   Array.iter
     (fun (ty : Spec.txn_type) ->
       let cls =
@@ -66,23 +69,24 @@ let state_of t (txn : Txn.t) =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Sdd1: unknown transaction %d" txn.Txn.id)
 
-let begin_in_class t class_id =
+let begin_in_class t class_id ~updates =
   let id = t.next_id in
   t.next_id <- id + 1;
   let txn =
     Txn.make ~id ~kind:(Txn.Update class_id) ~init:(Time.Clock.tick t.clock)
   in
-  Hashtbl.replace t.states id { txn; class_id; undo = [] };
-  Hashtbl.replace t.active.(class_id) id txn;
+  let st = { txn; class_id; updates; undo = [] } in
+  Hashtbl.replace t.states id st;
+  Hashtbl.replace t.active.(class_id) id st;
   t.m.begins <- t.m.begins + 1;
   txn
 
 let begin_txn t ~class_id =
   if class_id < 0 || class_id >= t.adhoc then
     invalid_arg (Printf.sprintf "Sdd1.begin_txn: class %d" class_id);
-  begin_in_class t class_id
+  begin_in_class t class_id ~updates:true
 
-let begin_adhoc t = begin_in_class t t.adhoc
+let begin_adhoc ?(updates = false) t = begin_in_class t t.adhoc ~updates
 
 let log_read t ~txn ~granule ~version =
   match t.log with
@@ -94,25 +98,32 @@ let log_write t ~txn ~granule ~version =
   | None -> ()
   | Some log -> Sched_log.log_write log ~txn ~granule ~version
 
-(* Older active transactions in any of the given classes. *)
-let older_actives t classes ~than ~self =
+(* Older active transactions in any of the given classes that satisfy
+   [keep]. *)
+let older_actives t classes ~than ~self ~keep =
   List.concat_map
     (fun c ->
       Hashtbl.fold
-        (fun id (txn : Txn.t) acc ->
-          if id <> self && txn.Txn.init < than && Txn.is_active txn then
-            id :: acc
+        (fun id st acc ->
+          if
+            id <> self && st.txn.Txn.init < than && Txn.is_active st.txn
+            && keep st
+          then id :: acc
           else acc)
         t.active.(c) [])
     classes
   |> List.sort_uniq compare
+
+let any _ = true
 
 let read t txn g =
   let st = state_of t txn in
   t.m.reads <- t.m.reads + 1;
   let seg = g.Granule.segment in
   let conflicting = List.sort_uniq compare (st.class_id :: t.writers.(seg)) in
-  match older_actives t conflicting ~than:txn.Txn.init ~self:txn.Txn.id with
+  (* a read conflicts with an older ad-hoc member only if it may write *)
+  let keep st' = st'.class_id <> t.adhoc || st'.updates in
+  match older_actives t conflicting ~than:txn.Txn.init ~self:txn.Txn.id ~keep with
   | [] ->
     let value, wts = Sv.read t.store g in
     (* conflict analysis replaces registration: nothing is recorded *)
@@ -125,12 +136,19 @@ let read t txn g =
 let write t txn g value =
   let st = state_of t txn in
   t.m.writes <- t.m.writes + 1;
+  if st.class_id = t.adhoc && not st.updates then begin
+    t.m.rejects <- t.m.rejects + 1;
+    Rejected "read-only ad-hoc transaction may not write"
+  end
+  else begin
   let seg = g.Granule.segment in
   let conflicting =
     List.sort_uniq compare
       (st.class_id :: (t.accessors.(seg) @ t.writers.(seg)))
   in
-  match older_actives t conflicting ~than:txn.Txn.init ~self:txn.Txn.id with
+  match
+    older_actives t conflicting ~than:txn.Txn.init ~self:txn.Txn.id ~keep:any
+  with
   | [] ->
     let old_value, old_wts = Sv.read t.store g in
     let already = List.exists (fun u -> Granule.equal u.granule g) st.undo in
@@ -143,6 +161,7 @@ let write t txn g value =
   | blockers ->
     t.m.blocks <- t.m.blocks + 1;
     Blocked blockers
+  end
 
 let finish t (st : 'a txn_state) =
   Hashtbl.remove t.active.(st.class_id) st.txn.Txn.id;

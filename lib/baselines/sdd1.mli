@@ -32,10 +32,13 @@ val metrics : 'a t -> Cc_metrics.t
 val begin_txn : 'a t -> class_id:int -> Txn.t
 (** @raise Invalid_argument on an out-of-range class. *)
 
-val begin_adhoc : 'a t -> Txn.t
-(** An ad-hoc (read-only) transaction: SDD-1 gives it no special handling,
-    so it joins a synthetic class whose declared access set covers every
-    segment — conflict analysis then orders every writer against it. *)
+val begin_adhoc : ?updates:bool -> 'a t -> Txn.t
+(** An ad-hoc transaction: SDD-1 gives it no special handling, so it
+    joins a synthetic class whose declared access set covers every
+    segment — conflict analysis then orders every writer against it.
+    With [updates] (default false) the transaction may also write, and
+    conflict analysis additionally orders every younger {e reader}
+    behind it; without it the member is read-only and readers pass. *)
 
 val read : 'a t -> Txn.t -> Granule.t -> 'a Hdd_core.Outcome.t
 val write : 'a t -> Txn.t -> Granule.t -> 'a -> unit Hdd_core.Outcome.t

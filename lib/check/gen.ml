@@ -1,0 +1,127 @@
+module Spec = Hdd_core.Spec
+module Partition = Hdd_core.Partition
+module Prng = Hdd_util.Prng
+module Controller = Hdd_sim.Controller
+open Explore
+
+let keys_per_segment = 2
+
+let random_tree g n =
+  Array.init n (fun i -> if i = 0 then -1 else Prng.int g i)
+
+(* The ancestor chain of [i], nearest first: parent, grandparent, ... *)
+let chain parent i =
+  let rec up j = if j < 0 then [] else j :: up parent.(j) in
+  up parent.(i)
+
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+let tst_spec g =
+  let n = 2 + Prng.int g 3 in
+  let parent = random_tree g n in
+  (* Class [i] reads a contiguous prefix of its ancestor chain.  Reading
+     [k] ancestors is only legal when the parent class reads [k - 1]:
+     every deep arc [i -> a] must be transitively induced by the chain
+     arcs, or two siblings reading a shared grandparent close an
+     undirected cycle in the reduction.  Choosing depths top-down under
+     that bound keeps every draw TST-hierarchical. *)
+  let depth = Array.make n 0 in
+  let types =
+    List.init n (fun i ->
+        let anc = chain parent i in
+        let allowed =
+          if anc = [] then 0
+          else min (List.length anc) (1 + depth.(parent.(i)))
+        in
+        depth.(i) <- (if allowed = 0 then 0 else Prng.int g (allowed + 1));
+        let reads = take depth.(i) anc in
+        let reads = if Prng.bool g then i :: reads else reads in
+        Spec.txn_type ~name:(Printf.sprintf "c%d" i) ~writes:[ i ] ~reads)
+  in
+  Spec.make
+    ~segments:(List.init n (Printf.sprintf "seg%d"))
+    ~types
+
+let non_tst_spec g =
+  match Prng.int g 3 with
+  | 0 ->
+    (* one type writing two segments *)
+    Spec.make ~segments:[ "a"; "b" ]
+      ~types:[ Spec.txn_type ~name:"wide" ~writes:[ 0; 1 ] ~reads:[] ]
+  | 1 ->
+    (* a two-segment cycle *)
+    Spec.make ~segments:[ "a"; "b" ]
+      ~types:
+        [ Spec.txn_type ~name:"up" ~writes:[ 0 ] ~reads:[ 1 ];
+          Spec.txn_type ~name:"down" ~writes:[ 1 ] ~reads:[ 0 ] ]
+  | _ ->
+    (* a diamond: two undirected critical paths join 3 and 0 *)
+    Spec.make
+      ~segments:[ "top"; "left"; "right"; "bottom" ]
+      ~types:
+        [ Spec.txn_type ~name:"l" ~writes:[ 1 ] ~reads:[ 0 ];
+          Spec.txn_type ~name:"r" ~writes:[ 2 ] ~reads:[ 0 ];
+          Spec.txn_type ~name:"b" ~writes:[ 3 ] ~reads:[ 1; 2 ] ]
+
+let granule g ~segment =
+  Granule.make ~segment ~key:(Prng.int g keys_per_segment)
+
+let workload ?(adhoc = false) g =
+  let spec = tst_spec g in
+  let partition = Partition.build_exn spec in
+  let n = Spec.segment_count spec in
+  let readable_of =
+    (* exactly the segments the scheduler will serve this class: its own
+       (Protocol B) and every higher one (Protocol A) *)
+    Array.init n (fun c ->
+        Array.of_list
+          (List.filter
+             (fun s -> Partition.may_read partition ~class_id:c ~segment:s)
+             (List.init n Fun.id)))
+  in
+  let update_prog idx =
+    let c = Prng.int g n in
+    let readable = readable_of.(c) in
+    let nops = 1 + Prng.int g 3 in
+    let ops =
+      List.init nops (fun _ ->
+          if Prng.bool g then Write (granule g ~segment:c, Prng.int g 100)
+          else Read (granule g ~segment:(Prng.pick g readable)))
+    in
+    { label = Printf.sprintf "u%d" idx; kind = Controller.Update c; ops }
+  in
+  let nupd = 2 + Prng.int g 2 in
+  let updates = List.init nupd update_prog in
+  let ro =
+    if Prng.int g 3 = 0 then []
+    else
+      let nops = 1 + Prng.int g 3 in
+      [ { label = "ro"; kind = Controller.Read_only;
+          ops =
+            List.init nops (fun _ ->
+                Read (granule g ~segment:(Prng.int g n))) } ]
+  in
+  let adhoc_prog =
+    if not adhoc then []
+    else begin
+      let w1 = Prng.int g n in
+      let w2 = Prng.int g n in
+      let writes = List.sort_uniq compare [ w1; w2 ] in
+      let reads = List.sort_uniq compare (writes @ [ Prng.int g n ]) in
+      [ { label = "adhoc"; kind = Controller.Adhoc { writes; reads };
+          ops =
+            List.map (fun s -> Write (granule g ~segment:s, 900 + s)) writes
+            @ List.map (fun s -> Read (granule g ~segment:s)) reads } ]
+    end
+  in
+  { name = "rand";
+    partition;
+    init = (fun _ -> 0);
+    progs = updates @ ro @ adhoc_prog }
+
+let schedule g wl =
+  let n = List.length wl.progs in
+  let len = 2 * total_steps wl in
+  List.init len (fun _ -> Prng.int g n)

@@ -1,0 +1,28 @@
+(** Seeded random generation for the conformance properties: partition
+    specs (legal and deliberately illegal), bounded workloads and
+    schedules, all driven by {!Hdd_util.Prng} so every property failure
+    replays from its seed. *)
+
+module Spec = Hdd_core.Spec
+
+val tst_spec : Hdd_util.Prng.t -> Spec.t
+(** A random TST-hierarchical spec: a random tree of 2–4 segments, one
+    type per segment writing its segment and reading a random subset of
+    its ancestor path.  {!Hdd_core.Partition.build} must accept it. *)
+
+val non_tst_spec : Hdd_util.Prng.t -> Spec.t
+(** A random violation — a type writing two segments, a two-segment
+    cycle, or a diamond join — {!Hdd_core.Partition.build} must reject
+    it. *)
+
+val workload : ?adhoc:bool -> Hdd_util.Prng.t -> Explore.workload
+(** A bounded workload over a fresh {!tst_spec} partition: two or three
+    update programs reading within their class's legal pattern, usually
+    an ad-hoc read-only program, and — with [adhoc] (default false) — an
+    ad-hoc update program writing several segments.  The default is
+    adhoc-free because Protocol A's no-reject guarantee only holds
+    outside ad-hoc activity windows (§7.1.1's barrier). *)
+
+val schedule : Hdd_util.Prng.t -> Explore.workload -> int list
+(** A random choice sequence for {!Explore.run_schedule}'s tolerant
+    replay, long enough to interleave every program's steps. *)

@@ -1,0 +1,117 @@
+module Certifier = Hdd_core.Certifier
+open Explore
+
+type result = {
+  r_workload : Explore.workload;
+  r_schedule : int list;
+  r_trial : Explore.trial;
+  r_deleted : int;
+}
+
+let default_bad tr = not tr.t_verdict.Certifier.serializable
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* Deleting program [i] renumbers the programs above it; the schedule
+   follows suit. *)
+let without_prog wl schedule i =
+  let wl = { wl with progs = drop_nth i wl.progs } in
+  let schedule =
+    List.filter_map
+      (fun t -> if t = i then None else Some (if t > i then t - 1 else t))
+      schedule
+  in
+  (wl, schedule)
+
+let without_op wl schedule i j =
+  let progs =
+    List.mapi
+      (fun k p -> if k = i then { p with ops = drop_nth j p.ops } else p)
+      wl.progs
+  in
+  ({ wl with progs }, schedule)
+
+(* One left-to-right pass over every candidate deletion, restarted from
+   scratch after each accepted one; terminates because every acceptance
+   strictly shrinks the total size. *)
+let minimize ?(bad = default_bad) sys wl schedule =
+  let trial = run_schedule sys wl schedule in
+  if not (bad trial) then None
+  else begin
+    let state = ref (wl, schedule, trial) in
+    let deleted = ref 0 in
+    let try_candidate (wl', sched') =
+      let tr = run_schedule sys wl' sched' in
+      if bad tr then begin
+        state := (wl', sched', tr);
+        incr deleted;
+        true
+      end
+      else false
+    in
+    let pass () =
+      let wl, sched, _ = !state in
+      let n = List.length wl.progs in
+      let rec progs i =
+        if i >= n then false
+        else if n > 1 && try_candidate (without_prog wl sched i) then true
+        else progs (i + 1)
+      in
+      let rec ops i =
+        if i >= n then false
+        else
+          let p = List.nth wl.progs i in
+          let rec op j =
+            if j >= List.length p.ops then false
+            else if try_candidate (without_op wl sched i j) then true
+            else op (j + 1)
+          in
+          if op 0 then true else ops (i + 1)
+      in
+      let rec choices k =
+        if k >= List.length sched then false
+        else if try_candidate (wl, drop_nth k sched) then true
+        else choices (k + 1)
+      in
+      progs 0 || ops 0 || choices 0
+    in
+    while pass () do
+      ()
+    done;
+    let wl, sched, tr = !state in
+    Some { r_workload = wl; r_schedule = sched; r_trial = tr;
+           r_deleted = !deleted }
+  end
+
+let pp_report ppf r =
+  let wl = r.r_workload in
+  let label_of_txn id =
+    if id = 0 then Some "init"
+    else
+      List.find_map
+        (fun ev ->
+          match ev.ev_action with
+          | Begin when ev.ev_txn = id -> Some (Explore.label wl ev.ev_prog)
+          | _ -> None)
+        r.r_trial.t_events
+  in
+  Format.fprintf ppf "@[<v>minimal counterexample (%d deletions):@,"
+    r.r_deleted;
+  List.iteri
+    (fun i p ->
+      Format.fprintf ppf "  prog %d %s [%a]: %d ops@," i p.label
+        Explore.Controller.pp_kind p.kind (List.length p.ops))
+    wl.progs;
+  pp_trial wl ppf r.r_trial;
+  (match r.r_trial.t_verdict.Certifier.cycle with
+  | Some cycle ->
+    Format.fprintf ppf "@,witness: ";
+    List.iteri
+      (fun i id ->
+        if i > 0 then Format.pp_print_string ppf " -> ";
+        match label_of_txn id with
+        | Some l -> Format.fprintf ppf "%s(t%d)" l id
+        | None -> Format.fprintf ppf "t%d" id)
+      cycle
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Counterexample shrinking: greedy delta debugging over a failing
+    trial.
+
+    A failure is any trial matching the [bad] predicate (by default, a
+    committed schedule the certifier refuses).  The shrinker repeatedly
+    tries to delete a whole program, a single operation, or a single
+    schedule choice, keeping any deletion that still fails, until no
+    deletion does.  {!Explore.run_schedule}'s tolerant replay is what
+    makes this sound: every candidate [(workload, schedule)] pair is
+    executable, so candidates never need repair. *)
+
+type result = {
+  r_workload : Explore.workload;  (** the surviving programs *)
+  r_schedule : int list;
+  r_trial : Explore.trial;  (** the minimal failing trial *)
+  r_deleted : int;  (** accepted deletions *)
+}
+
+val minimize :
+  ?bad:(Explore.trial -> bool) ->
+  Explore.system ->
+  Explore.workload ->
+  int list ->
+  result option
+(** [None] when the starting schedule does not fail [bad] — there is
+    nothing to shrink. *)
+
+val pp_report : Format.formatter -> result -> unit
+(** The minimal event sequence plus the certifier's witness cycle with
+    transaction ids resolved back to program labels. *)

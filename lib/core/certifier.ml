@@ -103,3 +103,19 @@ let equivalent_serial_order log =
   match Digraph.topological_sort graph with
   | None -> None
   | Some order -> Some (List.rev order)
+
+let pp_cycle ppf cycle =
+  match cycle with
+  | [] -> Format.pp_print_string ppf "(empty cycle)"
+  | first :: _ ->
+    List.iter (fun id -> Format.fprintf ppf "t%d -> " id) cycle;
+    Format.fprintf ppf "t%d" first
+
+let pp_verdict ppf v =
+  if v.serializable then Format.pp_print_string ppf "serializable"
+  else
+    Format.fprintf ppf "NOT serializable (witness %a)"
+      (fun ppf -> function
+        | Some c -> pp_cycle ppf c
+        | None -> Format.pp_print_string ppf "?")
+      v.cycle

@@ -111,7 +111,8 @@ let sdd1 ?log ~partition ~init () =
     begin_txn =
       (function
       | Controller.Update class_id -> B.Sdd1.begin_txn c ~class_id
-      | Controller.Read_only | Controller.Adhoc _ -> B.Sdd1.begin_adhoc c);
+      | Controller.Read_only -> B.Sdd1.begin_adhoc c
+      | Controller.Adhoc _ -> B.Sdd1.begin_adhoc ~updates:true c);
     read = B.Sdd1.read c;
     write = B.Sdd1.write c;
     commit = B.Sdd1.commit c;

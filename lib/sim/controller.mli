@@ -36,3 +36,19 @@ type t = {
   abort : Txn.t -> unit;
   snapshot : unit -> counters;
 }
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val with_hooks :
+  ?on_begin:(kind -> Txn.t -> unit) ->
+  ?on_read:(Txn.t -> Granule.t -> int Hdd_core.Outcome.t -> unit) ->
+  ?on_write:(Txn.t -> Granule.t -> unit Hdd_core.Outcome.t -> unit) ->
+  ?on_finish:(Txn.t -> commit:bool -> unit) ->
+  t ->
+  t
+(** Deterministic observation hooks around every concurrency-control
+    decision point, with no change in behaviour: the schedule-space
+    explorer and the conformance properties use them to watch a
+    controller decide without instrumenting the controller itself.
+    Finish hooks fire just {e before} the commit/abort reaches the
+    controller, so the observed transaction is still active. *)

@@ -1,9 +1,11 @@
-type spec = Hdd | S2pl | Tso | Mvto | Mv2pl | Sdd1 | Nocc
+type spec = Hdd | S2pl | S2plNoRl | Tso | TsoNoRts | Mvto | Mv2pl | Sdd1 | Nocc
 
 let spec_name = function
   | Hdd -> "HDD"
   | S2pl -> "2PL"
+  | S2plNoRl -> "2PL-noRL"
   | Tso -> "TSO"
+  | TsoNoRts -> "TSO-noRTS"
   | Mvto -> "MVTO"
   | Mv2pl -> "MV2PL"
   | Sdd1 -> "SDD-1"
@@ -11,13 +13,17 @@ let spec_name = function
 
 let all_controlled = [ Hdd; Sdd1; Mv2pl; S2pl; Tso; Mvto ]
 
+let all = [ Hdd; Sdd1; Mv2pl; S2pl; S2plNoRl; Tso; TsoNoRts; Mvto; Nocc ]
+
 let make ?log spec (wl : Workload.t) =
   let init = wl.Workload.init in
   let segments = Workload.segment_count wl in
   match spec with
   | Hdd -> Adapters.hdd ?log ~partition:wl.Workload.partition ~init ()
   | S2pl -> Adapters.s2pl ?log ~init ()
+  | S2plNoRl -> Adapters.s2pl ?log ~read_locks:false ~init ()
   | Tso -> Adapters.tso ?log ~init ()
+  | TsoNoRts -> Adapters.tso ?log ~read_timestamps:false ~init ()
   | Mvto -> Adapters.mvto ?log ~segments ~init ()
   | Mv2pl -> Adapters.mv2pl ?log ~segments ~init ()
   | Sdd1 -> Adapters.sdd1 ?log ~partition:wl.Workload.partition ~init ()

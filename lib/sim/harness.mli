@@ -2,13 +2,26 @@
     integration tests: build fresh controllers for a workload and run a
     protocol comparison over it. *)
 
-type spec = Hdd | S2pl | Tso | Mvto | Mv2pl | Sdd1 | Nocc
+type spec =
+  | Hdd
+  | S2pl
+  | S2plNoRl  (** 2PL with read locks off — the Figure 3 cripple *)
+  | Tso
+  | TsoNoRts  (** TSO with read timestamps off — the Figure 4 cripple *)
+  | Mvto
+  | Mv2pl
+  | Sdd1
+  | Nocc
 
 val spec_name : spec -> string
 val all_controlled : spec list
 (** Every controller that actually enforces serializability (i.e. all but
-    [Nocc]), in Figure 10 presentation order: [Hdd; Sdd1; Mv2pl; S2pl;
-    Tso; Mvto]. *)
+    [Nocc] and the crippled variants), in Figure 10 presentation order:
+    [Hdd; Sdd1; Mv2pl; S2pl; Tso; Mvto]. *)
+
+val all : spec list
+(** Every spec, crippled variants and [Nocc] included — the set the
+    schedule-space explorer sweeps. *)
 
 val make : ?log:Sched_log.t -> spec -> Workload.t -> Controller.t
 (** A fresh controller instance (own clock and store) for the workload. *)

@@ -2,7 +2,13 @@
 
    Generates begin/commit/abort event sequences against a Registry and a
    logical clock, used by the activity-link, time-wall and follows tests
-   to probe the paper's properties on many histories. *)
+   to probe the paper's properties on many histories.
+
+   Histories can mix in ad-hoc read-only transactions (never registered:
+   Protocol C serves them from walls, so activity links must ignore
+   them), ad-hoc update transactions (registered in several classes, the
+   §7.1.1 rule), and abort-heavy schedules (aborts count as activity
+   ends, the boundary Property 2.1 is touchiest around). *)
 
 module Prng = Hdd_util.Prng
 module Spec = Hdd_core.Spec
@@ -38,38 +44,73 @@ let branch_partition branches =
 type t = {
   registry : Registry.t;
   clock : Time.Clock.clock;
-  all : Txn.t list;  (** every generated transaction, oldest first *)
+  all : Txn.t list;
+      (** every registered (update or ad-hoc update) transaction, oldest
+          first; read-only transactions are kept apart because the
+          activity machinery never sees them *)
+  read_only : Txn.t list;  (** ad-hoc read-only transactions, oldest first *)
+  adhoc : (Txn.t * int list) list;
+      (** ad-hoc update transactions with the classes they joined *)
 }
 
 (* Random history: at each step begin a transaction in a random class or
-   finish (commit, mostly) a random active one.  With [quiesce] all
-   remaining transactions commit at the end, making C_late computable
-   everywhere. *)
-let random ?(quiesce = true) ~seed ~steps ~classes () =
+   finish a random active one — committing [commit_bias]/10 of the time,
+   so lowering it makes histories abort-heavy.  [ro_weight] and
+   [adhoc_weight] are percent chances that a begin is an ad-hoc
+   read-only or ad-hoc update transaction; both default off, which keeps
+   the draw sequence (and thus every existing seeded expectation) of the
+   plain generator.  With [quiesce] all remaining transactions commit at
+   the end, making C_late computable everywhere. *)
+let random ?(quiesce = true) ?(commit_bias = 8) ?(ro_weight = 0)
+    ?(adhoc_weight = 0) ~seed ~steps ~classes () =
   let rng = Prng.create seed in
   let registry = Registry.create ~classes in
   let clock = Time.Clock.create () in
   let active = ref [] in
   let all = ref [] in
+  let read_only = ref [] in
+  let adhoc = ref [] in
   let next_id = ref 1 in
   for _ = 1 to steps do
     let begin_one = !active = [] || Prng.bool rng in
     if begin_one then begin
-      let cls = Prng.int rng classes in
-      let txn =
-        Txn.make ~id:!next_id ~kind:(Txn.Update cls)
-          ~init:(Time.Clock.tick clock)
-      in
+      let id = !next_id in
       incr next_id;
-      Registry.register registry txn;
-      active := txn :: !active;
-      all := txn :: !all
+      if ro_weight > 0 && Prng.int rng 100 < ro_weight then begin
+        let txn =
+          Txn.make ~id ~kind:Txn.Read_only ~init:(Time.Clock.tick clock)
+        in
+        active := txn :: !active;
+        read_only := txn :: !read_only
+      end
+      else if adhoc_weight > 0 && Prng.int rng 100 < adhoc_weight then begin
+        let c1 = Prng.int rng classes in
+        let c2 = Prng.int rng classes in
+        let joined = List.sort_uniq compare [ c1; c2 ] in
+        let txn =
+          Txn.make ~id ~kind:(Txn.Update c1) ~init:(Time.Clock.tick clock)
+        in
+        List.iter (fun c -> Registry.register_in registry ~class_id:c txn)
+          joined;
+        active := txn :: !active;
+        all := txn :: !all;
+        adhoc := (txn, joined) :: !adhoc
+      end
+      else begin
+        let cls = Prng.int rng classes in
+        let txn =
+          Txn.make ~id ~kind:(Txn.Update cls) ~init:(Time.Clock.tick clock)
+        in
+        Registry.register registry txn;
+        active := txn :: !active;
+        all := txn :: !all
+      end
     end
     else begin
       let arr = Array.of_list !active in
       let victim = Prng.pick rng arr in
       active := List.filter (fun t -> t != victim) !active;
-      if Prng.int rng 10 < 8 then
+      if Prng.int rng 10 < commit_bias then
         Txn.commit victim ~at:(Time.Clock.tick clock)
       else Txn.abort victim ~at:(Time.Clock.tick clock)
     end
@@ -78,4 +119,5 @@ let random ?(quiesce = true) ~seed ~steps ~classes () =
     List.iter
       (fun t -> Txn.commit t ~at:(Time.Clock.tick clock))
       (List.rev !active);
-  { registry; clock; all = List.rev !all }
+  { registry; clock; all = List.rev !all;
+    read_only = List.rev !read_only; adhoc = List.rev !adhoc }

@@ -382,6 +382,75 @@ let test_follows_case_coverage () =
   checki "all 13 proof cases of Property 1.2 exercised" 13
     (Hashtbl.length follows_cases_covered)
 
+(* --- mixed histories: aborts, ad-hoc updates, read-only transactions --- *)
+
+let prop_a_b_inverse_abort_heavy =
+  (* Property 2.1 again, but on histories where most finishes are aborts
+     and a fifth of the begins are ad-hoc updates joining two classes:
+     aborts count as activity ends and ad-hoc members widen windows, and
+     the composition bound must survive both *)
+  QCheck2.Test.make ~name:"Property 2.1 under abort-heavy ad-hoc histories"
+    ~count:60 seeds (fun seed ->
+      let h =
+        History_gen.random ~seed ~steps:60 ~classes:3 ~commit_bias:2
+          ~adhoc_weight:20 ()
+      in
+      let ctx = Activity.make_ctx chain3 h.History_gen.registry in
+      let horizon = Time.Clock.now h.History_gen.clock in
+      let ok = ref true in
+      for m = 1 to horizon do
+        match Activity.b_fn ctx ~from_class:0 ~to_class:2 m with
+        | Error _ -> ok := false
+        | Ok b ->
+          if Activity.a_fn ctx ~from_class:0 ~to_class:2 b < m then ok := false
+      done;
+      !ok)
+
+let prop_ro_invisible_to_registry =
+  (* Protocol C's precondition: ad-hoc read-only transactions must never
+     reach the registry (walls serve them; activity links ignore them),
+     while ad-hoc updates must be on record in every class they joined —
+     and a quiesced history must still release a wall that dominates the
+     initial one in every component *)
+  QCheck2.Test.make
+    ~name:"read-only invisible to activity, ad-hoc updates fully joined"
+    ~count:60 seeds (fun seed ->
+      let h =
+        History_gen.random ~seed ~steps:80 ~classes:3 ~commit_bias:4
+          ~ro_weight:30 ~adhoc_weight:15 ()
+      in
+      let registered cls =
+        List.map
+          (fun (t : Txn.t) -> t.Txn.id)
+          (Registry.transactions h.History_gen.registry ~class_id:cls)
+      in
+      let all_registered = List.concat_map registered [ 0; 1; 2 ] in
+      let ro_hidden =
+        List.for_all
+          (fun (t : Txn.t) -> not (List.mem t.Txn.id all_registered))
+          h.History_gen.read_only
+      in
+      let adhoc_joined =
+        List.for_all
+          (fun ((t : Txn.t), joined) ->
+            List.for_all (fun c -> List.mem t.Txn.id (registered c)) joined)
+          h.History_gen.adhoc
+      in
+      let ctx = Activity.make_ctx chain3 h.History_gen.registry in
+      let mgr = Timewall.create ctx ~clock:h.History_gen.clock in
+      let w0 = Timewall.current mgr in
+      let wall_ok =
+        match Timewall.try_release mgr with
+        | Error _ -> false (* quiescent: must be computable *)
+        | Ok w ->
+          List.for_all
+            (fun c ->
+              Timewall.threshold w ~class_id:c
+              >= Timewall.threshold w0 ~class_id:c)
+            [ 0; 1; 2 ]
+      in
+      ro_hidden && adhoc_joined && wall_ok)
+
 let suite =
   [ Alcotest.test_case "A: idle identity" `Quick test_a_fn_idle;
     Alcotest.test_case "A: direct arc" `Quick test_a_fn_direct;
@@ -406,5 +475,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_wall_separation;
     QCheck_alcotest.to_alcotest prop_follows_antisymmetric;
     QCheck_alcotest.to_alcotest prop_follows_transitive;
+    QCheck_alcotest.to_alcotest prop_a_b_inverse_abort_heavy;
+    QCheck_alcotest.to_alcotest prop_ro_invisible_to_registry;
     Alcotest.test_case "Property 1.2: proof-case coverage" `Quick
       test_follows_case_coverage ]

@@ -11,4 +11,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
+      ("check", Test_check.suite);
       ("storage", Test_storage.suite) ]
