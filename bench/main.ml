@@ -26,66 +26,19 @@ module Store = Hdd_mvstore.Store
 module EQ = Hdd_sim.Event_queue
 module T = Hdd_txn
 
-(* --- fixtures for the microbenchmarks --- *)
+(* --- fixtures for the microbenchmarks ---
 
-let chain_partition depth =
-  Partition.build_exn
-    (Spec.make
-       ~segments:(List.init depth (fun i -> Printf.sprintf "s%d" i))
-       ~types:
-         (List.init depth (fun i ->
-              Spec.txn_type
-                ~name:(Printf.sprintf "c%d" i)
-                ~writes:[ i ]
-                ~reads:(List.init (depth - i) (fun k -> i + k)))))
+   All shared with the [hdd_cli bench] macro-benchmark via
+   {!Hdd_benchkit.Fixtures}; the steady-state knobs (finished/active
+   transactions per class, chain depth) live there. *)
 
-let populated_ctx depth =
-  let partition = chain_partition depth in
-  let registry = T.Registry.create ~classes:depth in
-  let clock = T.Time.Clock.create () in
-  (* a realistic steady state: per class, 40 finished + 2 active txns *)
-  for cls = 0 to depth - 1 do
-    for k = 0 to 41 do
-      let txn =
-        T.Txn.make
-          ~id:((cls * 100) + k)
-          ~kind:(T.Txn.Update cls)
-          ~init:(T.Time.Clock.tick clock)
-      in
-      T.Registry.register registry txn;
-      if k < 40 then T.Txn.commit txn ~at:(T.Time.Clock.tick clock)
-    done
-  done;
-  (Activity.make_ctx partition registry, T.Time.Clock.now clock)
+module BK = Hdd_benchkit.Fixtures
 
-let branch_partition branches =
-  Partition.build_exn
-    (Spec.make
-       ~segments:
-         (List.init branches (fun i -> Printf.sprintf "b%d" i) @ [ "base" ])
-       ~types:
-         (Spec.txn_type ~name:"feed" ~writes:[ branches ] ~reads:[]
-          :: List.init branches (fun i ->
-                 Spec.txn_type
-                   ~name:(Printf.sprintf "d%d" i)
-                   ~writes:[ i ]
-                   ~reads:[ i; branches ])))
-
-let mv_chain n =
-  let c = Chain.create ~initial:0 in
-  for ts = 1 to n do
-    ignore (Chain.install c ~ts:(2 * ts) ~writer:ts ~value:ts);
-    Chain.commit c ~ts:(2 * ts)
-  done;
-  c
-
-let mv_achain n =
-  let c = Hdd_mvstore.Achain.create ~initial:0 in
-  for ts = 1 to n do
-    ignore (Hdd_mvstore.Achain.install c ~ts:(2 * ts) ~writer:ts ~value:ts);
-    Hdd_mvstore.Achain.commit c ~ts:(2 * ts)
-  done;
-  c
+let chain_partition depth = BK.chain_partition depth
+let populated_ctx depth = BK.populated_ctx ~depth ()
+let branch_partition branches = BK.branch_partition branches
+let mv_chain n = BK.list_chain ~versions:n ()
+let mv_achain n = BK.array_chain ~versions:n ()
 
 let big_log steps =
   let log = T.Sched_log.create () in

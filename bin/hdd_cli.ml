@@ -495,6 +495,79 @@ let explore_cmd =
              certify every interleaving under each system")
     Term.(const run $ scenario $ system $ exhaustive $ max_schedules $ shrink)
 
+let bench_cmd =
+  let module J = Hdd_benchkit.Jsonlite in
+  let module Macro = Hdd_benchkit.Macro in
+  let quick =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Shrink fixtures and the closed loop (~10x) for per-push \
+                 CI.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_hot_paths.json" & info [ "o"; "out" ]
+           ~docv:"FILE" ~doc:"Where to write the JSON report.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Committed baseline report to gate against.")
+  in
+  let max_regression =
+    Arg.(value & opt float 0.20 & info [ "max-regression" ] ~docv:"FRAC"
+           ~doc:"Fail when a gated throughput metric falls this fraction \
+                 below the baseline.")
+  in
+  let num report keys =
+    match Option.bind (J.path keys report) J.number with
+    | Some f -> f
+    | None -> nan
+  in
+  let run quick out baseline max_regression =
+    let report = Macro.run ~quick () in
+    J.to_file out report;
+    Printf.printf "wrote %s\n" out;
+    Printf.printf "cross-class read: %.0f -> %.0f ops/sec (%.1fx)\n"
+      (num report [ "hot_paths"; "cross_class_read"; "before_ops_per_sec" ])
+      (num report [ "hot_paths"; "cross_class_read"; "after_ops_per_sec" ])
+      (num report [ "hot_paths"; "cross_class_read"; "speedup" ]);
+    List.iter
+      (fun path ->
+        Printf.printf "%-26s %.1fx\n"
+          (String.concat "." path)
+          (num report (path @ [ "speedup" ])))
+      [ [ "hot_paths"; "registry_i_old" ];
+        [ "hot_paths"; "partition_critical_path" ];
+        [ "hot_paths"; "activity_links" ];
+        [ "hot_paths"; "chain_lookup" ] ];
+    Printf.printf "macro: %.0f ops/sec, %.0f txns/sec (A p99 %.1fus, B \
+                   p99 %.1fus, C p99 %.1fus)\n"
+      (num report [ "macro"; "ops_per_sec" ])
+      (num report [ "macro"; "txns_per_sec" ])
+      (num report [ "macro"; "protocol_A"; "p99_us" ])
+      (num report [ "macro"; "protocol_B"; "p99_us" ])
+      (num report [ "macro"; "protocol_C"; "p99_us" ]);
+    match baseline with
+    | None -> ()
+    | Some path -> (
+      let base = J.of_file path in
+      match Macro.regressions ~baseline:base ~current:report ~max_regression with
+      | [] ->
+        Printf.printf "no regression beyond %.0f%% against %s\n"
+          (100. *. max_regression) path
+      | rs ->
+        List.iter
+          (fun (metric, b, c) ->
+            Printf.printf "REGRESSION %s: %.0f -> %.0f (-%.0f%%)\n" metric b
+              c
+              (100. *. (1. -. (c /. b))))
+          rs;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the hot-path macro-benchmark, write BENCH_hot_paths.json, \
+             and optionally gate against a committed baseline")
+    Term.(const run $ quick $ out $ baseline $ max_regression)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -524,4 +597,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
-                      explore_cmd; experiments_cmd ]))
+                      explore_cmd; bench_cmd; experiments_cmd ]))

@@ -79,7 +79,7 @@ let snapshot_read t (txn : Txn.t) g =
     Rejected "snapshot version collected"
 
 let current_read t (txn : Txn.t) g =
-  match Chain.latest_committed (Store.chain t.store g) with
+  match Store.latest_committed t.store g with
   | Some v ->
     log_read t ~txn:txn.Txn.id ~granule:g ~version:v.Chain.ts;
     Granted v.Chain.value

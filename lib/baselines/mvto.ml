@@ -64,16 +64,15 @@ let write t txn g value =
   let st = state_of t txn in
   let ts = txn.Txn.init in
   t.m.writes <- t.m.writes + 1;
-  let chain = Store.chain t.store g in
   if List.exists (Granule.equal g) st.written then begin
-    Chain.discard chain ~ts;
-    ignore (Chain.install chain ~ts ~writer:txn.Txn.id ~value);
+    Store.discard_version t.store g ~ts;
+    ignore (Store.install t.store g ~ts ~writer:txn.Txn.id ~value);
     log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
     Granted ()
   end
   else
     let late =
-      match Chain.predecessor_rts chain ~ts with
+      match Store.predecessor_rts t.store g ~ts with
       | Some rts -> rts > ts
       | None -> false
     in
@@ -82,7 +81,7 @@ let write t txn g value =
       Rejected "a younger transaction already read the predecessor"
     end
     else begin
-      ignore (Chain.install chain ~ts ~writer:txn.Txn.id ~value);
+      ignore (Store.install t.store g ~ts ~writer:txn.Txn.id ~value);
       st.written <- g :: st.written;
       log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
       Granted ()

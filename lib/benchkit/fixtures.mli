@@ -1,0 +1,38 @@
+(** Shared benchmark fixtures, parameterized where the old copies in
+    [bench/main.ml] hard-coded their steady state (40 finished + 2 active
+    transactions per class).  Both the Bechamel microbenchmarks and the
+    [hdd_cli bench] macro-benchmark build their worlds from here, so the
+    two suites cannot drift apart again. *)
+
+val chain_partition : int -> Hdd_core.Partition.t
+(** A depth-[n] linear hierarchy: class [i] writes segment [i] and reads
+    every segment above it — the worst case for activity-link
+    composition length. *)
+
+val branch_partition : int -> Hdd_core.Partition.t
+(** [n] independent branches over one shared base segment. *)
+
+val populated_registry :
+  ?finished:int -> ?active:int -> classes:int -> unit -> Registry.t * Time.Clock.clock
+(** A registry in steady state: per class, [finished] committed
+    transactions (default 40) and [active] still-running ones (default
+    2).  [finished] is the knob that scales registry depth for the
+    scan-vs-index comparisons. *)
+
+val populated_ctx :
+  ?finished:int ->
+  ?active:int ->
+  depth:int ->
+  unit ->
+  Hdd_core.Activity.ctx * Time.t
+(** {!populated_registry} over a {!chain_partition}, wrapped in an
+    activity context; also returns the clock's current time as a
+    representative query point. *)
+
+val list_chain : ?stride:int -> versions:int -> unit -> int Hdd_mvstore.Chain.t
+(** A committed list-backed version chain (the pre-PR representation).
+    Timestamps are [stride, 2*stride, ...] (default stride 2) so lookups
+    can be aimed anywhere in the chain's history. *)
+
+val array_chain : ?stride:int -> versions:int -> unit -> int Hdd_mvstore.Achain.t
+(** The same chain in the array-backed representation the store serves. *)

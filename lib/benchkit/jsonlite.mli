@@ -1,0 +1,34 @@
+(** A small JSON value type with an emitter and a parser, sufficient for
+    the benchmark reports ([BENCH_hot_paths.json]) and the CI regression
+    gate that reads them back.  Deliberately dependency-free: the toolchain
+    ships no JSON library and the grammar we need is the one we emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_of_int : int -> t
+
+val to_string : t -> string
+(** Pretty-printed, two-space indent, trailing newline. *)
+
+val to_file : string -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> t
+
+val member : string -> t -> t option
+(** Field of an object; [None] elsewhere. *)
+
+val path : string list -> t -> t option
+(** Nested {!member}. *)
+
+val number : t -> float option

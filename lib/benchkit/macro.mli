@@ -1,0 +1,42 @@
+(** The hot-path macro-benchmark behind [hdd_cli bench].
+
+    Two halves, one JSON report ([BENCH_hot_paths.json]):
+
+    - {b before/after micro comparisons} of the four optimized paths —
+      registry queries (incremental index vs log scan), critical-path
+      lookup (precomputed matrix vs per-call DFS), activity-link
+      composition (generation-stamped cache vs recomputation over the
+      scans) and version lookup (array chain vs list chain) — plus the
+      combined cross-class read path the acceptance criterion names.
+      The "before" side calls the retained pre-PR reference
+      implementations, so the comparison stays honest as both sides
+      evolve.
+    - a {b closed-loop mixed workload} on the depth-8 chain partition:
+      a fixed multiprogramming level of update transactions (Protocols
+      A and B) and read-only transactions (Protocol C), reporting
+      ops/sec, per-protocol p50/p99 transaction latency, and
+      chain-length / registry-size telemetry — the steady state the
+      wall-driven GC is supposed to keep bounded. *)
+
+val ns_per_op : (unit -> 'a) -> float
+(** Adaptive timing loop: at least 20 ms of work per measurement. *)
+
+val legacy_a_fn :
+  Hdd_core.Activity.ctx -> from_class:int -> to_class:int -> Time.t -> Time.t
+(** The pre-PR activity-link composition: per-call DFS over the
+    reduction, registry scans at every step.  Oracle-checked against
+    {!Hdd_core.Activity.a_fn} before every timed run. *)
+
+val run : ?quick:bool -> unit -> Jsonlite.t
+(** The full report.  [quick] shrinks the fixtures and the closed loop
+    (~10x) for per-push CI. *)
+
+val regressions :
+  baseline:Jsonlite.t ->
+  current:Jsonlite.t ->
+  max_regression:float ->
+  (string * float * float) list
+(** Gated throughput metrics whose current value fell more than
+    [max_regression] (a fraction) below the baseline:
+    [(metric, baseline, current)].  Metrics missing on either side are
+    skipped — the gate never fails on schema drift alone. *)

@@ -1,6 +1,19 @@
-type ctx = { partition : Partition.t; registry : Registry.t }
+type cache_entry = {
+  mutable arg : Time.t;
+  mutable stamp : int;
+  mutable value : Time.t;
+}
 
-let make_ctx partition registry = { partition; registry }
+type pair_cache = (int * int, cache_entry) Hashtbl.t
+
+type ctx = {
+  partition : Partition.t;
+  registry : Registry.t;
+  cache : pair_cache;
+}
+
+let make_ctx partition registry =
+  { partition; registry; cache = Hashtbl.create 32 }
 
 let i_old ctx ~class_id m = Registry.i_old ctx.registry ~class_id ~at:m
 
@@ -32,9 +45,35 @@ let a_fn_trace ctx ~from_class ~to_class m =
     List.rev acc
 
 let a_fn ctx ~from_class ~to_class m =
-  match List.rev (a_fn_trace ctx ~from_class ~to_class m) with
-  | (_, v) :: _ -> v
+  match critical_path_exn ctx ~from_class ~to_class with
   | [] -> assert false
+  | [ _ ] -> m  (* from = to: the identity (§5.0 hosting) *)
+  | _ :: rest ->
+    (* Per-(class-pair) composition cache.  The composed value depends
+       only on the argument and on the activity of the classes I_old is
+       applied at, so a cached value is valid while every such class's
+       registry generation is unchanged.  Generations are monotone, which
+       lets one summed stamp stand in for the whole vector: the sum is
+       equal iff every component is. *)
+    let stamp =
+      List.fold_left
+        (fun s cls -> s + Registry.generation ctx.registry ~class_id:cls)
+        0 rest
+    in
+    let key = (from_class, to_class) in
+    (match Hashtbl.find_opt ctx.cache key with
+    | Some e when e.arg = m && e.stamp = stamp -> e.value
+    | found ->
+      let value =
+        List.fold_left (fun m cls -> i_old ctx ~class_id:cls m) m rest
+      in
+      (match found with
+      | Some e ->
+        e.arg <- m;
+        e.stamp <- stamp;
+        e.value <- value
+      | None -> Hashtbl.add ctx.cache key { arg = m; stamp; value });
+      value)
 
 let b_fn ctx ~from_class ~to_class m =
   let path = critical_path_exn ctx ~from_class ~to_class in

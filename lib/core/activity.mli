@@ -18,7 +18,16 @@
       across backward (downward) arcs.  Time walls are vectors of [E]
       values. *)
 
-type ctx = { partition : Partition.t; registry : Registry.t }
+type pair_cache
+(** Per-(class-pair) cache of composed [A] values, stamped with the
+    registry generations of the classes along the path so entries go
+    stale exactly when a relevant class log advances. *)
+
+type ctx = {
+  partition : Partition.t;
+  registry : Registry.t;
+  cache : pair_cache;
+}
 
 val make_ctx : Partition.t -> Registry.t -> ctx
 

@@ -34,6 +34,10 @@ type t = {
   spec : Spec.t;
   dhg : Digraph.t;
   reduction : Digraph.t;
+  n : int;  (* segment count; matrices below are n*n, row-major *)
+  cp : int list option array;  (* [i*n + j] = CP_i^j *)
+  ucp_m : int list option array;  (* [i*n + j] = undirected CP <i..j> *)
+  lowest : int list;  (* classes minimal in the ↑ order *)
 }
 
 let dhg_of_spec (spec : Spec.t) =
@@ -82,6 +86,63 @@ let semi_tree_violation reduction =
           end)
     reduction None
 
+(* Per-call path searches over the reduction.  These are the reference
+   algorithms: [build] runs them once per class pair to fill the dense
+   matrices that the accessors below serve from, and the test suite keeps
+   them honest against the matrix lookups. *)
+
+let cp_search ~dhg ~reduction i j =
+  if i = j then if Digraph.mem_node dhg i then Some [ i ] else None
+  else
+    (* the reduction holds exactly the critical arcs; a directed path in it
+       is a critical path, and in a semi-tree it is unique *)
+    let rec dfs seen u =
+      if u = j then Some [ j ]
+      else if List.mem u seen then None
+      else
+        List.fold_left
+          (fun found v ->
+            match found with
+            | Some _ -> found
+            | None -> (
+              match dfs (u :: seen) v with
+              | Some path -> Some (u :: path)
+              | None -> None))
+          None
+          (Digraph.succ reduction u)
+    in
+    if Digraph.mem_node dhg i && Digraph.mem_node dhg j then dfs [] i
+    else None
+
+let ucp_search ~dhg ~reduction i j =
+  if i = j then if Digraph.mem_node dhg i then Some [ i ] else None
+  else begin
+    (* BFS on the undirected view of the reduction *)
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add i q;
+    Hashtbl.replace parent i i;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      if u = j then found := true
+      else
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem parent v) then begin
+              Hashtbl.replace parent v u;
+              Queue.add v q
+            end)
+          (Digraph.succ reduction u @ Digraph.pred reduction u)
+    done;
+    if not !found then None
+    else
+      let rec walk u acc =
+        if u = i then u :: acc else walk (Hashtbl.find parent u) (u :: acc)
+      in
+      Some (walk j [])
+  end
+
 let build spec =
   let multi =
     Array.to_list spec.Spec.types
@@ -95,7 +156,26 @@ let build spec =
     | Some cycle -> Error (Cyclic cycle)
     | None ->
       let reduction = Digraph.transitive_reduction dhg in
-      if Digraph.is_semi_tree reduction then Ok { spec; dhg; reduction }
+      if Digraph.is_semi_tree reduction then begin
+        (* The DHG is static from here on, so everything derivable from
+           it is precomputed: the activity-link functions walk these flat
+           arrays instead of re-deriving paths on every read. *)
+        let n = Spec.segment_count spec in
+        let cp =
+          Array.init (n * n) (fun k ->
+              cp_search ~dhg ~reduction (k / n) (k mod n))
+        in
+        let ucp_m =
+          Array.init (n * n) (fun k ->
+              ucp_search ~dhg ~reduction (k / n) (k mod n))
+        in
+        let lowest =
+          List.filter
+            (fun i -> Digraph.pred reduction i = [])
+            (Digraph.nodes reduction)
+        in
+        Ok { spec; dhg; reduction; n; cp; ucp_m; lowest }
+      end
       else
         let i, j =
           match semi_tree_violation reduction with
@@ -116,68 +196,24 @@ let class_of_type _t (ty : Spec.txn_type) =
   | [ w ] -> w
   | _ -> invalid_arg "Partition.class_of_type: not a single-root type"
 
+let in_range t i j = i >= 0 && i < t.n && j >= 0 && j < t.n
+
 let critical_path t i j =
-  if i = j then if Digraph.mem_node t.dhg i then Some [ i ] else None
-  else
-    (* the reduction holds exactly the critical arcs; a directed path in it
-       is a critical path, and in a semi-tree it is unique *)
-    let rec dfs seen u =
-      if u = j then Some [ j ]
-      else if List.mem u seen then None
-      else
-        List.fold_left
-          (fun found v ->
-            match found with
-            | Some _ -> found
-            | None -> (
-              match dfs (u :: seen) v with
-              | Some path -> Some (u :: path)
-              | None -> None))
-          None
-          (Digraph.succ t.reduction u)
-    in
-    if Digraph.mem_node t.dhg i && Digraph.mem_node t.dhg j then
-      dfs [] i
-    else None
+  if in_range t i j then t.cp.((i * t.n) + j) else None
+
+let critical_path_search t i j =
+  cp_search ~dhg:t.dhg ~reduction:t.reduction i j
 
 let higher_than t j i = i <> j && critical_path t i j <> None
 
 let on_one_critical_path t i j =
   i = j || critical_path t i j <> None || critical_path t j i <> None
 
-let ucp t i j =
-  if i = j then if Digraph.mem_node t.dhg i then Some [ i ] else None
-  else begin
-    (* BFS on the undirected view of the reduction *)
-    let parent = Hashtbl.create 16 in
-    let q = Queue.create () in
-    Queue.add i q;
-    Hashtbl.replace parent i i;
-    let found = ref false in
-    while (not !found) && not (Queue.is_empty q) do
-      let u = Queue.pop q in
-      if u = j then found := true
-      else
-        List.iter
-          (fun v ->
-            if not (Hashtbl.mem parent v) then begin
-              Hashtbl.replace parent v u;
-              Queue.add v q
-            end)
-          (Digraph.succ t.reduction u @ Digraph.pred t.reduction u)
-    done;
-    if not !found then None
-    else
-      let rec walk u acc =
-        if u = i then u :: acc else walk (Hashtbl.find parent u) (u :: acc)
-      in
-      Some (walk j [])
-  end
+let ucp t i j = if in_range t i j then t.ucp_m.((i * t.n) + j) else None
 
-let lowest_classes t =
-  List.filter
-    (fun i -> Digraph.pred t.reduction i = [])
-    (Digraph.nodes t.reduction)
+let ucp_search t i j = ucp_search ~dhg:t.dhg ~reduction:t.reduction i j
+
+let lowest_classes t = t.lowest
 
 let may_read t ~class_id ~segment =
   class_id = segment || higher_than t segment class_id

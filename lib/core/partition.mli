@@ -26,6 +26,13 @@ type t = private {
   spec : Spec.t;
   dhg : Hdd_graph.Digraph.t;  (** nodes: all segment ids *)
   reduction : Hdd_graph.Digraph.t;  (** critical arcs *)
+  n : int;  (** segment count *)
+  cp : int list option array;
+      (** dense [CP_i^j] matrix, row-major [i*n + j], filled at build
+          time — the graph is static, so path lookups on the read path
+          are O(1) array reads *)
+  ucp_m : int list option array;  (** dense undirected-CP matrix *)
+  lowest : int list;  (** precomputed {!lowest_classes} *)
 }
 
 val dhg_of_spec : Spec.t -> Hdd_graph.Digraph.t
@@ -43,7 +50,13 @@ val class_of_type : t -> Spec.txn_type -> int
 (** The root segment (= class index) of an update type. *)
 
 val critical_path : t -> int -> int -> int list option
-(** [CP_i^j] as segment ids [i; ...; j]; [Some [i]] when [i = j]. *)
+(** [CP_i^j] as segment ids [i; ...; j]; [Some [i]] when [i = j].
+    An O(1) lookup in the precomputed matrix. *)
+
+val critical_path_search : t -> int -> int -> int list option
+(** Reference implementation of {!critical_path}: the per-call DFS over
+    the reduction that the matrix is built from.  Kept as the benchmark
+    ablation partner and the oracle for the equivalence property. *)
 
 val higher_than : t -> int -> int -> bool
 (** [higher_than h j i] is the paper's [T_j ↑ T_i]. *)
@@ -52,7 +65,11 @@ val on_one_critical_path : t -> int -> int -> bool
 (** Do [CP_i^j] or [CP_j^i] exist (or [i = j])? *)
 
 val ucp : t -> int -> int -> int list option
-(** Unique undirected critical path [<i, ..., j>]. *)
+(** Unique undirected critical path [<i, ..., j>]; O(1) matrix lookup. *)
+
+val ucp_search : t -> int -> int -> int list option
+(** Reference implementation of {!ucp} (per-call BFS), same role as
+    {!critical_path_search}. *)
 
 val lowest_classes : t -> int list
 (** Classes minimal in the ↑ order — no other class lies below them

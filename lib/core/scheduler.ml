@@ -28,9 +28,12 @@ type mode =
       (** ad-hoc update transaction (§7.1.1): joins every class it
           accesses and runs MVTO (protocol B) on all of them *)
 
-type txn_state = {
+type 'a txn_state = {
   txn : Txn.t;
-  mutable written : Granule.t list;  (** granules with a pending version *)
+  mutable written : (Granule.t * 'a Chain.version) list;
+      (** granules with a pending version, each with the handle
+          {!Store.install} returned so commit and abort flip or drop the
+          version in O(1) instead of re-finding it by timestamp *)
   mode : mode;
   mutable thresholds : (int * Time.t) list;
       (** memoised activity-link thresholds per segment: they depend only
@@ -45,10 +48,11 @@ type 'a t = {
   store : 'a Store.t;
   log : Sched_log.t option;
   walls : Timewall.manager;
-  states : (Txn.id, txn_state) Hashtbl.t;
+  states : (Txn.id, 'a txn_state) Hashtbl.t;
   m : metrics;
   wall_every_commits : int;
   gc_every_commits : int option;
+  gc_on_wall : bool;
   mutable commits_since_gc : int;
   mutable commits_since_wall : int;
   mutable wall_pending : bool;
@@ -58,8 +62,8 @@ type 'a t = {
           contain the timestamp of a live transaction *)
 }
 
-let create ?log ?(wall_every_commits = 16) ?gc_every_commits ~partition
-    ~clock ~store () =
+let create ?log ?(wall_every_commits = 16) ?gc_every_commits
+    ?(gc_on_wall = true) ~partition ~clock ~store () =
   let reg = Registry.create ~classes:(Partition.segment_count partition) in
   let ctx = Activity.make_ctx partition reg in
   { partition; ctx; reg; clock; store; log;
@@ -68,6 +72,7 @@ let create ?log ?(wall_every_commits = 16) ?gc_every_commits ~partition
     m = fresh_metrics ();
     wall_every_commits;
     gc_every_commits;
+    gc_on_wall;
     commits_since_gc = 0;
     commits_since_wall = 0;
     wall_pending = false;
@@ -181,7 +186,7 @@ let prune_adhoc_history t =
         (fun (a : Txn.t) ->
           Txn.is_active a
           || Hashtbl.fold
-               (fun _ (st : txn_state) acc ->
+               (fun _ (st : _ txn_state) acc ->
                  acc || Txn.active_at a st.txn.Txn.init)
                t.states false)
         t.adhoc_history
@@ -224,7 +229,7 @@ let log_write t ~txn ~granule ~version =
   | None -> ()
   | Some log -> Sched_log.log_write log ~txn ~granule ~version
 
-let cached_threshold (st : txn_state) ~segment compute =
+let cached_threshold (st : _ txn_state) ~segment compute =
   match List.assoc_opt segment st.thresholds with
   | Some v -> v
   | None ->
@@ -326,23 +331,26 @@ let read t txn g =
 
 (* MVTO write into [g] with timestamp [I(txn)], shared by regular and
    ad-hoc updaters. *)
-let mvto_write t (st : txn_state) txn g value =
+let mvto_write t (st : _ txn_state) txn g value =
     let ts = txn.Txn.init in
-    let chain = Store.chain t.store g in
-    let rewrite = List.exists (Granule.equal g) st.written in
-    if rewrite then begin
-      (* second write of the same granule: replace the pending version *)
-      Chain.discard chain ~ts;
-      ignore (Chain.install chain ~ts ~writer:txn.Txn.id ~value);
+    match List.find_opt (fun (g', _) -> Granule.equal g g') st.written with
+    | Some (_, old) ->
+      (* second write of the same granule: replace the pending version,
+         through the handle kept from the first install *)
+      Store.discard_installed t.store g old;
+      let v = Store.install t.store g ~ts ~writer:txn.Txn.id ~value in
+      st.written <-
+        List.map
+          (fun ((g', _) as p) -> if Granule.equal g g' then (g', v) else p)
+          st.written;
       t.m.writes <- t.m.writes + 1;
       log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
       Granted ()
-    end
-    else
+    | None ->
       (* MVTO write rule: reject when the would-be predecessor version has
          been read by a younger transaction *)
       let late =
-        match Chain.predecessor_rts chain ~ts with
+        match Store.predecessor_rts t.store g ~ts with
         | Some rts -> rts > ts
         | None -> false
       in
@@ -351,8 +359,8 @@ let mvto_write t (st : txn_state) txn g value =
         Rejected "a younger transaction already read the predecessor"
       end
       else begin
-        ignore (Chain.install chain ~ts ~writer:txn.Txn.id ~value);
-        st.written <- g :: st.written;
+        let v = Store.install t.store g ~ts ~writer:txn.Txn.id ~value in
+        st.written <- (g, v) :: st.written;
         t.m.writes <- t.m.writes + 1;
         log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
         Granted ()
@@ -389,54 +397,77 @@ let write t txn g value =
 
 (* --- garbage collection (§7.3) --- *)
 
-(* The lowest version-selection threshold any active transaction — or any
-   transaction that may still begin — can use.  Versions strictly older
-   than the newest committed version below it are unreachable. *)
-let gc_watermark t =
-  let min_of = List.fold_left Time.min in
+(* Per-segment watermark vector: component [s] is the lowest
+   version-selection threshold any active transaction — or any transaction
+   that may still begin — can use *for a read of segment [s]*.  Versions
+   of [s] strictly older than the newest committed version below it are
+   unreachable.  Each active transaction contributes only to the segments
+   its protocol can actually serve it (its own class's segment at [I(t)],
+   each higher segment at the re-evaluated activity-link threshold, a
+   walled reader's components where they apply), which lets a segment
+   whose readers are all recent be trimmed past the initiation time of an
+   old straggler that cannot reach it.  Re-evaluating [a_fn] here is
+   exact, not approximate: [I_old] at historic arguments is immutable, so
+   the value equals the threshold memoised at read time.  Ad-hoc
+   transactions contribute their initiation time to every segment — their
+   activity window fences future compositions through every class they
+   joined (§7.1.1).  Future update transactions get initiation times above
+   the clock; future read-only transactions attach the current wall (and
+   wall components are monotone across releases). *)
+let gc_watermark_vector t =
+  let n = Partition.segment_count t.partition in
+  let vec = Array.make n (Time.Clock.now t.clock) in
+  let shrink s v = if v < vec.(s) then vec.(s) <- v in
+  let shrink_all v =
+    for s = 0 to n - 1 do
+      shrink s v
+    done
+  in
   let higher_segments cls =
     List.filter
       (fun s -> Partition.higher_than t.partition s cls)
-      (List.init (Partition.segment_count t.partition) Fun.id)
+      (List.init n Fun.id)
   in
-  let state_bound (st : txn_state) =
-    let i = st.txn.Txn.init in
-    match st.mode with
-    | Adhoc _ -> i
-    | Classed -> (
-      match Txn.class_of st.txn with
-      | None -> i
-      | Some cls ->
-        min_of i
-          (List.map
-             (fun s -> Activity.a_fn t.ctx ~from_class:cls ~to_class:s i)
-             (higher_segments cls)))
-    | Walled wall -> Array.fold_left Time.min max_int wall.Timewall.components
-    | Hosted bottom ->
-      let segments =
-        bottom :: higher_segments bottom
-      in
-      min_of i
-        (List.filter_map
-           (fun s -> hosted_threshold t ~bottom ~segment:s i)
-           segments)
-  in
-  (* future read-only transactions attach the current wall; future update
-     transactions get initiation times above the clock *)
-  let wall_bound =
-    Array.fold_left Time.min max_int
-      (Timewall.current t.walls).Timewall.components
-  in
-  Hashtbl.fold
-    (fun _ st acc -> Time.min acc (state_bound st))
-    t.states
-    (Time.min wall_bound (Time.Clock.now t.clock))
+  Array.iteri shrink
+    (Timewall.current t.walls).Timewall.components;
+  Hashtbl.iter
+    (fun _ (st : _ txn_state) ->
+      let i = st.txn.Txn.init in
+      match st.mode with
+      | Adhoc _ -> shrink_all i
+      | Classed -> (
+        match Txn.class_of st.txn with
+        | None -> shrink_all i
+        | Some cls ->
+          shrink cls i;
+          List.iter
+            (fun s ->
+              shrink s (Activity.a_fn t.ctx ~from_class:cls ~to_class:s i))
+            (higher_segments cls))
+      | Walled wall -> Array.iteri shrink wall.Timewall.components
+      | Hosted bottom ->
+        List.iter
+          (fun s ->
+            match hosted_threshold t ~bottom ~segment:s i with
+            | Some v -> shrink s v
+            | None -> ())
+          (bottom :: higher_segments bottom))
+    t.states;
+  vec
 
-let collect_garbage t =
-  let watermark = gc_watermark t in
-  let dropped = Store.gc t.store ~before:watermark in
+(* The scalar watermark is the floor of the vector: what a uniform
+   collection may trim every segment below. *)
+let gc_watermark t =
+  let vec = gc_watermark_vector t in
+  Array.fold_left Time.min vec.(0) vec
+
+let collect_with t vec =
+  let dropped = Store.gc_wall t.store ~wall:vec in
+  let watermark = Array.fold_left Time.min vec.(0) vec in
   Registry.prune t.reg ~upto:(watermark - 1);
   dropped
+
+let collect_garbage t = collect_with t (gc_watermark_vector t)
 
 let maybe_release_wall t =
   prune_adhoc_history t;
@@ -445,16 +476,18 @@ let maybe_release_wall t =
     match Timewall.try_release t.walls with
     | Ok _ ->
       t.wall_pending <- false;
-      t.commits_since_wall <- 0
+      t.commits_since_wall <- 0;
+      (* wall-driven GC (§7.3): a release proves every C_late below the
+         new wall computable, so chains can be trimmed right away instead
+         of waiting for a count-based trigger *)
+      if t.gc_on_wall then ignore (collect_garbage t)
     | Error _ -> t.wall_pending <- true
   end
 
 let commit t txn =
   let st = state_of t txn in
   let at = Time.Clock.tick t.clock in
-  List.iter
-    (fun g -> Store.commit_version t.store g ~ts:txn.Txn.init)
-    st.written;
+  List.iter (fun (_, v) -> Store.commit_installed t.store v) st.written;
   Txn.commit txn ~at;
   Hashtbl.remove t.states txn.Txn.id;
   t.m.commits <- t.m.commits + 1;
@@ -471,9 +504,7 @@ let commit t txn =
 let abort t txn =
   let st = state_of t txn in
   let at = Time.Clock.tick t.clock in
-  List.iter
-    (fun g -> Store.discard_version t.store g ~ts:txn.Txn.init)
-    st.written;
+  List.iter (fun (g, v) -> Store.discard_installed t.store g v) st.written;
   (match t.log with
   | Some log -> Sched_log.drop_txn log txn.Txn.id
   | None -> ());

@@ -49,6 +49,7 @@ val create :
   ?log:Sched_log.t ->
   ?wall_every_commits:int ->
   ?gc_every_commits:int ->
+  ?gc_on_wall:bool ->
   partition:Partition.t ->
   clock:Time.Clock.clock ->
   store:'a Hdd_mvstore.Store.t ->
@@ -58,7 +59,10 @@ val create :
     wall is refreshed: after that many commits the scheduler attempts a
     release, retrying on later commits while some [C^late] is not yet
     computable.  [gc_every_commits] (off by default) runs
-    {!collect_garbage} after every that-many commits. *)
+    {!collect_garbage} after every that-many commits.  [gc_on_wall]
+    (default on) runs it after every successful wall release — the
+    wall-driven collection of §7.3 that keeps chains trimmed in steady
+    state without a separate trigger. *)
 
 val partition : 'a t -> Partition.t
 val activity_ctx : 'a t -> Activity.ctx
@@ -114,12 +118,20 @@ val gc_watermark : 'a t -> Time.t
     any transaction that can still begin — may use (§7.3): current
     protocol-B timestamps, the activity links of every active updater,
     the wall components held by active read-only transactions and the
-    current wall for future ones. *)
+    current wall for future ones.  Equals the minimum component of
+    {!gc_watermark_vector}. *)
+
+val gc_watermark_vector : 'a t -> Time.t array
+(** The per-segment refinement of {!gc_watermark}: component [s] bounds
+    the thresholds usable for reads of segment [s] only, so segments no
+    old straggler can reach are trimmed further than the uniform
+    watermark allows.  DESIGN.md §11 gives the safety argument. *)
 
 val collect_garbage : 'a t -> int
 (** Drop versions no reachable threshold can select (each chain keeps its
-    newest committed version below the watermark) and prune the activity
-    registries below it.  Returns the number of versions dropped. *)
+    newest committed version below its segment's watermark component) and
+    prune the activity registries below the scalar watermark.  Returns
+    the number of versions dropped. *)
 
 val read_threshold : 'a t -> Txn.t -> segment:int -> Time.t option
 (** The version-selection threshold the scheduler would use for a read of

@@ -64,6 +64,15 @@ let discard t ~ts =
       invalid_arg "Achain.discard: version is committed";
     remove_at t i
 
+let commit_version = Chain.commit_version
+
+let discard_version t (v : 'a Chain.version) =
+  if v.Chain.state = Chain.Committed then
+    invalid_arg "Achain.discard: version is committed";
+  match find_exact t ~ts:v.Chain.ts with
+  | Some i when t.versions.(i) == v -> remove_at t i
+  | _ -> raise Not_found
+
 let committed_before t ~ts =
   let rec scan i =
     if i < 0 then None
@@ -104,14 +113,16 @@ let gc t ~before =
   match committed_before t ~ts:before with
   | None -> 0
   | Some keep ->
-    let dropped = ref 0 in
-    let kept = ref [] in
-    for i = t.len - 1 downto 0 do
+    (* in-place compaction: versions are ascending, so survivors keep
+       their relative order as they slide down *)
+    let w = ref 0 in
+    for i = 0 to t.len - 1 do
       let v = t.versions.(i) in
-      if v.Chain.ts >= keep.Chain.ts || v.Chain.state = Chain.Pending then
-        kept := v :: !kept
-      else incr dropped
+      if v.Chain.ts >= keep.Chain.ts || v.Chain.state = Chain.Pending then begin
+        if !w < i then t.versions.(!w) <- v;
+        incr w
+      end
     done;
-    List.iteri (fun i v -> t.versions.(i) <- v) !kept;
-    t.len <- List.length !kept;
-    !dropped
+    let dropped = t.len - !w in
+    t.len <- !w;
+    dropped

@@ -1,11 +1,13 @@
-(** Array-backed version chains: the ablation partner of {!Chain}.
+(** Array-backed version chains: the store's lookup representation.
 
-    Same semantics, different representation: versions live in a growable
-    array sorted ascending by write timestamp, and the snapshot lookups
-    ([committed_before], [candidate_before]) binary-search instead of
-    walking a list.  The benchmark suite compares the two under short and
-    long chains (DESIGN.md §6); {!Chain} remains the store's default
-    because steady-state chains are short once garbage collection runs.
+    Same semantics as {!Chain}, different representation: versions live
+    in a growable array sorted ascending by write timestamp, and the
+    snapshot lookups ([committed_before], [candidate_before])
+    binary-search instead of walking a list.  This is what {!Segment} and
+    {!Store} serve reads from; the list-backed {!Chain} survives as the
+    reference implementation and benchmark ablation partner (the
+    benchmark suite compares the two under short and long chains,
+    DESIGN.md §6 and §11).
 
     The version record type is shared with {!Chain}. *)
 
@@ -15,6 +17,15 @@ val create : initial:'a -> 'a t
 val install : 'a t -> ts:Time.t -> writer:Txn.id -> value:'a -> 'a Chain.version
 val commit : 'a t -> ts:Time.t -> unit
 val discard : 'a t -> ts:Time.t -> unit
+
+val commit_version : 'a Chain.version -> unit
+(** O(1) state flip through the handle; same as {!Chain.commit_version}. *)
+
+val discard_version : 'a t -> 'a Chain.version -> unit
+(** Remove a version through its handle (binary search by its timestamp,
+    matched physically).  @raise Invalid_argument if committed;
+    @raise Not_found if the handle is not in this chain. *)
+
 val committed_before : 'a t -> ts:Time.t -> 'a Chain.version option
 val candidate_before : 'a t -> ts:Time.t -> 'a Chain.read_candidate option
 val predecessor_rts : 'a t -> ts:Time.t -> Time.t option

@@ -8,9 +8,9 @@ type 'a version = {
   mutable rts : Time.t;
 }
 
-(* Newest first.  Chains are short in steady state (GC keeps them trimmed),
-   so a sorted list keeps the code simple; the bench suite measures the
-   alternative. *)
+(* Newest first.  This list representation is the reference
+   implementation and the benchmark ablation partner; the store serves
+   lookups from the array-backed {!Achain}, which binary-searches. *)
 type 'a t = { mutable versions : 'a version list }
 
 let create ~initial =
@@ -43,6 +43,16 @@ let discard chain ~ts =
   | Some v when v.state = Committed ->
     invalid_arg "Chain.discard: version is committed"
   | Some _ -> chain.versions <- List.filter (fun v -> v.ts <> ts) chain.versions
+
+(* Handle-based variants: [install] returns the version, so a caller that
+   kept it can flip or drop it without re-finding it by timestamp. *)
+
+let commit_version v = v.state <- Committed
+
+let discard_version chain v =
+  if v.state = Committed then
+    invalid_arg "Chain.discard: version is committed";
+  chain.versions <- List.filter (fun w -> w != v) chain.versions
 
 type 'a read_candidate = Version of 'a version | Wait_for of Txn.id
 

@@ -39,6 +39,14 @@ val discard : 'a t -> ts:Time.t -> unit
 (** Remove the version at [ts] (writer aborted).  @raise Not_found if
     absent; @raise Invalid_argument if it is committed. *)
 
+val commit_version : 'a version -> unit
+(** O(1) commit through the handle {!install} returned — no timestamp
+    lookup.  Idempotent, like {!commit}. *)
+
+val discard_version : 'a t -> 'a version -> unit
+(** Remove a version through its handle (no timestamp search; the version
+    is matched physically).  @raise Invalid_argument if committed. *)
+
 type 'a read_candidate =
   | Version of 'a version
   | Wait_for of Txn.id

@@ -1,7 +1,7 @@
 type 'a t = {
   id : int;
   init : int -> 'a;
-  chains : (int, 'a Chain.t) Hashtbl.t;
+  chains : (int, 'a Achain.t) Hashtbl.t;
 }
 
 let create ~id ~init = { id; init; chains = Hashtbl.create 64 }
@@ -12,7 +12,7 @@ let chain t key =
   match Hashtbl.find_opt t.chains key with
   | Some c -> c
   | None ->
-    let c = Chain.create ~initial:(t.init key) in
+    let c = Achain.create ~initial:(t.init key) in
     Hashtbl.add t.chains key c;
     c
 
@@ -24,7 +24,10 @@ let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.chains [] |> List.sort compare
 
 let gc t ~before =
-  Hashtbl.fold (fun _ c acc -> acc + Chain.gc c ~before) t.chains 0
+  Hashtbl.fold (fun _ c acc -> acc + Achain.gc c ~before) t.chains 0
 
 let version_count t =
-  Hashtbl.fold (fun _ c acc -> acc + Chain.length c) t.chains 0
+  Hashtbl.fold (fun _ c acc -> acc + Achain.length c) t.chains 0
+
+let max_chain_length t =
+  Hashtbl.fold (fun _ c acc -> Int.max acc (Achain.length c)) t.chains 0

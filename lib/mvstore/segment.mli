@@ -9,7 +9,7 @@ val create : id:int -> init:(int -> 'a) -> 'a t
 
 val id : 'a t -> int
 
-val chain : 'a t -> int -> 'a Chain.t
+val chain : 'a t -> int -> 'a Achain.t
 (** Chain of granule [key]; created on demand. *)
 
 val mem : 'a t -> int -> bool
@@ -25,3 +25,6 @@ val gc : 'a t -> before:Time.t -> int
 
 val version_count : 'a t -> int
 (** Live versions across all chains. *)
+
+val max_chain_length : 'a t -> int
+(** Longest chain in the segment (telemetry for the benchmark suite). *)

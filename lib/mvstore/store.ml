@@ -16,15 +16,34 @@ let segment t i =
 
 let chain t (g : Granule.t) = Segment.chain (segment t g.Granule.segment) g.Granule.key
 
-let committed_before t g ~ts = Chain.committed_before (chain t g) ~ts
-let candidate_before t g ~ts = Chain.candidate_before (chain t g) ~ts
+let committed_before t g ~ts = Achain.committed_before (chain t g) ~ts
+let candidate_before t g ~ts = Achain.candidate_before (chain t g) ~ts
+let predecessor_rts t g ~ts = Achain.predecessor_rts (chain t g) ~ts
+let latest_committed t g = Achain.latest_committed (chain t g)
 
-let install t g ~ts ~writer ~value = Chain.install (chain t g) ~ts ~writer ~value
-let commit_version t g ~ts = Chain.commit (chain t g) ~ts
-let discard_version t g ~ts = Chain.discard (chain t g) ~ts
+let install t g ~ts ~writer ~value = Achain.install (chain t g) ~ts ~writer ~value
+let commit_version t g ~ts = Achain.commit (chain t g) ~ts
+let discard_version t g ~ts = Achain.discard (chain t g) ~ts
+
+let commit_installed _t v = Achain.commit_version v
+let discard_installed t g v = Achain.discard_version (chain t g) v
 
 let gc t ~before =
   Array.fold_left (fun acc s -> acc + Segment.gc s ~before) 0 t.segments
 
+let gc_wall t ~wall =
+  if Array.length wall <> Array.length t.segments then
+    invalid_arg "Store.gc_wall: threshold vector length mismatch";
+  let dropped = ref 0 in
+  Array.iteri
+    (fun i s -> dropped := !dropped + Segment.gc s ~before:wall.(i))
+    t.segments;
+  !dropped
+
 let version_count t =
   Array.fold_left (fun acc s -> acc + Segment.version_count s) 0 t.segments
+
+let max_chain_length t =
+  Array.fold_left
+    (fun acc s -> Int.max acc (Segment.max_chain_length s))
+    0 t.segments

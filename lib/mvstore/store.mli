@@ -1,5 +1,7 @@
 (** The multi-version database: one {!Segment} controller per data segment
-    of the partition, addressed through {!Granule.t}. *)
+    of the partition, addressed through {!Granule.t}.  Chains are the
+    array-backed {!Achain} representation; the list-backed {!Chain}
+    remains available as the benchmark ablation partner. *)
 
 type 'a t
 
@@ -12,7 +14,7 @@ val segment_count : 'a t -> int
 val segment : 'a t -> int -> 'a Segment.t
 (** @raise Invalid_argument when out of range. *)
 
-val chain : 'a t -> Granule.t -> 'a Chain.t
+val chain : 'a t -> Granule.t -> 'a Achain.t
 
 val committed_before : 'a t -> Granule.t -> ts:Time.t -> 'a Chain.version option
 (** Protocol A / C read: latest committed version strictly below [ts]. *)
@@ -20,9 +22,34 @@ val committed_before : 'a t -> Granule.t -> ts:Time.t -> 'a Chain.version option
 val candidate_before : 'a t -> Granule.t -> ts:Time.t -> 'a Chain.read_candidate option
 (** Protocol B / MVTO read candidate. *)
 
+val predecessor_rts : 'a t -> Granule.t -> ts:Time.t -> Time.t option
+(** Read timestamp of the latest live version below [ts] — the MVTO
+    late-write check. *)
+
+val latest_committed : 'a t -> Granule.t -> 'a Chain.version option
+
 val install : 'a t -> Granule.t -> ts:Time.t -> writer:Txn.id -> value:'a -> 'a Chain.version
 val commit_version : 'a t -> Granule.t -> ts:Time.t -> unit
 val discard_version : 'a t -> Granule.t -> ts:Time.t -> unit
 
+val commit_installed : 'a t -> 'a Chain.version -> unit
+(** O(1) commit through the handle {!install} returned. *)
+
+val discard_installed : 'a t -> Granule.t -> 'a Chain.version -> unit
+(** Discard through the handle — no timestamp search of the chain. *)
+
 val gc : 'a t -> before:Time.t -> int
+(** Uniform-threshold collection: every segment trimmed below [before]. *)
+
+val gc_wall : 'a t -> wall:Time.t array -> int
+(** Wall-driven collection (§7.3): segment [i] is trimmed to the newest
+    committed version below [wall.(i)] plus everything above it — the
+    per-segment thresholds a released time wall (or the scheduler's
+    per-segment watermark vector) justifies.
+    @raise Invalid_argument if the vector length differs from
+    {!segment_count}. *)
+
 val version_count : 'a t -> int
+
+val max_chain_length : 'a t -> int
+(** Longest chain anywhere in the store (telemetry). *)

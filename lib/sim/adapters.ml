@@ -11,14 +11,16 @@ let of_cc_metrics (m : B.Cc_metrics.t) : Controller.counters =
     blocks = m.B.Cc_metrics.blocks;
     rejects = m.B.Cc_metrics.rejects }
 
-let hdd_detailed ?log ?wall_every_commits ~partition ~init () =
+let hdd_detailed ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
+    ~partition ~init () =
   let clock = Time.Clock.create () in
   let store =
     Hdd_mvstore.Store.create
       ~segments:(Hdd_core.Partition.segment_count partition) ~init
   in
   let sched =
-    Scheduler.create ?log ?wall_every_commits ~partition ~clock ~store ()
+    Scheduler.create ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
+      ~partition ~clock ~store ()
   in
   let snapshot () : Controller.counters =
     let m = Scheduler.metrics sched in

@@ -14,12 +14,15 @@ val hdd :
 val hdd_detailed :
   ?log:Sched_log.t ->
   ?wall_every_commits:int ->
+  ?gc_every_commits:int ->
+  ?gc_on_wall:bool ->
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
   unit ->
   Controller.t * int Hdd_core.Scheduler.t * Time.Clock.clock
-(** Like {!hdd} but also exposes the scheduler and its clock, for
-    experiments that instrument wall releases and staleness. *)
+(** Like {!hdd} but also exposes the scheduler, its clock and the
+    garbage-collection knobs, for experiments and properties that
+    instrument wall releases, staleness and collection. *)
 
 val s2pl :
   ?log:Sched_log.t ->

@@ -185,7 +185,7 @@ let checkpoint t =
     List.iter
       (fun key ->
         match
-          Hdd_mvstore.Chain.latest_committed
+          Hdd_mvstore.Achain.latest_committed
             (Hdd_mvstore.Segment.chain segment key)
         with
         | Some v when v.Hdd_mvstore.Chain.ts > Time.zero ->

@@ -3,6 +3,7 @@ module Certifier = Hdd_core.Certifier
 module Outcome = Hdd_core.Outcome
 module Store = Hdd_mvstore.Store
 module Chain = Hdd_mvstore.Chain
+module Achain = Hdd_mvstore.Achain
 module Segment = Hdd_mvstore.Segment
 module Prng = Hdd_util.Prng
 
@@ -319,7 +320,7 @@ let check_recovery add ~label (r : Durable.recovered) ~visible ~allowed =
                      (Format.asprintf "%a" Granule.pp g)
                      ver.Chain.ts ver.Chain.value v)
             end)
-          (Chain.versions (Segment.chain s key)))
+          (Achain.versions (Segment.chain s key)))
       (Segment.keys s)
   done
 

@@ -2,15 +2,34 @@ type class_log = {
   mutable records : Txn.t array;  (* circular-free growable array *)
   mutable base : int;  (* first live index after pruning *)
   mutable len : int;  (* one past the last used index *)
+  (* --- incremental activity index ---
+     [pending] holds registered transactions last seen active, oldest
+     (smallest initiation) first; a lazy [sync] pass moves the ones that
+     have since finished into the window arrays.  [w_end]/[w_init] record
+     finished activity windows [init, end) with both columns ascending:
+     every window dominated by another (later end, older init) is dropped
+     on insertion, so the first window with [end > m] is the oldest one
+     spanning [m], and the last window with [init < m] carries the latest
+     end among windows initiated before [m].  This turns [i_old]/[c_late]
+     into O(|active| + log windows) instead of a scan of the class log. *)
+  mutable pending : Txn.t list;
+  mutable w_end : int array;
+  mutable w_init : int array;
+  mutable w_base : int;
+  mutable w_len : int;
+  mutable gen : int;  (* bumped whenever a query could change *)
 }
 
 type t = { logs : class_log array }
 
+let fresh_log () =
+  { records = Array.make 8 Txn.bootstrap; base = 0; len = 0;
+    pending = []; w_end = [||]; w_init = [||]; w_base = 0; w_len = 0;
+    gen = 0 }
+
 let create ~classes =
   if classes <= 0 then invalid_arg "Registry.create: classes must be > 0";
-  { logs =
-      Array.init classes (fun _ ->
-          { records = Array.make 8 Txn.bootstrap; base = 0; len = 0 }) }
+  { logs = Array.init classes (fun _ -> fresh_log ()) }
 
 let class_count t = Array.length t.logs
 
@@ -18,6 +37,83 @@ let log_of t class_id =
   if class_id < 0 || class_id >= Array.length t.logs then
     invalid_arg (Printf.sprintf "Registry: class %d out of range" class_id);
   t.logs.(class_id)
+
+(* --- finished-window index maintenance --- *)
+
+let ensure_window_capacity log =
+  let live = log.w_len - log.w_base in
+  if log.w_len >= Array.length log.w_end then begin
+    let cap = Int.max 8 (2 * (live + 1)) in
+    let ends = Array.make cap 0 and inits = Array.make cap 0 in
+    Array.blit log.w_end log.w_base ends 0 live;
+    Array.blit log.w_init log.w_base inits 0 live;
+    log.w_end <- ends;
+    log.w_init <- inits;
+    log.w_base <- 0;
+    log.w_len <- live
+  end
+
+(* First index in [[w_base, w_len)] whose end is > [m] (= w_len if none). *)
+let first_end_above log m =
+  let lo = ref log.w_base and hi = ref log.w_len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if log.w_end.(mid) > m then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* First index in [[w_base, w_len)] whose init is >= [m] (= w_len if none). *)
+let first_init_at_or_above log m =
+  let lo = ref log.w_base and hi = ref log.w_len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if log.w_init.(mid) < m then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let add_window log ~endt ~init =
+  ensure_window_capacity log;
+  let pos = first_end_above log endt in
+  (* dominated: some retained window ends no earlier and started no later *)
+  if not (pos < log.w_len && log.w_init.(pos) <= init) then begin
+    (* windows this one dominates sit in a contiguous run just below [pos] *)
+    let j = ref pos in
+    while !j > log.w_base && log.w_init.(!j - 1) >= init do decr j done;
+    let j = !j in
+    let tail = log.w_len - pos in
+    Array.blit log.w_end pos log.w_end (j + 1) tail;
+    Array.blit log.w_init pos log.w_init (j + 1) tail;
+    log.w_end.(j) <- endt;
+    log.w_init.(j) <- init;
+    log.w_len <- j + 1 + tail
+  end
+
+(* Move transactions that finished since the last look from [pending] into
+   the window index.  Lazy: nothing tells the registry about commits and
+   aborts (drivers mutate {!Txn.t} directly), so every query re-checks the
+   few transactions last seen active. *)
+let sync log =
+  match log.pending with
+  | [] -> ()
+  | pending ->
+    let changed = ref false in
+    let still =
+      List.filter
+        (fun (r : Txn.t) ->
+          if Txn.is_active r then true
+          else begin
+            (match Txn.end_time r with
+            | Some e -> add_window log ~endt:e ~init:r.Txn.init
+            | None -> ());
+            changed := true;
+            false
+          end)
+        pending
+    in
+    if !changed then begin
+      log.pending <- still;
+      log.gen <- log.gen + 1
+    end
 
 let register_in t ~class_id (txn : Txn.t) =
   let log = log_of t class_id in
@@ -33,7 +129,10 @@ let register_in t ~class_id (txn : Txn.t) =
     log.len <- live
   end;
   log.records.(log.len) <- txn;
-  log.len <- log.len + 1
+  log.len <- log.len + 1;
+  (* initiation times increase, so appending keeps [pending] ordered *)
+  log.pending <- log.pending @ [ txn ];
+  log.gen <- log.gen + 1
 
 let register t (txn : Txn.t) =
   match txn.kind with
@@ -56,6 +155,38 @@ let iter_upto log m f =
 
 let i_old t ~class_id ~at =
   let log = log_of t class_id in
+  sync log;
+  let best = ref at in
+  (* oldest currently-active transaction (pending is ordered by init) *)
+  (match log.pending with
+  | r :: _ when r.Txn.init < at -> best := r.Txn.init
+  | _ -> ());
+  (* oldest finished window still spanning [at] *)
+  let i = first_end_above log at in
+  if i < log.w_len && log.w_init.(i) < at && log.w_init.(i) < !best then
+    best := log.w_init.(i);
+  !best
+
+let c_late t ~class_id ~at =
+  let log = log_of t class_id in
+  sync log;
+  match log.pending with
+  (* strict initiation bound, matching Txn.active_at: transactions
+     initiated exactly at [at] play no role in C_late(at) *)
+  | r :: _ when r.Txn.init < at -> Error r.Txn.id
+  | _ ->
+    (* windows are ascending in both columns, so the latest end among
+       windows initiated before [at] sits on the last such window *)
+    let i = first_init_at_or_above log at in
+    if i > log.w_base && log.w_end.(i - 1) > at then Ok log.w_end.(i - 1)
+    else Ok at
+
+(* Reference implementations: the original linear scans over the class
+   log, kept as the ablation partner for the benchmarks and as the oracle
+   for the equivalence properties in the test suite. *)
+
+let i_old_scan t ~class_id ~at =
+  let log = log_of t class_id in
   let found = ref at in
   (try
      iter_upto log at (fun r ->
@@ -67,13 +198,11 @@ let i_old t ~class_id ~at =
    with Exit -> ());
   !found
 
-let c_late t ~class_id ~at =
+let c_late_scan t ~class_id ~at =
   let log = log_of t class_id in
   let blocking = ref None in
   let latest = ref at in
   let saw_committed_span = ref false in
-  (* strict initiation bound, matching Txn.active_at: transactions
-     initiated exactly at [at] play no role in C_late(at) *)
   iter_upto log (at - 1) (fun r ->
       (match r.Txn.status with
       | Txn.Active -> blocking := Some r.Txn.id
@@ -93,21 +222,38 @@ let c_late t ~class_id ~at =
 let c_late_computable t ~class_id ~at =
   match c_late t ~class_id ~at with Ok _ -> true | Error _ -> false
 
+let generation t ~class_id =
+  let log = log_of t class_id in
+  sync log;
+  log.gen
+
 let active_count t ~class_id =
   let log = log_of t class_id in
-  let n = ref 0 in
-  for i = log.base to log.len - 1 do
-    if Txn.is_active log.records.(i) then incr n
-  done;
-  !n
+  sync log;
+  List.length log.pending
+
+let oldest_active t ~class_id =
+  let log = log_of t class_id in
+  sync log;
+  match log.pending with [] -> None | r :: _ -> Some r
 
 let transactions t ~class_id =
   let log = log_of t class_id in
   List.init (log.len - log.base) (fun i -> log.records.(log.base + i))
 
+let record_count t ~class_id =
+  let log = log_of t class_id in
+  log.len - log.base
+
+let window_count t ~class_id =
+  let log = log_of t class_id in
+  sync log;
+  log.w_len - log.w_base
+
 let prune t ~upto =
   Array.iter
     (fun log ->
+      sync log;
       let i = ref log.base in
       let continue = ref true in
       while !continue && !i < log.len do
@@ -116,5 +262,7 @@ let prune t ~upto =
         | Some e when e <= upto -> incr i
         | _ -> continue := false
       done;
-      log.base <- !i)
+      log.base <- !i;
+      (* windows closed at or before [upto] can serve no query at >= upto *)
+      log.w_base <- first_end_above log upto)
     t.logs

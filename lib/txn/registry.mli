@@ -19,9 +19,14 @@
     dependencies.
 
     Transactions initiate in clock order, so each class's records arrive
-    sorted by initiation time; queries scan from the oldest retained record
-    and stop at the first match, and {!prune} drops finished prefixes that
-    can no longer be queried (e.g. below a released time wall). *)
+    sorted by initiation time.  Queries are served from an incremental
+    index — an ordered list of the transactions last seen active plus a
+    dominance-pruned array of finished activity windows — so [i_old] and
+    [c_late] cost O(actives + log windows) instead of a scan of the class
+    log; the original scans survive as {!i_old_scan}/{!c_late_scan} for
+    the benchmarks and the equivalence properties.  {!prune} drops
+    finished records and windows that can no longer be queried (e.g.
+    below a released time wall). *)
 
 type t
 
@@ -53,11 +58,38 @@ val c_late :
 
 val c_late_computable : t -> class_id:int -> at:Time.t -> bool
 
+val i_old_scan : t -> class_id:int -> at:Time.t -> Time.t
+(** Reference implementation of {!i_old}: a linear scan of the class log,
+    as shipped before the incremental index.  Kept as the benchmark
+    ablation partner and the oracle for the equivalence property. *)
+
+val c_late_scan :
+  t -> class_id:int -> at:Time.t -> (Time.t, Txn.id) result
+(** Reference implementation of {!c_late}, same role as {!i_old_scan}. *)
+
+val generation : t -> class_id:int -> int
+(** A counter that advances whenever a query against the class could
+    change — on registration and whenever a member transaction is
+    observed to have finished.  Monotone; equal generations mean every
+    [i_old]/[c_late] answer for the class is unchanged, which is what
+    lets {!Activity} cache composed thresholds across calls. *)
+
 val active_count : t -> class_id:int -> int
 (** Transactions of the class currently active. *)
 
+val oldest_active : t -> class_id:int -> Txn.t option
+(** The active transaction of the class with the smallest initiation
+    time, if any — the O(1) cursor behind {!i_old}. *)
+
 val transactions : t -> class_id:int -> Txn.t list
 (** Retained records, oldest first. *)
+
+val record_count : t -> class_id:int -> int
+(** Retained records (telemetry for the benchmark suite). *)
+
+val window_count : t -> class_id:int -> int
+(** Retained finished-activity windows after dominance pruning
+    (telemetry for the benchmark suite). *)
 
 val prune : t -> upto:Time.t -> unit
 (** Forget prefix records that finished at or before [upto].  Queries with

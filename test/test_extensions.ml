@@ -183,10 +183,12 @@ let prop_decompose_random =
 
 let gr s k = Granule.make ~segment:s ~key:k
 
-let mk_sched ?log () =
+let mk_sched ?log ?gc_on_wall () =
   let clock = Time.Clock.create () in
   let store = Store.create ~segments:3 ~init:(fun _ -> 0) in
-  (Scheduler.create ?log ~partition:Fixtures.inventory ~clock ~store (), store)
+  ( Scheduler.create ?log ?gc_on_wall ~partition:Fixtures.inventory ~clock
+      ~store (),
+    store )
 
 let ok = function
   | Outcome.Granted v -> v
@@ -340,7 +342,9 @@ let prop_adhoc_mixed_serializable =
 
 let test_gc_drops_and_preserves () =
   let log = Sched_log.create () in
-  let s, store = mk_sched ~log () in
+  (* wall-driven GC off: this test wants versions to pile up so the
+     manual collection visibly drops them *)
+  let s, store = mk_sched ~log ~gc_on_wall:false () in
   (* write the same event granule many times *)
   for i = 1 to 20 do
     let t = Scheduler.begin_update s ~class_id:2 in

@@ -1,0 +1,244 @@
+(* Properties guarding the hot-path machinery: the incremental registry
+   index against the reference scans, the precomputed partition matrices
+   against the per-call searches, and — the §7.3 safety property — that
+   garbage collection never removes a version any admissible read could
+   still be served: running identical schedules with collection at every
+   opportunity and with collection off must produce identical outcomes,
+   step for step. *)
+
+module Partition = Hdd_core.Partition
+module Scheduler = Hdd_core.Scheduler
+module Explore = Hdd_check.Explore
+module Gen = Hdd_check.Gen
+module Adapters = Hdd_sim.Adapters
+module Controller = Hdd_sim.Controller
+module Store = Hdd_mvstore.Store
+module Prng = Hdd_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- registry: incremental index vs the linear scans --- *)
+
+let prop_registry_matches_scan =
+  QCheck2.Test.make
+    ~name:"registry: incremental i_old/c_late equal the reference scans"
+    ~count:300
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let classes = 1 + Prng.int g 3 in
+      let reg = Registry.create ~classes in
+      let clock = ref 0 in
+      let tick () =
+        incr clock;
+        !clock
+      in
+      let active = ref [] in
+      let next_id = ref 1 in
+      let floor = ref 0 in  (* smallest reliable query point after prune *)
+      let ok = ref true in
+      let check_queries () =
+        for cls = 0 to classes - 1 do
+          for _ = 1 to 3 do
+            let at = !floor + Prng.int g (!clock - !floor + 2) in
+            if
+              Registry.i_old reg ~class_id:cls ~at
+              <> Registry.i_old_scan reg ~class_id:cls ~at
+            then ok := false;
+            if
+              Registry.c_late reg ~class_id:cls ~at
+              <> Registry.c_late_scan reg ~class_id:cls ~at
+            then ok := false
+          done
+        done
+      in
+      for _step = 1 to 60 do
+        match Prng.int g 6 with
+        | 0 | 1 ->
+          let cls = Prng.int g classes in
+          let txn =
+            Txn.make ~id:!next_id ~kind:(Txn.Update cls) ~init:(tick ())
+          in
+          incr next_id;
+          Registry.register reg txn;
+          active := txn :: !active
+        | 2 ->
+          (* ad-hoc style: one transaction joins several classes *)
+          let txn =
+            Txn.make ~id:!next_id ~kind:(Txn.Update 0) ~init:(tick ())
+          in
+          incr next_id;
+          for cls = 0 to classes - 1 do
+            if cls = 0 || Prng.bool g then
+              Registry.register_in reg ~class_id:cls txn
+          done;
+          active := txn :: !active
+        | 3 when !active <> [] ->
+          let txn = Prng.pick g (Array.of_list !active) in
+          (if Prng.bool g then Txn.commit txn ~at:(tick ())
+           else Txn.abort txn ~at:(tick ()));
+          active := List.filter (fun t -> t != txn) !active
+        | 4 when Prng.int g 3 = 0 ->
+          let upto = Prng.int g (!clock + 1) in
+          Registry.prune reg ~upto;
+          floor := Int.max !floor upto
+        | _ -> check_queries ()
+      done;
+      check_queries ();
+      !ok)
+
+(* --- partition: precomputed matrices vs the per-call searches --- *)
+
+let prop_partition_matrices_match_search =
+  QCheck2.Test.make
+    ~name:"partition: CP/UCP matrices equal the path searches" ~count:200
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let p = Partition.build_exn (Gen.tst_spec g) in
+      let n = Partition.segment_count p in
+      let ok = ref true in
+      for i = -1 to n do
+        for j = -1 to n do
+          if Partition.critical_path p i j <> Partition.critical_path_search p i j
+          then ok := false;
+          if Partition.ucp p i j <> Partition.ucp_search p i j then
+            ok := false
+        done
+      done;
+      (* lowest classes come straight from the reduction *)
+      let lowest_ref =
+        List.filter
+          (fun i -> Hdd_graph.Digraph.pred p.Partition.reduction i = [])
+          (Hdd_graph.Digraph.nodes p.Partition.reduction)
+      in
+      if
+        List.sort compare (Partition.lowest_classes p)
+        <> List.sort compare lowest_ref
+      then ok := false;
+      !ok)
+
+(* --- GC safety (§7.3): collection must be invisible to every read --- *)
+
+(* Append a read-only sweep of every granule so released walls are
+   exercised against collected chains too. *)
+let with_ro_sweep (wl : Explore.workload) =
+  let n = Partition.segment_count wl.Explore.partition in
+  let ops =
+    List.concat
+      (List.init n (fun s ->
+           List.init 2 (fun key ->
+               Explore.Read (Granule.make ~segment:s ~key))))
+  in
+  { wl with
+    Explore.progs =
+      wl.Explore.progs
+      @ [ { Explore.label = "sweep"; kind = Controller.Read_only; ops } ] }
+
+let hdd_gc_system ~gc =
+  { Explore.sys_name = (if gc then "HDD+gc" else "HDD-nogc");
+    build =
+      (fun ~log wl ->
+        let ctrl, _, _ =
+          if gc then
+            Adapters.hdd_detailed ~log ~wall_every_commits:2
+              ~gc_every_commits:1 ~gc_on_wall:true
+              ~partition:wl.Explore.partition ~init:wl.Explore.init ()
+          else
+            Adapters.hdd_detailed ~log ~wall_every_commits:2
+              ~gc_on_wall:false ~partition:wl.Explore.partition
+              ~init:wl.Explore.init ()
+        in
+        ctrl) }
+
+let collected_reject (e : Explore.event) =
+  match e.Explore.ev_outcome with
+  | `Rejected why ->
+    why = "snapshot version collected"
+    || why = "version collected past timestamp"
+  | _ -> false
+
+let prop_gc_never_breaks_reads =
+  QCheck2.Test.make
+    ~name:"scheduler: GC at every opportunity changes no outcome"
+    ~count:1000
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let wl = with_ro_sweep (Gen.workload ~adhoc:(seed mod 4 = 0) g) in
+      let schedule = Gen.schedule g wl in
+      let a = Explore.run_schedule (hdd_gc_system ~gc:true) wl schedule in
+      let b = Explore.run_schedule (hdd_gc_system ~gc:false) wl schedule in
+      a.Explore.t_events <> []
+      && a.Explore.t_schedule = b.Explore.t_schedule
+      && a.Explore.t_events = b.Explore.t_events
+      && a.Explore.t_committed = b.Explore.t_committed
+      && a.Explore.t_aborted = b.Explore.t_aborted
+      && a.Explore.t_deadlock = b.Explore.t_deadlock
+      && a.Explore.t_verdict.Hdd_core.Certifier.serializable
+         = b.Explore.t_verdict.Hdd_core.Certifier.serializable
+      && not (List.exists collected_reject a.Explore.t_events))
+
+(* --- unit checks for the wall-driven collection plumbing --- *)
+
+let test_gc_wall_trims_per_segment () =
+  let store = Store.create ~segments:2 ~init:(fun _ -> 0) in
+  let fill seg =
+    let gr = Granule.make ~segment:seg ~key:0 in
+    for ts = 1 to 10 do
+      ignore (Store.install store gr ~ts ~writer:ts ~value:ts);
+      Store.commit_version store gr ~ts
+    done
+  in
+  fill 0;
+  fill 1;
+  (* segment 0 may be trimmed to ts 9; segment 1 must keep everything
+     below threshold 1 (only the bootstrap version is below it) *)
+  let dropped = Store.gc_wall store ~wall:[| 10; 1 |] in
+  checkb "dropped from segment 0 only" true (dropped > 0);
+  let len seg =
+    Hdd_mvstore.Achain.length
+      (Store.chain store (Granule.make ~segment:seg ~key:0))
+  in
+  checkb "segment 0 trimmed" true (len 0 < 11);
+  checki "segment 1 untouched" 11 (len 1);
+  (* reads above each threshold still served *)
+  (match Store.committed_before store (Granule.make ~segment:0 ~key:0) ~ts:10 with
+  | Some v -> checki "snapshot at 10 survives" 9 v.Hdd_mvstore.Chain.ts
+  | None -> Alcotest.fail "segment 0 snapshot lost");
+  (match Store.committed_before store (Granule.make ~segment:1 ~key:0) ~ts:1 with
+  | Some v -> checki "bootstrap survives" 0 v.Hdd_mvstore.Chain.ts
+  | None -> Alcotest.fail "segment 1 bootstrap lost");
+  Alcotest.check_raises "vector length checked"
+    (Invalid_argument "Store.gc_wall: threshold vector length mismatch")
+    (fun () -> ignore (Store.gc_wall store ~wall:[| 1 |]))
+
+let test_watermark_vector_floor_is_scalar () =
+  let clock = Time.Clock.create () in
+  let store = Store.create ~segments:3 ~init:(fun _ -> 0) in
+  let s =
+    Scheduler.create ~partition:Fixtures.inventory ~clock ~store ()
+  in
+  (* a straggler in class 0 pins low segments but not the root of 2 *)
+  let old0 = Scheduler.begin_update s ~class_id:0 in
+  for i = 1 to 5 do
+    let t = Scheduler.begin_update s ~class_id:2 in
+    ignore (Scheduler.write s t (Granule.make ~segment:2 ~key:0) i);
+    Scheduler.commit s t
+  done;
+  let vec = Scheduler.gc_watermark_vector s in
+  checki "vector has one component per segment" 3 (Array.length vec);
+  checki "floor equals the scalar watermark"
+    (Array.fold_left Time.min vec.(0) vec)
+    (Scheduler.gc_watermark s);
+  Scheduler.commit s old0
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_registry_matches_scan;
+    QCheck_alcotest.to_alcotest prop_partition_matrices_match_search;
+    QCheck_alcotest.to_alcotest prop_gc_never_breaks_reads;
+    Alcotest.test_case "store: gc_wall trims per segment" `Quick
+      test_gc_wall_trims_per_segment;
+    Alcotest.test_case "scheduler: watermark vector floors the scalar"
+      `Quick test_watermark_vector_floor_is_scalar ]

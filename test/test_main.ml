@@ -12,4 +12,5 @@ let () =
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
       ("check", Test_check.suite);
+      ("hotpath", Test_hotpath.suite);
       ("storage", Test_storage.suite) ]

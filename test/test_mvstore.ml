@@ -129,7 +129,7 @@ let test_segment () =
   checki "id" 3 (Segment.id s);
   checkb "untouched" false (Segment.mem s 7);
   let c = Segment.chain s 7 in
-  (match Chain.latest_committed c with
+  (match Achain.latest_committed c with
   | Some v -> checki "initialised by key" 700 v.Chain.value
   | None -> Alcotest.fail "init");
   checkb "materialised" true (Segment.mem s 7);

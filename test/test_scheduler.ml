@@ -9,6 +9,7 @@ module Certifier = Hdd_core.Certifier
 module Timewall = Hdd_core.Timewall
 module Store = Hdd_mvstore.Store
 module Chain = Hdd_mvstore.Chain
+module Achain = Hdd_mvstore.Achain
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -94,7 +95,7 @@ let test_protocol_a_never_registers () =
   checki "served by protocol A" 1 m.Scheduler.reads_a;
   checki "no registration for cross-class reads" 0 m.Scheduler.read_registrations;
   (* and the version's rts is untouched *)
-  (match Chain.latest_committed (Store.chain store (gr 2 7)) with
+  (match Store.latest_committed store (gr 2 7) with
   | Some v -> checki "rts untouched" 0 v.Chain.rts
   | None -> Alcotest.fail "version");
   Scheduler.commit s t
@@ -203,7 +204,7 @@ let test_abort_discards_versions () =
   grant (Scheduler.write s w (gr 2 0) 9);
   Scheduler.abort s w;
   checki "only the bootstrap version remains" 1
-    (Chain.length (Store.chain store (gr 2 0)));
+    (Achain.length (Store.chain store (gr 2 0)));
   let t = Scheduler.begin_update s ~class_id:2 in
   checki "aborted write invisible" 0 (grant (Scheduler.read s t (gr 2 0)));
   Scheduler.commit s t

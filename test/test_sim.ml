@@ -54,6 +54,53 @@ let test_event_queue_growth () =
   checkb "heap order maintained" true !sorted;
   checkb "empty" true (EQ.is_empty q)
 
+(* The pre-heap implementation was a sorted list with stable insertion:
+   new events go after existing ones at the same time.  The heap must
+   reproduce its pop order exactly on any interleaved push/pop trace. *)
+let test_event_queue_matches_sorted_list () =
+  let module Ref = struct
+    type 'a t = (float * 'a) list ref
+
+    let create () : 'a t = ref []
+
+    let push (q : 'a t) ~time x =
+      let rec ins = function
+        | [] -> [ (time, x) ]
+        | ((t', _) as hd) :: tl ->
+          if t' <= time then hd :: ins tl else (time, x) :: hd :: tl
+      in
+      q := ins !q
+
+    let pop (q : 'a t) =
+      match !q with [] -> None | hd :: tl -> q := tl; Some hd
+  end in
+  let g = Prng.create 0xE0E0 in
+  let q = EQ.create () in
+  let r = Ref.create () in
+  let mismatch = ref None in
+  let pops = ref 0 in
+  for step = 1 to 2000 do
+    if Prng.int g 3 < 2 || EQ.is_empty q then begin
+      (* coarse times force plenty of ties *)
+      let time = float_of_int (Prng.int g 50) in
+      EQ.push q ~time step;
+      Ref.push r ~time step
+    end
+    else begin
+      incr pops;
+      if EQ.pop q <> Ref.pop r then mismatch := Some step
+    end
+  done;
+  while not (EQ.is_empty q) do
+    incr pops;
+    if EQ.pop q <> Ref.pop r then mismatch := Some (-1)
+  done;
+  (match !mismatch with
+  | Some step -> Alcotest.failf "heap diverged from sorted list at step %d" step
+  | None -> ());
+  checkb "reference drained too" true (Ref.pop r = None);
+  checkb "trace exercised pops" true (!pops > 500)
+
 (* --- workloads --- *)
 
 let test_workload_templates_valid () =
@@ -450,6 +497,8 @@ let suite =
   [ Alcotest.test_case "event queue: time order" `Quick test_event_queue_order;
     Alcotest.test_case "event queue: fifo on ties" `Quick test_event_queue_fifo_ties;
     Alcotest.test_case "event queue: growth" `Quick test_event_queue_growth;
+    Alcotest.test_case "event queue: matches sorted-list reference" `Quick
+      test_event_queue_matches_sorted_list;
     Alcotest.test_case "workloads: templates respect the spec" `Quick test_workload_templates_valid;
     Alcotest.test_case "workloads: deterministic pick" `Quick test_workload_pick_deterministic;
     Alcotest.test_case "workloads: tree RO spans branches" `Quick test_tree_ro_spans_branches;
