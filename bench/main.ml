@@ -65,7 +65,7 @@ let bechamel_tests () =
   let ctx3, now3 = populated_ctx 3 in
   let branch_ctx =
     let p = branch_partition 3 in
-    let registry = T.Registry.create ~classes:4 in
+    let registry = T.Registry.create ~classes:4 () in
     Activity.make_ctx p registry
   in
   let chain10 = mv_chain 10 in

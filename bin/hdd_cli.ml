@@ -377,7 +377,12 @@ let torture_cmd =
            ~doc:"Log file to hammer (default: a file under the system \
                  temporary directory).")
   in
-  let run seeds first_seed wname path =
+  let monitors =
+    Arg.(value & flag & info [ "monitors" ]
+           ~doc:"Attach the runtime invariant monitors to every phase and \
+                 count what they catch as violations.")
+  in
+  let run seeds first_seed wname path monitors =
     let wl = workload_of_name wname in
     let path =
       if path <> "" then path
@@ -386,7 +391,7 @@ let torture_cmd =
           (Printf.sprintf "hdd_torture_%d.log" (Unix.getpid ()))
     in
     let report =
-      Hdd_storage.Torture.run ~first_seed
+      Hdd_storage.Torture.run ~monitors ~first_seed
         ~partition:wl.Workload.partition ~path ~seeds ()
     in
     Format.printf "%a@." Hdd_storage.Torture.pp_report report;
@@ -397,7 +402,7 @@ let torture_cmd =
        ~doc:"Seeded crash/recover torture of the durable store: inject \
              crashes, torn writes and corruption, then verify the \
              recovery invariants")
-    Term.(const run $ seeds $ first_seed $ workload $ path)
+    Term.(const run $ seeds $ first_seed $ workload $ path $ monitors)
 
 let explore_cmd =
   let module Explore = Hdd_check.Explore in
@@ -516,12 +521,44 @@ let bench_cmd =
            ~doc:"Fail when a gated throughput metric falls this fraction \
                  below the baseline.")
   in
+  let obs_gate =
+    Arg.(value & opt (some float) None & info [ "obs-gate" ] ~docv:"FRAC"
+           ~doc:"Instead of the full report, measure the closed-loop \
+                 throughput cost of the always-on observability profile \
+                 (metrics registry wired, trace hooks compiled in but the \
+                 ring disabled) versus no trace attached at all, and fail \
+                 when the fraction lost exceeds FRAC (the nightly gate \
+                 uses 0.03).  The cost of tracing fully on (enabled ring \
+                 + metrics bridge) is measured and reported alongside, \
+                 ungated — that is the diagnostic mode, not the always-on \
+                 one.")
+  in
   let num report keys =
     match Option.bind (J.path keys report) J.number with
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression =
+  let run quick out baseline max_regression obs_gate =
+    match obs_gate with
+    | Some limit ->
+      let r = Macro.obs_overhead ~quick () in
+      J.to_file out r;
+      let v keys = num r keys in
+      let overhead = v [ "disabled_overhead_frac" ] in
+      Printf.printf
+        "observability off: %.0f txns/sec, compiled-in disabled: %.0f \
+         txns/sec (overhead %.2f%%, limit %.2f%%), fully on: %.0f \
+         txns/sec (overhead %.2f%%, ungated)\n"
+        (v [ "off_txns_per_sec" ])
+        (v [ "disabled_txns_per_sec" ])
+        (100. *. overhead) (100. *. limit)
+        (v [ "on_txns_per_sec" ])
+        (100. *. v [ "overhead_frac" ]);
+      if overhead > limit then begin
+        Printf.printf "OBSERVABILITY OVERHEAD GATE FAILED\n";
+        exit 1
+      end
+    | None ->
     let report = Macro.run ~quick () in
     J.to_file out report;
     Printf.printf "wrote %s\n" out;
@@ -566,7 +603,64 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Run the hot-path macro-benchmark, write BENCH_hot_paths.json, \
              and optionally gate against a committed baseline")
-    Term.(const run $ quick $ out $ baseline $ max_regression)
+    Term.(const run $ quick $ out $ baseline $ max_regression $ obs_gate)
+
+let trace_cmd =
+  let module Obs_export = Hdd_benchkit.Obs_export in
+  let module J = Hdd_benchkit.Jsonlite in
+  let module Trace = Hdd_obs.Trace in
+  let module Monitor = Hdd_obs.Monitor in
+  let workload, commits, mpl, seed = sim_args in
+  let protocol =
+    Arg.(value & opt string "HDD" & info [ "p"; "protocol" ] ~docv:"P"
+           ~doc:"Protocol to trace (only HDD emits events; baselines \
+                 produce an empty trace).")
+  in
+  let out =
+    Arg.(value & opt string "hdd_trace.json" & info [ "o"; "out" ]
+           ~docv:"FILE" ~doc:"Where to write the Chrome trace-event JSON \
+                              (load in chrome://tracing or Perfetto).")
+  in
+  let capacity =
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N"
+           ~doc:"Trace ring capacity; the oldest records beyond it are \
+                 dropped.")
+  in
+  let run wname commits mpl seed pname out capacity =
+    let wl = workload_of_name wname in
+    let spec = spec_of_name pname in
+    let config = config_of ~commits ~mpl ~seed in
+    let result, trace, metrics, monitor =
+      Harness.traced_run ~config ~capacity spec wl
+    in
+    print_results [ result ];
+    J.to_file out (Obs_export.chrome_trace trace);
+    Printf.printf "wrote %s (%d events emitted, %d dropped)\n" out
+      (Trace.emitted trace) (Trace.dropped trace);
+    print_endline "metrics:";
+    List.iter
+      (fun (name, snap) ->
+        match snap with
+        | Hdd_obs.Metrics.Counter n -> Printf.printf "  %-28s %d\n" name n
+        | Hdd_obs.Metrics.Gauge g -> Printf.printf "  %-28s %g\n" name g
+        | Hdd_obs.Metrics.Histogram { count; sum; _ } ->
+          Printf.printf "  %-28s count %d sum %g\n" name count sum)
+      (Hdd_obs.Metrics.snapshot metrics);
+    match Monitor.violations monitor with
+    | [] ->
+      Printf.printf "monitors: ok (%d events checked)\n"
+        (Monitor.events_seen monitor)
+    | vs ->
+      List.iter (fun v -> Printf.printf "MONITOR VIOLATION: %s\n" v) vs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one workload with full observability on: write a Chrome \
+             trace-event JSON, print the metrics registry, and verify the \
+             runtime invariant monitors stayed green")
+    Term.(const run $ workload $ commits $ mpl $ seed $ protocol $ out
+          $ capacity)
 
 let experiments_cmd =
   let ids =
@@ -597,4 +691,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
-                      explore_cmd; bench_cmd; experiments_cmd ]))
+                      explore_cmd; bench_cmd; trace_cmd; experiments_cmd ]))

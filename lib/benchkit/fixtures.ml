@@ -29,7 +29,7 @@ let branch_partition branches =
                    ~reads:[ i; branches ])))
 
 let populated_registry ?(finished = 40) ?(active = 2) ~classes () =
-  let registry = Registry.create ~classes in
+  let registry = Registry.create ~classes () in
   let clock = Time.Clock.create () in
   let per_class = finished + active in
   for cls = 0 to classes - 1 do

@@ -29,12 +29,18 @@ let number_to_string f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
+let emit_number b f =
+  (* JSON has no nan/infinity tokens; degrade to null rather than emit an
+     unparseable document *)
+  if Float.is_finite f then Buffer.add_string b (number_to_string f)
+  else Buffer.add_string b "null"
+
 let rec emit b indent v =
   let pad n = Buffer.add_string b (String.make n ' ') in
   match v with
   | Null -> Buffer.add_string b "null"
   | Bool x -> Buffer.add_string b (string_of_bool x)
-  | Num f -> Buffer.add_string b (number_to_string f)
+  | Num f -> emit_number b f
   | Str s ->
     Buffer.add_char b '"';
     escape b s;

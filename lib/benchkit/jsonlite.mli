@@ -14,7 +14,8 @@ type t =
 val num_of_int : int -> t
 
 val to_string : t -> string
-(** Pretty-printed, two-space indent, trailing newline. *)
+(** Pretty-printed, two-space indent, trailing newline.  Non-finite
+    numbers (JSON has no token for them) emit as [null]. *)
 
 val to_file : string -> t -> unit
 

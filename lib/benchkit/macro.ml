@@ -159,7 +159,7 @@ let bucket_json b =
       ("p50_us", J.Num (us (percentile lat 50)));
       ("p99_us", J.Num (us (percentile lat 99))) ]
 
-let macro ~quick =
+let macro ?trace ~quick () =
   let depth = 8 in
   let keys = 4 in
   let target = if quick then 3_000 else 30_000 in
@@ -167,7 +167,14 @@ let macro ~quick =
   let partition = Fixtures.chain_partition depth in
   let store = Store.create ~segments:depth ~init:(fun _ -> 0) in
   let clock = Time.Clock.create () in
-  let sched = Scheduler.create ~partition ~clock ~store () in
+  let sched = Scheduler.create ?trace ~partition ~clock ~store () in
+  (* benchmark telemetry goes through the metrics registry; with [trace]
+     the standard event bridge feeds the same registry, which is the
+     "metrics on" configuration the obs-overhead gate measures *)
+  let bm = Hdd_obs.Metrics.create () in
+  (match trace with
+  | Some tr -> Hdd_obs.Metrics.attach bm tr
+  | None -> ());
   let g = Prng.create 42 in
   let gran seg = Granule.make ~segment:seg ~key:(Prng.int g keys) in
   let spawn () =
@@ -202,13 +209,13 @@ let macro ~quick =
     | B_update _ -> b_bucket
     | C_readonly -> c_bucket
   in
-  let blocked_aborts = ref 0
-  and rejected_aborts = ref 0
-  and committed = ref 0 in
+  let blocked_aborts = Hdd_obs.Metrics.counter bm "bench.blocked_aborts"
+  and rejected_aborts = Hdd_obs.Metrics.counter bm "bench.rejected_aborts"
+  and committed = Hdd_obs.Metrics.counter bm "bench.committed" in
   let pool : live option array = Array.make mpl None in
   let t0 = Unix.gettimeofday () in
   let stalled = ref 0 in
-  while !committed < target && !stalled < 1_000_000 do
+  while Hdd_obs.Metrics.value committed < target && !stalled < 1_000_000 do
     incr stalled;
     let slot = Prng.int g mpl in
     match pool.(slot) with
@@ -222,7 +229,7 @@ let macro ~quick =
         let b = bucket_of l.kind in
         b.txns <- b.txns + 1;
         b.lat <- (Unix.gettimeofday () -. l.started) :: b.lat;
-        incr committed;
+        Hdd_obs.Metrics.incr committed;
         pool.(slot) <- None;
         stalled := 0
       | (is_write, gr) :: rest -> (
@@ -247,8 +254,8 @@ let macro ~quick =
           (* either way the driver aborts and the closed loop replaces
              the transaction; the split is reported as telemetry *)
           (match why with
-          | `Blocked -> incr blocked_aborts
-          | `Rejected -> incr rejected_aborts);
+          | `Blocked -> Hdd_obs.Metrics.incr blocked_aborts
+          | `Rejected -> Hdd_obs.Metrics.incr rejected_aborts);
           Scheduler.abort sched l.txn;
           pool.(slot) <- None))
   done;
@@ -267,12 +274,14 @@ let macro ~quick =
   J.Obj
     [ ("elapsed_sec", J.Num elapsed);
       ("ops_per_sec", J.Num (float_of_int total_ops /. elapsed));
-      ("txns_per_sec", J.Num (float_of_int !committed /. elapsed));
+      ( "txns_per_sec",
+        J.Num (float_of_int (Hdd_obs.Metrics.value committed) /. elapsed) );
       ("protocol_A", bucket_json a_bucket);
       ("protocol_B", bucket_json b_bucket);
       ("protocol_C", bucket_json c_bucket);
-      ("blocked_aborts", J.num_of_int !blocked_aborts);
-      ("rejected_aborts", J.num_of_int !rejected_aborts);
+      ("blocked_aborts", J.num_of_int (Hdd_obs.Metrics.value blocked_aborts));
+      ("rejected_aborts", J.num_of_int (Hdd_obs.Metrics.value rejected_aborts));
+      ("metrics", Obs_export.metrics_json bm);
       ( "telemetry",
         J.Obj
           [ ("max_chain_length", J.num_of_int (Store.max_chain_length store));
@@ -298,7 +307,45 @@ let run ?(quick = false) () =
                  implementations (Registry.*_scan, \
                  Partition.*_search, list-backed Chain)" ) ] );
       ("hot_paths", hot_paths ~quick);
-      ("macro", macro ~quick) ]
+      ("macro", macro ~quick ()) ]
+
+(* --- the observability-overhead gate --- *)
+
+let obs_overhead ?(quick = false) ?(runs = 3) () =
+  let tps ?trace () =
+    match
+      Option.bind (J.path [ "txns_per_sec" ] (macro ?trace ~quick ())) J.number
+    with
+    | Some v -> v
+    | None -> 0.
+  in
+  (* best-of-N per side, the rounds interleaved off/disabled/on so a
+     machine-load swing degrades every side alike instead of whichever
+     block it lands on: the gate measures systematic emission cost, not
+     scheduler noise *)
+  let off = ref 0.
+  and disabled = ref 0.
+  and on = ref 0. in
+  for _ = 1 to runs do
+    off := Float.max !off (tps ());
+    (disabled :=
+       let trace = Hdd_obs.Trace.create () in
+       Hdd_obs.Trace.disable trace;
+       Float.max !disabled (tps ~trace ()));
+    on :=
+      let trace = Hdd_obs.Trace.create () in
+      Float.max !on (tps ~trace ())
+  done;
+  let off = !off
+  and disabled = !disabled
+  and on = !on in
+  let frac x = if off > 0. then 1. -. (x /. off) else 0. in
+  J.Obj
+    [ ("off_txns_per_sec", J.Num off);
+      ("disabled_txns_per_sec", J.Num disabled);
+      ("on_txns_per_sec", J.Num on);
+      ("disabled_overhead_frac", J.Num (frac disabled));
+      ("overhead_frac", J.Num (frac on)) ]
 
 (* --- the regression gate --- *)
 

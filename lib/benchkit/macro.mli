@@ -29,7 +29,21 @@ val legacy_a_fn :
 
 val run : ?quick:bool -> unit -> Jsonlite.t
 (** The full report.  [quick] shrinks the fixtures and the closed loop
-    (~10x) for per-push CI. *)
+    (~10x) for per-push CI.  The closed loop's telemetry (commits,
+    blocked/rejected aborts) is counted through {!Hdd_obs.Metrics} and
+    the report carries the registry snapshot under [macro.metrics]. *)
+
+val obs_overhead : ?quick:bool -> ?runs:int -> unit -> Jsonlite.t
+(** Run the closed-loop macro three ways — no trace attached, trace
+    attached but disabled (the always-on profile: hooks compiled in,
+    metrics registry wired, ring off) and tracing fully on (enabled ring
+    + the standard metrics bridge) — best-of-[runs] (default 3) per
+    side, rounds interleaved against machine-load swings.  Reports
+    [{off_txns_per_sec; disabled_txns_per_sec; on_txns_per_sec;
+    disabled_overhead_frac; overhead_frac}]; [disabled_overhead_frac] is
+    the number the nightly <3% gate checks, the fully-on figure is
+    published ungated (it is the diagnostic mode, and on transactions
+    this cheap it costs ~8%). *)
 
 val regressions :
   baseline:Jsonlite.t ->

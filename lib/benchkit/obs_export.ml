@@ -1,0 +1,159 @@
+module Trace = Hdd_obs.Trace
+module Metrics = Hdd_obs.Metrics
+
+let protocol_name = function Trace.A -> "A" | Trace.B -> "B" | Trace.C -> "C"
+
+let kind_name = function
+  | Trace.Update i -> Printf.sprintf "update(T%d)" i
+  | Trace.Read_only -> "read_only"
+  | Trace.Hosted b -> Printf.sprintf "hosted(T%d)" b
+  | Trace.Adhoc _ -> "adhoc"
+
+let num = Jsonlite.num_of_int
+
+let instant ~name ~at ~tid args =
+  Jsonlite.Obj
+    ([ ("name", Jsonlite.Str name);
+       ("ph", Jsonlite.Str "i");
+       ("s", Jsonlite.Str "t");
+       ("ts", num at);
+       ("pid", num 0);
+       ("tid", num tid) ]
+    @ if args = [] then [] else [ ("args", Jsonlite.Obj args) ])
+
+let slice ~name ~start ~finish ~tid args =
+  Jsonlite.Obj
+    ([ ("name", Jsonlite.Str name);
+       ("cat", Jsonlite.Str "txn");
+       ("ph", Jsonlite.Str "X");
+       ("ts", num start);
+       ("dur", num (Int.max 0 (finish - start)));
+       ("pid", num 0);
+       ("tid", num tid) ]
+    @ if args = [] then [] else [ ("args", Jsonlite.Obj args) ])
+
+let int_list l = Jsonlite.List (List.map num l)
+
+let chrome_trace trace =
+  (* transaction slices: Begin .. Commit/Abort, matched by id *)
+  let begins : (int, int * Trace.txn_kind) Hashtbl.t = Hashtbl.create 64 in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  List.iter
+    (fun (r : Trace.record) ->
+      let at = r.Trace.at in
+      match r.Trace.ev with
+      | Trace.Begin { txn; kind; init } ->
+        Hashtbl.replace begins txn (init, kind)
+      | Trace.Commit { txn; at = fin } | Trace.Abort { txn; at = fin } ->
+        let verdict =
+          match r.Trace.ev with Trace.Commit _ -> "commit" | _ -> "abort"
+        in
+        (match Hashtbl.find_opt begins txn with
+        | Some (init, kind) ->
+          Hashtbl.remove begins txn;
+          push
+            (slice
+               ~name:(Printf.sprintf "txn %d %s" txn (kind_name kind))
+               ~start:init ~finish:fin ~tid:txn
+               [ ("outcome", Jsonlite.Str verdict) ])
+        | None ->
+          push
+            (instant ~name:(verdict ^ " (unmatched)") ~at ~tid:txn []))
+      | Trace.Read { txn; protocol; segment; key; threshold; version } ->
+        push
+          (instant
+             ~name:
+               (Printf.sprintf "read %s D%d/%d" (protocol_name protocol)
+                  segment key)
+             ~at ~tid:txn
+             [ ("threshold", num threshold); ("version", num version) ])
+      | Trace.Write { txn; segment; key; ts } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "write D%d/%d" segment key)
+             ~at ~tid:txn
+             [ ("ts", num ts) ])
+      | Trace.Block { txn; protocol; segment; key; on } ->
+        push
+          (instant
+             ~name:
+               (Printf.sprintf "block %s D%d/%d" (protocol_name protocol)
+                  segment key)
+             ~at ~tid:txn
+             [ ("on", int_list on) ])
+      | Trace.Reject { txn; stage; segment; reason; _ } ->
+        push
+          (instant
+             ~name:
+               (Printf.sprintf "reject[%s] D%d"
+                  (match stage with
+                  | Trace.Routing -> "routing"
+                  | Trace.Barrier -> "barrier"
+                  | Trace.Rule -> "rule")
+                  segment)
+             ~at ~tid:txn
+             [ ("reason", Jsonlite.Str reason) ])
+      | Trace.Wall_release { m; released_at; components } ->
+        push
+          (instant ~name:"wall release" ~at:released_at ~tid:0
+             [ ("m", num m);
+               ("components", int_list (Array.to_list components)) ])
+      | Trace.Wall_blocked { on } ->
+        push (instant ~name:"wall blocked" ~at ~tid:0 [ ("on", num on) ])
+      | Trace.Gc { watermark; vector; dropped } ->
+        push
+          (instant ~name:"gc" ~at ~tid:0
+             [ ("watermark", num watermark);
+               ("vector", int_list (Array.to_list vector));
+               ("dropped", num dropped) ])
+      | Trace.Seg_gc { segment; dropped } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "gc D%d" segment)
+             ~at ~tid:0
+             [ ("dropped", num dropped) ])
+      | Trace.Registry_prune { upto; records_dropped; windows_dropped } ->
+        push
+          (instant ~name:"registry prune" ~at ~tid:0
+             [ ("upto", num upto);
+               ("records", num records_dropped);
+               ("windows", num windows_dropped) ])
+      | Trace.Sim { label; txn } ->
+        push (instant ~name:("sim " ^ label) ~at ~tid:(Int.max 0 txn) [])
+      | Trace.Note s -> push (instant ~name:("note: " ^ s) ~at ~tid:0 []))
+    (Trace.records trace);
+  (* still-active transactions: zero-duration slices at their begin *)
+  Hashtbl.iter
+    (fun txn (init, kind) ->
+      push
+        (slice
+           ~name:(Printf.sprintf "txn %d %s" txn (kind_name kind))
+           ~start:init ~finish:init ~tid:txn
+           [ ("outcome", Jsonlite.Str "active") ]))
+    begins;
+  Jsonlite.Obj
+    [ ("traceEvents", Jsonlite.List (List.rev !events));
+      ("displayTimeUnit", Jsonlite.Str "ms") ]
+
+let metrics_json metrics =
+  Jsonlite.Obj
+    (List.map
+       (fun (name, snap) ->
+         let v =
+           match snap with
+           | Metrics.Counter n -> num n
+           | Metrics.Gauge g -> Jsonlite.Num g
+           | Metrics.Histogram { count; sum; buckets } ->
+             Jsonlite.Obj
+               [ ("count", num count);
+                 ("sum", Jsonlite.Num sum);
+                 ("buckets",
+                  Jsonlite.List
+                    (List.map
+                       (fun (bound, n) ->
+                         Jsonlite.List [ Jsonlite.Num bound; num n ])
+                       buckets)) ]
+         in
+         (name, v))
+       (Metrics.snapshot metrics))

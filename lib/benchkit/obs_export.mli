@@ -1,0 +1,18 @@
+(** Serialisers for the observability layer — kept here rather than in
+    [hdd_obs] so the trace core stays dependency-free while the export
+    path reuses {!Jsonlite}.
+
+    {!chrome_trace} renders a trace in the Chrome trace-event format
+    ([chrome://tracing] / Perfetto): one complete ("X") slice per
+    transaction from its [Begin] to its [Commit]/[Abort] (still-active
+    transactions get a zero-duration slice), and one instant ("i") event
+    per read, write, block, rejection, wall release and collection.
+    Logical simulation time is reported as microseconds. *)
+
+val chrome_trace : Hdd_obs.Trace.t -> Jsonlite.t
+(** [{"traceEvents": [...]}] over the records currently retained. *)
+
+val metrics_json : Hdd_obs.Metrics.t -> Jsonlite.t
+(** The {!Hdd_obs.Metrics.snapshot}, name-sorted: counters and gauges as
+    numbers, histograms as [{count; sum; buckets: [[bound, n], ...]}]
+    (the open bucket's bound emits as [null]). *)

@@ -45,6 +45,36 @@ let system_of_spec spec =
 
 let hdd = system_of_spec Harness.Hdd
 
+(* A system variant with a trace sink threaded to the HDD scheduler.
+   [wall_every_commits] defaults to 2 so even the tiny curated scenarios
+   release walls and collect garbage — the events the golden traces and
+   the monitor-over-scenarios test exist to see.  Meant for
+   {!run_schedule} (one controller per call); [explore] rebuilds
+   controllers per branch, which restarts transaction ids and would
+   confuse any monitor attached to the shared trace. *)
+let hdd_traced ?(wall_every_commits = 2) trace =
+  { sys_name = "HDD-traced";
+    build =
+      (fun ~log wl ->
+        Hdd_sim.Adapters.hdd ~log ~trace ~wall_every_commits
+          ~partition:wl.partition ~init:wl.init ()) }
+
+(* The observability-invisibility property's subject: identical knobs to
+   {!hdd}, plus a fresh full observability stack — enabled trace, metrics
+   bridge, raising monitor — per controller build, so replays never see a
+   stale shadow. *)
+let hdd_observed () =
+  { sys_name = "HDD-observed";
+    build =
+      (fun ~log wl ->
+        let trace = Hdd_obs.Trace.create () in
+        let monitor = Hdd_obs.Monitor.create () in
+        Hdd_obs.Monitor.attach monitor trace;
+        let metrics = Hdd_obs.Metrics.create () in
+        Hdd_obs.Metrics.attach metrics trace;
+        Hdd_sim.Adapters.hdd ~log ~trace ~partition:wl.partition
+          ~init:wl.init ()) }
+
 let all_systems = List.map system_of_spec Harness.all
 
 let system name =

@@ -61,6 +61,20 @@ type system = {
 
 val system_of_spec : Hdd_sim.Harness.spec -> system
 val hdd : system
+
+val hdd_traced : ?wall_every_commits:int -> Hdd_obs.Trace.t -> system
+(** HDD with the given trace sink attached and walls released every
+    [wall_every_commits] (default 2) commits, so small scenarios exercise
+    wall and GC events.  Use with {!run_schedule}: [explore] builds a
+    fresh controller per branch, which restarts transaction ids and
+    confuses monitors subscribed to the shared trace. *)
+
+val hdd_observed : unit -> system
+(** HDD with the same knobs as {!hdd} plus a fresh full observability
+    stack (enabled trace, metrics bridge, monitor raising
+    {!Hdd_obs.Monitor.Violation}) per controller build — the subject of
+    the observability-invisibility property. *)
+
 val all_systems : system list
 (** [Harness.all] as systems: HDD, the full-strength baselines, the
     Figure 3/4 cripples and NoCC. *)

@@ -1,5 +1,6 @@
 module Store = Hdd_mvstore.Store
 module Chain = Hdd_mvstore.Chain
+module Trace = Hdd_obs.Trace
 
 open Outcome
 
@@ -47,6 +48,7 @@ type 'a t = {
   clock : Time.Clock.clock;
   store : 'a Store.t;
   log : Sched_log.t option;
+  trace : Trace.t option;
   walls : Timewall.manager;
   states : (Txn.id, 'a txn_state) Hashtbl.t;
   m : metrics;
@@ -62,12 +64,13 @@ type 'a t = {
           contain the timestamp of a live transaction *)
 }
 
-let create ?log ?(wall_every_commits = 16) ?gc_every_commits
+let create ?log ?trace ?(wall_every_commits = 16) ?gc_every_commits
     ?(gc_on_wall = true) ~partition ~clock ~store () =
-  let reg = Registry.create ~classes:(Partition.segment_count partition) in
+  let reg = Registry.create ?trace ~classes:(Partition.segment_count partition) () in
   let ctx = Activity.make_ctx partition reg in
-  { partition; ctx; reg; clock; store; log;
-    walls = Timewall.create ctx ~clock;
+  Store.set_trace store trace;
+  { partition; ctx; reg; clock; store; log; trace;
+    walls = Timewall.create ?trace ctx ~clock;
     states = Hashtbl.create 64;
     m = fresh_metrics ();
     wall_every_commits;
@@ -97,6 +100,37 @@ let state_of t (txn : Txn.t) =
     invalid_arg
       (Printf.sprintf "Scheduler: unknown transaction %d" txn.Txn.id)
 
+(* Emission helpers: explicit option matches, so a disabled run allocates
+   nothing and costs one branch per site. *)
+
+let emit_begin t (txn : Txn.t) kind =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~at:txn.Txn.init
+      (Trace.Begin { txn = txn.Txn.id; kind; init = txn.Txn.init })
+
+let emit_read t (txn : Txn.t) proto (g : Granule.t) ~threshold ~version =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~at:(Time.Clock.now t.clock)
+      (Trace.Read
+         { txn = txn.Txn.id; protocol = proto; segment = g.Granule.segment;
+           key = g.Granule.key; threshold; version })
+
+(* Count, trace and build a rejection in one move; [segment] is [-1] when
+   no single segment is to blame. *)
+let reject t (txn : Txn.t) ?proto ~stage ~segment reason =
+  t.m.rejects <- t.m.rejects + 1;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~at:(Time.Clock.now t.clock)
+      (Trace.Reject
+         { txn = txn.Txn.id; protocol = proto; stage; segment; reason }));
+  Rejected reason
+
 let begin_update t ~class_id =
   if class_id < 0 || class_id >= Partition.segment_count t.partition then
     invalid_arg (Printf.sprintf "Scheduler.begin_update: class %d" class_id);
@@ -108,6 +142,7 @@ let begin_update t ~class_id =
   Hashtbl.replace t.states txn.Txn.id
     { txn; written = []; mode = Classed; thresholds = [] };
   t.m.begins <- t.m.begins + 1;
+  emit_begin t txn (Trace.Update class_id);
   txn
 
 let begin_read_only t =
@@ -121,6 +156,7 @@ let begin_read_only t =
   Hashtbl.replace t.states txn.Txn.id
     { txn; written = []; mode = Walled wall; thresholds = [] };
   t.m.begins <- t.m.begins + 1;
+  emit_begin t txn Trace.Read_only;
   txn
 
 let begin_read_only_on_path t ~below =
@@ -133,6 +169,7 @@ let begin_read_only_on_path t ~below =
   Hashtbl.replace t.states txn.Txn.id
     { txn; written = []; mode = Hosted below; thresholds = [] };
   t.m.begins <- t.m.begins + 1;
+  emit_begin t txn (Trace.Hosted below);
   txn
 
 let begin_adhoc_update t ~writes ~reads =
@@ -161,6 +198,7 @@ let begin_adhoc_update t ~writes ~reads =
     { txn; written = []; mode = Adhoc { wsegs; rsegs }; thresholds = [] };
   t.adhoc_history <- txn :: t.adhoc_history;
   t.m.begins <- t.m.begins + 1;
+  emit_begin t txn (Trace.Adhoc { wsegs; rsegs });
   txn
 
 (* The ad-hoc barrier (§7.1.1): an update transaction whose timestamp
@@ -239,15 +277,16 @@ let cached_threshold (st : _ txn_state) ~segment compute =
 
 (* Protocol A / C read: committed version below the threshold; never
    blocks, never registers. *)
-let snapshot_read t (txn : Txn.t) g threshold =
+let snapshot_read t (txn : Txn.t) ~proto g threshold =
   match Store.committed_before t.store g ~ts:threshold with
   | Some v ->
     log_read t ~txn:txn.Txn.id ~granule:g ~version:v.Chain.ts;
+    emit_read t txn proto g ~threshold ~version:v.Chain.ts;
     Granted v.Chain.value
   | None ->
     (* only possible if garbage collection outran the threshold *)
-    t.m.rejects <- t.m.rejects + 1;
-    Rejected "snapshot version collected"
+    reject t txn ~proto ~stage:Trace.Rule ~segment:g.Granule.segment
+      "snapshot version collected"
 
 (* Protocol B read: MVTO inside the root segment.  The read timestamp it
    leaves on the version is precisely the registration the hierarchical
@@ -255,15 +294,24 @@ let snapshot_read t (txn : Txn.t) g threshold =
 let protocol_b_read t (txn : Txn.t) g =
   match Store.candidate_before t.store g ~ts:txn.Txn.init with
   | None ->
-    t.m.rejects <- t.m.rejects + 1;
-    Rejected "version collected past timestamp"
+    reject t txn ~proto:Trace.B ~stage:Trace.Rule ~segment:g.Granule.segment
+      "version collected past timestamp"
   | Some (Chain.Wait_for writer) ->
     t.m.blocks <- t.m.blocks + 1;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Trace.emit tr ~at:(Time.Clock.now t.clock)
+        (Trace.Block
+           { txn = txn.Txn.id; protocol = Trace.B;
+             segment = g.Granule.segment; key = g.Granule.key;
+             on = [ writer ] }));
     Blocked [ writer ]
   | Some (Chain.Version v) ->
     Chain.mark_read v ~at:txn.Txn.init;
     t.m.read_registrations <- t.m.read_registrations + 1;
     log_read t ~txn:txn.Txn.id ~granule:g ~version:v.Chain.ts;
+    emit_read t txn Trace.B g ~threshold:txn.Txn.init ~version:v.Chain.ts;
     Granted v.Chain.value
 
 let read t txn g =
@@ -272,7 +320,8 @@ let read t txn g =
   match st.mode with
   | Walled wall ->
     t.m.reads_c <- t.m.reads_c + 1;
-    snapshot_read t txn g (Timewall.threshold wall ~class_id:segment)
+    snapshot_read t txn ~proto:Trace.C g
+      (Timewall.threshold wall ~class_id:segment)
   | Hosted bottom -> (
     match
       match List.assoc_opt segment st.thresholds with
@@ -284,26 +333,24 @@ let read t txn g =
         (if List.mem_assoc segment st.thresholds then st.thresholds
          else (segment, threshold) :: st.thresholds);
       t.m.reads_c <- t.m.reads_c + 1;
-      snapshot_read t txn g threshold
+      snapshot_read t txn ~proto:Trace.C g threshold
     | None ->
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected "segment not on the declared critical path")
+      reject t txn ~stage:Trace.Routing ~segment
+        "segment not on the declared critical path")
   | Adhoc { wsegs; rsegs } ->
-    if adhoc_barrier t txn then begin
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected "timestamp inside an ad-hoc activity window"
-    end
+    if adhoc_barrier t txn then
+      reject t txn ~stage:Trace.Barrier ~segment
+        "timestamp inside an ad-hoc activity window"
     else if List.mem segment wsegs || List.mem segment rsegs then begin
       t.m.reads_b <- t.m.reads_b + 1;
       protocol_b_read t txn g
     end
-    else begin
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected "segment outside the declared ad-hoc access set"
-    end
+    else
+      reject t txn ~stage:Trace.Routing ~segment
+        "segment outside the declared ad-hoc access set"
   | Classed when adhoc_barrier t txn ->
-    t.m.rejects <- t.m.rejects + 1;
-    Rejected "timestamp inside an ad-hoc activity window"
+    reject t txn ~stage:Trace.Barrier ~segment
+      "timestamp inside an ad-hoc activity window"
   | Classed -> (
     match Txn.class_of txn with
     | None -> assert false
@@ -319,15 +366,22 @@ let read t txn g =
               Activity.a_fn t.ctx ~from_class:i ~to_class:segment
                 txn.Txn.init)
         in
-        snapshot_read t txn g threshold
+        snapshot_read t txn ~proto:Trace.A g threshold
       end
-      else begin
-        t.m.rejects <- t.m.rejects + 1;
-        Rejected
+      else
+        reject t txn ~stage:Trace.Routing ~segment
           (Printf.sprintf
              "class T%d may not read segment D%d: not higher in the DHG" i
-             segment)
-      end)
+             segment))
+
+let emit_write t (txn : Txn.t) (g : Granule.t) ~ts =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~at:(Time.Clock.now t.clock)
+      (Trace.Write
+         { txn = txn.Txn.id; segment = g.Granule.segment;
+           key = g.Granule.key; ts })
 
 (* MVTO write into [g] with timestamp [I(txn)], shared by regular and
    ad-hoc updaters. *)
@@ -345,6 +399,7 @@ let mvto_write t (st : _ txn_state) txn g value =
           st.written;
       t.m.writes <- t.m.writes + 1;
       log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
+      emit_write t txn g ~ts;
       Granted ()
     | None ->
       (* MVTO write rule: reject when the would-be predecessor version has
@@ -354,15 +409,16 @@ let mvto_write t (st : _ txn_state) txn g value =
         | Some rts -> rts > ts
         | None -> false
       in
-      if late then begin
-        t.m.rejects <- t.m.rejects + 1;
-        Rejected "a younger transaction already read the predecessor"
-      end
+      if late then
+        reject t txn ~proto:Trace.B ~stage:Trace.Rule
+          ~segment:g.Granule.segment
+          "a younger transaction already read the predecessor"
       else begin
         let v = Store.install t.store g ~ts ~writer:txn.Txn.id ~value in
         st.written <- (g, v) :: st.written;
         t.m.writes <- t.m.writes + 1;
         log_write t ~txn:txn.Txn.id ~granule:g ~version:ts;
+        emit_write t txn g ~ts;
         Granted ()
       end
 
@@ -371,27 +427,24 @@ let write t txn g value =
   let segment = g.Granule.segment in
   match st.mode with
   | Walled _ | Hosted _ ->
-    t.m.rejects <- t.m.rejects + 1;
-    Rejected "read-only transaction may not write"
+    reject t txn ~stage:Trace.Routing ~segment
+      "read-only transaction may not write"
   | Adhoc { wsegs; _ } ->
-    if adhoc_barrier t txn then begin
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected "timestamp inside an ad-hoc activity window"
-    end
+    if adhoc_barrier t txn then
+      reject t txn ~stage:Trace.Barrier ~segment
+        "timestamp inside an ad-hoc activity window"
     else if List.mem segment wsegs then mvto_write t st txn g value
-    else begin
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected "segment outside the declared ad-hoc write set"
-    end
+    else
+      reject t txn ~stage:Trace.Routing ~segment
+        "segment outside the declared ad-hoc write set"
   | Classed when adhoc_barrier t txn ->
-    t.m.rejects <- t.m.rejects + 1;
-    Rejected "timestamp inside an ad-hoc activity window"
+    reject t txn ~stage:Trace.Barrier ~segment
+      "timestamp inside an ad-hoc activity window"
   | Classed -> (
     match Txn.class_of txn with
     | None -> assert false
     | Some i when i <> segment ->
-      t.m.rejects <- t.m.rejects + 1;
-      Rejected
+      reject t txn ~stage:Trace.Routing ~segment
         (Printf.sprintf "class T%d may not write segment D%d" i segment)
     | Some _ -> mvto_write t st txn g value)
 
@@ -465,6 +518,11 @@ let collect_with t vec =
   let dropped = Store.gc_wall t.store ~wall:vec in
   let watermark = Array.fold_left Time.min vec.(0) vec in
   Registry.prune t.reg ~upto:(watermark - 1);
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.emit tr ~at:(Time.Clock.now t.clock)
+      (Trace.Gc { watermark; vector = Array.copy vec; dropped }));
   dropped
 
 let collect_garbage t = collect_with t (gc_watermark_vector t)
@@ -491,6 +549,12 @@ let commit t txn =
   Txn.commit txn ~at;
   Hashtbl.remove t.states txn.Txn.id;
   t.m.commits <- t.m.commits + 1;
+  (* Commit must precede the wall/GC records the release below may emit:
+     monitors move this transaction's pending versions into their shadow
+     store before judging any collection. *)
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Trace.emit tr ~at (Trace.Commit { txn = txn.Txn.id; at }));
   if Txn.is_update txn then maybe_release_wall t;
   match t.gc_every_commits with
   | Some k ->
@@ -511,6 +575,9 @@ let abort t txn =
   Txn.abort txn ~at;
   Hashtbl.remove t.states txn.Txn.id;
   t.m.aborts <- t.m.aborts + 1;
+  (match t.trace with
+  | None -> ()
+  | Some tr -> Trace.emit tr ~at (Trace.Abort { txn = txn.Txn.id; at }));
   if Txn.is_update txn then maybe_release_wall t
 
 let release_wall t = Timewall.try_release t.walls

@@ -47,6 +47,7 @@ type 'a t
 
 val create :
   ?log:Sched_log.t ->
+  ?trace:Hdd_obs.Trace.t ->
   ?wall_every_commits:int ->
   ?gc_every_commits:int ->
   ?gc_on_wall:bool ->
@@ -62,7 +63,14 @@ val create :
     {!collect_garbage} after every that-many commits.  [gc_on_wall]
     (default on) runs it after every successful wall release — the
     wall-driven collection of §7.3 that keeps chains trimmed in steady
-    state without a separate trigger. *)
+    state without a separate trigger.
+
+    [trace] attaches a {!Hdd_obs.Trace} sink: every begin, read, write,
+    block, rejection, commit, abort, wall release and garbage collection
+    emits one structured record (DESIGN.md §12 catalogues the schema).
+    The same sink is threaded to the {!Registry}, the {!Timewall} manager
+    and every store segment.  Without it the emission sites cost one
+    branch each. *)
 
 val partition : 'a t -> Partition.t
 val activity_ctx : 'a t -> Activity.ctx

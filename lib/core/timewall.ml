@@ -44,6 +44,7 @@ type manager = {
   ctx : Activity.ctx;
   clock : Time.Clock.clock;
   primary_start : int;
+  trace : Hdd_obs.Trace.t option;
   mutable walls : wall list;  (* newest first, never empty *)
   mutable count : int;
 }
@@ -51,7 +52,12 @@ type manager = {
 let try_release_inner mgr =
   let m = Time.Clock.tick mgr.clock in
   match compute mgr.ctx ~m with
-  | Error _ as e -> e
+  | Error id as e ->
+    (match mgr.trace with
+    | None -> ()
+    | Some tr ->
+      Hdd_obs.Trace.emit tr ~at:m (Hdd_obs.Trace.Wall_blocked { on = id }));
+    e
   | Ok components ->
     let wall =
       { s = mgr.primary_start; m; components;
@@ -59,15 +65,22 @@ let try_release_inner mgr =
     in
     mgr.walls <- wall :: mgr.walls;
     mgr.count <- mgr.count + 1;
+    (match mgr.trace with
+    | None -> ()
+    | Some tr ->
+      Hdd_obs.Trace.emit tr ~at:wall.released_at
+        (Hdd_obs.Trace.Wall_release
+           { m; released_at = wall.released_at;
+             components = Array.copy components }));
     Ok wall
 
-let create ctx ~clock =
+let create ?trace ctx ~clock =
   let primary_start =
     match Partition.lowest_classes ctx.Activity.partition with
     | s :: _ -> s
     | [] -> 0
   in
-  let mgr = { ctx; clock; primary_start; walls = []; count = 0 } in
+  let mgr = { ctx; clock; primary_start; trace; walls = []; count = 0 } in
   (match try_release_inner mgr with
   | Ok _ -> ()
   | Error _ ->

@@ -29,9 +29,13 @@ val compute :
 
 type manager
 
-val create : Activity.ctx -> clock:Time.Clock.clock -> manager
+val create :
+  ?trace:Hdd_obs.Trace.t -> Activity.ctx -> clock:Time.Clock.clock -> manager
 (** Also releases an initial wall (trivially computable on an idle
-    system) so read-only transactions always find one. *)
+    system) so read-only transactions always find one.  With [trace],
+    every release emits a [Wall_release] record (anchor, release time and
+    a copy of the component vector) and every failed attempt emits
+    [Wall_blocked] naming the transaction in the way. *)
 
 val try_release : manager -> (wall, Txn.id) result
 (** Anchor a new wall at a fresh current time and release it if

@@ -9,7 +9,7 @@ module Table = Hdd_util.Table
 
 let run () =
   let partition = E03_fig3.partition in
-  let registry = Registry.create ~classes:3 in
+  let registry = Registry.create ~classes:3 () in
   let ctx = Activity.make_ctx partition registry in
   (* scripted activity:
      class 2: t_a I=2 C=9,  t_b I=6 C=15, t_c I=12 active

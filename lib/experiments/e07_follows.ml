@@ -13,7 +13,7 @@ let partition = E03_fig3.partition
 
 let random_history ~seed ~steps =
   let rng = Prng.create seed in
-  let registry = Registry.create ~classes:3 in
+  let registry = Registry.create ~classes:3 () in
   let clock = Time.Clock.create () in
   let active = ref [] in
   let all = ref [] in
@@ -44,7 +44,7 @@ let random_history ~seed ~steps =
 
 let run () =
   (* scripted cases: reuse the E6 history *)
-  let registry = Registry.create ~classes:3 in
+  let registry = Registry.create ~classes:3 () in
   let ctx = Activity.make_ctx partition registry in
   let mk id cls i = Txn.make ~id ~kind:(Txn.Update cls) ~init:i in
   let ta = mk 1 2 2 and td = mk 2 1 4 and tb = mk 3 2 6 and tf = mk 4 0 8 in

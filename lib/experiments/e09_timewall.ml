@@ -26,7 +26,7 @@ let partition =
 
 let random_history ~seed ~steps =
   let rng = Prng.create seed in
-  let registry = Registry.create ~classes:3 in
+  let registry = Registry.create ~classes:3 () in
   let clock = Time.Clock.create () in
   let active = ref [] in
   let all = ref [] in
@@ -56,7 +56,7 @@ let random_history ~seed ~steps =
 
 let run () =
   (* scripted wall *)
-  let registry = Registry.create ~classes:3 in
+  let registry = Registry.create ~classes:3 () in
   let ctx = Activity.make_ctx partition registry in
   let mk id cls i = Txn.make ~id ~kind:(Txn.Update cls) ~init:i in
   let base = mk 1 2 3 and left = mk 2 0 5 and right = mk 3 1 7 in

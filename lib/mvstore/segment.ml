@@ -2,11 +2,14 @@ type 'a t = {
   id : int;
   init : int -> 'a;
   chains : (int, 'a Achain.t) Hashtbl.t;
+  mutable trace : Hdd_obs.Trace.t option;
 }
 
-let create ~id ~init = { id; init; chains = Hashtbl.create 64 }
+let create ~id ~init = { id; init; chains = Hashtbl.create 64; trace = None }
 
 let id t = t.id
+
+let set_trace t trace = t.trace <- trace
 
 let chain t key =
   match Hashtbl.find_opt t.chains key with
@@ -24,7 +27,13 @@ let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.chains [] |> List.sort compare
 
 let gc t ~before =
-  Hashtbl.fold (fun _ c acc -> acc + Achain.gc c ~before) t.chains 0
+  let dropped = Hashtbl.fold (fun _ c acc -> acc + Achain.gc c ~before) t.chains 0 in
+  (match t.trace with
+  | Some tr when dropped > 0 ->
+    Hdd_obs.Trace.emit_here tr
+      (Hdd_obs.Trace.Seg_gc { segment = t.id; dropped })
+  | _ -> ());
+  dropped
 
 let version_count t =
   Hashtbl.fold (fun _ c acc -> acc + Achain.length c) t.chains 0

@@ -9,6 +9,10 @@ val create : id:int -> init:(int -> 'a) -> 'a t
 
 val id : 'a t -> int
 
+val set_trace : 'a t -> Hdd_obs.Trace.t option -> unit
+(** Attach (or detach) a trace sink: {!gc} emits a [Seg_gc] record with
+    the drop count whenever a collection removes at least one version. *)
+
 val chain : 'a t -> int -> 'a Achain.t
 (** Chain of granule [key]; created on demand. *)
 

@@ -9,6 +9,8 @@ let create ~segments ~init =
 
 let segment_count t = Array.length t.segments
 
+let set_trace t trace = Array.iter (fun s -> Segment.set_trace s trace) t.segments
+
 let segment t i =
   if i < 0 || i >= Array.length t.segments then
     invalid_arg (Printf.sprintf "Store.segment: %d out of range" i);

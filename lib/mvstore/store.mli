@@ -11,6 +11,10 @@ val create : segments:int -> init:(Granule.t -> 'a) -> 'a t
 
 val segment_count : 'a t -> int
 
+val set_trace : 'a t -> Hdd_obs.Trace.t option -> unit
+(** Propagate a trace sink to every segment controller; see
+    {!Segment.set_trace}. *)
+
 val segment : 'a t -> int -> 'a Segment.t
 (** @raise Invalid_argument when out of range. *)
 

@@ -1,0 +1,255 @@
+exception Violation of string
+
+type txn_info = {
+  kind : Trace.txn_kind;
+  init : int;
+  wall : int array option;
+      (** resolved wall components for a walled read-only transaction *)
+  mutable pending : (int * int * int) list;  (** (segment, key, ts) *)
+  mutable used : (int * int) list;  (** (segment, threshold) observed *)
+}
+
+type t = {
+  raise_on_violation : bool;
+  mutable violations : string list;  (** newest first *)
+  active : (int, txn_info) Hashtbl.t;
+  committed : (int * int, int list) Hashtbl.t;
+      (** (segment, key) -> committed version timestamps, descending *)
+  mutable walls : (int * int array) list;
+      (** (released_at, components), newest first *)
+  mutable events_seen : int;
+}
+
+let create ?(raise_on_violation = true) () =
+  { raise_on_violation;
+    violations = [];
+    active = Hashtbl.create 64;
+    committed = Hashtbl.create 256;
+    walls = [];
+    events_seen = 0 }
+
+let violations t = List.rev t.violations
+let events_seen t = t.events_seen
+let active_count t = Hashtbl.length t.active
+
+let violate t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      t.violations <- msg :: t.violations;
+      if t.raise_on_violation then raise (Violation msg))
+    fmt
+
+(* The scheduler's wall rule for a read-only transaction initiated at
+   [init]: the newest wall released strictly before it, else the newest
+   wall outright. *)
+let wall_for t ~init =
+  let rec go = function
+    | [] -> (match t.walls with (_, c) :: _ -> Some c | [] -> None)
+    | (released_at, components) :: rest ->
+      if released_at < init then Some components else go rest
+  in
+  go t.walls
+
+let committed_of t ~segment ~key =
+  match Hashtbl.find_opt t.committed (segment, key) with
+  | Some l -> l
+  | None -> []
+
+let record_use (info : txn_info) ~segment ~threshold =
+  if not (List.mem (segment, threshold) info.used) then
+    info.used <- (segment, threshold) :: info.used
+
+(* Invariant 3, read side: the version served must sit strictly below the
+   threshold, and no committed version the shadow knows may lie between
+   them — otherwise the store skipped a newer legal version (timestamp
+   order broken) or GC stole it (watermark broken). *)
+let check_read t (r : Trace.record) ~txn ~protocol ~segment ~key ~threshold
+    ~version =
+  let proto = Trace.(match protocol with A -> "A" | B -> "B" | C -> "C") in
+  if version >= threshold then
+    violate t "event %d: protocol %s read of D%d/%d by txn %d: version %d \
+               not below threshold %d"
+      r.Trace.seq proto segment key txn version threshold;
+  (match
+     List.find_opt
+       (fun ts -> ts > version && ts < threshold)
+       (committed_of t ~segment ~key)
+   with
+  | Some newer ->
+    violate t "event %d: protocol %s read of D%d/%d by txn %d served \
+               version %d, but version %d < threshold %d is committed"
+      r.Trace.seq proto segment key txn version newer threshold
+  | None -> ());
+  match Hashtbl.find_opt t.active txn with
+  | None ->
+    violate t "event %d: read by unknown transaction %d" r.Trace.seq txn
+  | Some info ->
+    record_use info ~segment ~threshold;
+    (* a walled reader's threshold is pinned to its wall's component *)
+    (match (info.kind, info.wall) with
+    | Trace.Read_only, Some components ->
+      if
+        segment >= 0
+        && segment < Array.length components
+        && components.(segment) <> threshold
+      then
+        violate t "event %d: protocol C read of D%d by txn %d used \
+                   threshold %d; its wall says %d"
+          r.Trace.seq segment txn threshold components.(segment)
+    | _ -> ())
+
+(* Invariant 4: necessary conditions on a collection's threshold vector,
+   from what the event stream alone reveals. *)
+let check_gc t (r : Trace.record) ~vector =
+  let bad s bound what =
+    violate t "event %d: gc vector component D%d = %d above %s = %d"
+      r.Trace.seq s vector.(s) what bound
+  in
+  (match t.walls with
+  | (_, components) :: _ ->
+    Array.iteri
+      (fun s c -> if s < Array.length vector && vector.(s) > c then
+          bad s c "current wall component")
+      components
+  | [] -> ());
+  Hashtbl.iter
+    (fun id (info : txn_info) ->
+      (match info.kind with
+      | Trace.Update cls ->
+        if cls < Array.length vector && vector.(cls) > info.init then
+          bad cls info.init
+            (Printf.sprintf "active txn %d's initiation time" id)
+      | Trace.Adhoc _ ->
+        Array.iteri
+          (fun s v ->
+            if v > info.init then
+              bad s info.init
+                (Printf.sprintf "active ad-hoc txn %d's initiation time" id))
+          vector
+      | Trace.Hosted bottom ->
+        if bottom < Array.length vector && vector.(bottom) > info.init then
+          bad bottom info.init
+            (Printf.sprintf "active hosted txn %d's initiation time" id)
+      | Trace.Read_only -> (
+        match info.wall with
+        | Some components ->
+          Array.iteri
+            (fun s c ->
+              if s < Array.length vector && vector.(s) > c then
+                bad s c (Printf.sprintf "active reader %d's wall component" id))
+            components
+        | None -> ()));
+      List.iter
+        (fun (s, th) ->
+          if s >= 0 && s < Array.length vector && vector.(s) > th then
+            bad s th (Printf.sprintf "threshold txn %d already used" id))
+        info.used)
+    t.active
+
+(* Mirror Store.gc_wall on the shadow: per granule of segment [s], keep
+   the newest committed timestamp below [vector.(s)] and everything above
+   it.  Keeps the shadow in lockstep with the store, so later read checks
+   stay exact, and bounds the monitor's memory. *)
+let prune_shadow t ~vector =
+  Hashtbl.iter
+    (fun (segment, _key as g) tss ->
+      if segment < Array.length vector then begin
+        let floor = vector.(segment) in
+        let rec cut = function
+          | [] -> []
+          | ts :: rest ->
+            if ts < floor then [ ts ] (* newest below: keep, drop the rest *)
+            else ts :: cut rest
+        in
+        Hashtbl.replace t.committed g (cut tss)
+      end)
+    t.committed
+
+let handle t (r : Trace.record) =
+  t.events_seen <- t.events_seen + 1;
+  match r.Trace.ev with
+  | Trace.Begin { txn; kind; init } ->
+    let wall =
+      match kind with
+      | Trace.Read_only -> wall_for t ~init
+      | _ -> None
+    in
+    Hashtbl.replace t.active txn { kind; init; wall; pending = []; used = [] }
+  | Trace.Read { txn; protocol; segment; key; threshold; version } ->
+    check_read t r ~txn ~protocol ~segment ~key ~threshold ~version
+  | Trace.Block { txn; protocol; segment; _ } -> (
+    match protocol with
+    | Trace.B -> ()
+    | Trace.A | Trace.C ->
+      violate t "event %d: protocol %s read of D%d by txn %d blocked — \
+                 protocols A and C never wait"
+        r.Trace.seq
+        (if protocol = Trace.A then "A" else "C")
+        segment txn)
+  | Trace.Reject { txn; protocol; stage; segment; reason } -> (
+    match (stage, protocol) with
+    | Trace.Rule, Some (Trace.A | Trace.C) ->
+      violate t "event %d: protocol %s access to D%d by txn %d rejected \
+                 (%s) — protocols A and C never reject"
+        r.Trace.seq
+        (if protocol = Some Trace.A then "A" else "C")
+        segment txn reason
+    | _ -> () (* routing and barrier rejections are by design; B may
+                 reject (MVTO late writes) *))
+  | Trace.Write { txn; segment; key; ts } -> (
+    match Hashtbl.find_opt t.active txn with
+    | None ->
+      violate t "event %d: write by unknown transaction %d" r.Trace.seq txn
+    | Some info ->
+      if ts <> info.init then
+        violate t "event %d: write to D%d/%d by txn %d carries timestamp \
+                   %d, not its initiation time %d"
+          r.Trace.seq segment key txn ts info.init;
+      (* a rewrite of the same granule replaces the pending version *)
+      info.pending <-
+        (segment, key, ts)
+        :: List.filter (fun (s, k, _) -> (s, k) <> (segment, key)) info.pending)
+  | Trace.Commit { txn; _ } -> (
+    match Hashtbl.find_opt t.active txn with
+    | None ->
+      violate t "event %d: commit of unknown transaction %d" r.Trace.seq txn
+    | Some info ->
+      List.iter
+        (fun (segment, key, ts) ->
+          let tss = committed_of t ~segment ~key in
+          if List.mem ts tss then
+            violate t "event %d: txn %d committed a duplicate version \
+                       timestamp %d at D%d/%d"
+              r.Trace.seq txn ts segment key;
+          Hashtbl.replace t.committed (segment, key)
+            (List.sort (fun a b -> compare b a) (ts :: tss)))
+        info.pending;
+      Hashtbl.remove t.active txn)
+  | Trace.Abort { txn; _ } -> Hashtbl.remove t.active txn
+  | Trace.Wall_release { m; released_at; components } ->
+    (match t.walls with
+    | (prev_released, prev_components) :: _ ->
+      if released_at <= prev_released then
+        violate t "event %d: wall released at %d after one released at %d"
+          r.Trace.seq released_at prev_released;
+      Array.iteri
+        (fun s c ->
+          if
+            s < Array.length prev_components
+            && c < prev_components.(s)
+          then
+            violate t "event %d: wall component D%d moved backwards: %d \
+                       after %d (walls must be monotone)"
+              r.Trace.seq s c prev_components.(s))
+        components
+    | [] -> ());
+    ignore m;
+    t.walls <- (released_at, Array.copy components) :: t.walls
+  | Trace.Gc { vector; _ } ->
+    check_gc t r ~vector;
+    prune_shadow t ~vector
+  | Trace.Wall_blocked _ | Trace.Seg_gc _ | Trace.Registry_prune _
+  | Trace.Sim _ | Trace.Note _ ->
+    ()
+
+let attach t trace = Trace.subscribe trace (handle t)

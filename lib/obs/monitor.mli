@@ -1,0 +1,55 @@
+(** Online invariant monitors: the paper's correctness claims, checked
+    continuously against the {!Trace} stream instead of only by the
+    offline MVSG certifier.
+
+    A monitor subscribes to a trace and replays a shadow of the system —
+    active transactions with their kinds and observed thresholds, the
+    committed version timestamps of every granule, the released walls —
+    and raises (or records) on the first event that contradicts one of
+    the four invariants:
+
+    + {b Protocol A/C no-wait, no-reject} (§4.2, §5.2): a read served by
+      protocol A or C never blocks, and is never rejected by a protocol
+      rule.  Routing rejections (specification violations) and the
+      ad-hoc barrier are by design and exempt.
+    + {b Wall monotonicity} (§5.1): successive released walls have
+      strictly increasing anchor and release times and componentwise
+      non-decreasing thresholds.
+    + {b Per-segment write-timestamp ordering} (§4.2): every write
+      carries its transaction's initiation timestamp, committed version
+      timestamps are unique per granule, and every read returns the
+      latest version the shadow store knows below its threshold — a
+      version served strictly older than a committed one under the
+      threshold is a timestamp-order violation.
+    + {b GC never above the watermark} (§7.3): every collection's
+      per-segment threshold vector stays below what any active
+      transaction could still read — its initiation time for its own
+      class (and every segment for ad-hoc transactions), every
+      threshold it has already used, its wall's components for walled
+      readers, and the current wall for readers yet to begin.  The
+      shadow store is pruned with the same vector, so a collection that
+      overreaches also surfaces as a stale or rejected read.
+
+    The monitor is an oracle over the event stream only: it never touches
+    scheduler or store internals, so it runs identically under the
+    simulator, the explorer, the torture harness and the benchmark. *)
+
+exception Violation of string
+
+type t
+
+val create : ?raise_on_violation:bool -> unit -> t
+(** [raise_on_violation] (default [true]) raises {!Violation} out of the
+    emitting call on the first broken invariant; with [false] violations
+    accumulate and the run continues — the torture harness's mode. *)
+
+val attach : t -> Trace.t -> unit
+
+val violations : t -> string list
+(** Oldest first; empty when every event so far conformed. *)
+
+val events_seen : t -> int
+(** Events checked — a vacuity guard for tests. *)
+
+val active_count : t -> int
+(** Transactions the shadow currently considers active. *)

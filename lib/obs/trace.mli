@@ -1,0 +1,125 @@
+(** Structured tracing for the HDD stack.
+
+    A trace is a ring buffer of typed records, each stamped with a
+    sequence number and the logical sim-time at which it was emitted, plus
+    a list of synchronous subscribers ({!Metrics.attach},
+    {!Monitor.attach}).  The schema mirrors the paper's vocabulary —
+    transactions and their classes, protocol A/B/C reads with their
+    version-selection thresholds, time-wall releases, garbage collection
+    with its watermark vector — so the stream is sufficient to re-derive
+    every invariant the offline certifier checks.
+
+    This module is deliberately dependency-free (times, transaction ids,
+    segments and keys are plain [int]s, which is what they are everywhere
+    in the tree), so every layer from [Hdd_txn.Registry] up to the CLI
+    can emit without dependency cycles.
+
+    Cost model: producers hold a [Trace.t option]; [None] (the default
+    everywhere) costs one pattern match per potential emission point and
+    allocates nothing.  A present-but-{!disable}d trace additionally pays
+    one load and branch.  Only an enabled trace allocates records. *)
+
+type protocol = A | B | C
+(** Which of the paper's protocols served an access (§4.2, §5.2). *)
+
+type txn_kind =
+  | Update of int  (** member of update class [Ti] *)
+  | Read_only  (** Protocol C, walled *)
+  | Hosted of int  (** read-only hosted below this class (§5.0) *)
+  | Adhoc of { wsegs : int list; rsegs : int list }  (** §7.1.1 *)
+
+type reject_stage =
+  | Routing
+      (** specification violation: an access the partition analysis
+          forbids (wrong segment, not higher in the DHG, …) *)
+  | Barrier  (** the ad-hoc activity-window barrier (§7.1.1) *)
+  | Rule
+      (** a protocol rule fired: the MVTO late-write check, or a
+          snapshot read finding its version collected — the rejections
+          the invariant monitors care about *)
+
+type event =
+  | Begin of { txn : int; kind : txn_kind; init : int }
+  | Read of {
+      txn : int;
+      protocol : protocol;
+      segment : int;
+      key : int;
+      threshold : int;  (** version-selection threshold used *)
+      version : int;  (** timestamp of the version served *)
+    }
+  | Block of {
+      txn : int;
+      protocol : protocol;
+      segment : int;
+      key : int;
+      on : int list;  (** writer transactions waited on *)
+    }
+  | Reject of {
+      txn : int;
+      protocol : protocol option;  (** [None] before routing resolved *)
+      stage : reject_stage;
+      segment : int;  (** [-1] when no single segment applies *)
+      reason : string;
+    }
+  | Write of { txn : int; segment : int; key : int; ts : int }
+  | Commit of { txn : int; at : int }
+  | Abort of { txn : int; at : int }
+  | Wall_release of { m : int; released_at : int; components : int array }
+  | Wall_blocked of { on : int }  (** release failed: [on] still active *)
+  | Gc of { watermark : int; vector : int array; dropped : int }
+  | Seg_gc of { segment : int; dropped : int }
+  | Registry_prune of {
+      upto : int;
+      records_dropped : int;
+      windows_dropped : int;
+    }
+  | Sim of { label : string; txn : int }
+      (** driver-level happenings: restart, deadlock, give_up, … *)
+  | Note of string
+
+type record = { seq : int; at : int; ev : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, enabled trace.  [capacity] (default 65536) bounds the ring;
+    older records are evicted ({!dropped} counts them).  Subscribers see
+    every record regardless of eviction.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val emit : t -> at:int -> event -> unit
+(** Append a record stamped [at] (a logical time) and fan it out to the
+    subscribers.  No-op when disabled. *)
+
+val emit_here : t -> event -> unit
+(** Emit at the time of the most recent {!emit} — for producers that hold
+    no clock (segments, registries) and whose events are always nested
+    inside a clocked caller's. *)
+
+val subscribe : t -> (record -> unit) -> unit
+(** Synchronous fan-out, in subscription order.  A subscriber exception
+    propagates to the emitter — the behaviour invariant monitors want. *)
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val emitted : t -> int
+(** Total records emitted, evicted ones included. *)
+
+val dropped : t -> int
+(** Records evicted by ring overflow. *)
+
+val clear : t -> unit
+(** Drop retained records and reset counters; subscribers stay. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_record : Format.formatter -> record -> unit
+
+val to_text : t -> string
+(** One line per retained record, deterministic for a fixed event stream
+    — the golden-trace serialization. *)

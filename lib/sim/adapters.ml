@@ -11,7 +11,7 @@ let of_cc_metrics (m : B.Cc_metrics.t) : Controller.counters =
     blocks = m.B.Cc_metrics.blocks;
     rejects = m.B.Cc_metrics.rejects }
 
-let hdd_detailed ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
+let hdd_detailed ?log ?trace ?wall_every_commits ?gc_every_commits ?gc_on_wall
     ~partition ~init () =
   let clock = Time.Clock.create () in
   let store =
@@ -19,8 +19,8 @@ let hdd_detailed ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
       ~segments:(Hdd_core.Partition.segment_count partition) ~init
   in
   let sched =
-    Scheduler.create ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
-      ~partition ~clock ~store ()
+    Scheduler.create ?log ?trace ?wall_every_commits ?gc_every_commits
+      ?gc_on_wall ~partition ~clock ~store ()
   in
   let snapshot () : Controller.counters =
     let m = Scheduler.metrics sched in
@@ -48,8 +48,10 @@ let hdd_detailed ?log ?wall_every_commits ?gc_every_commits ?gc_on_wall
     sched,
     clock )
 
-let hdd ?log ?wall_every_commits ~partition ~init () =
-  let controller, _, _ = hdd_detailed ?log ?wall_every_commits ~partition ~init () in
+let hdd ?log ?trace ?wall_every_commits ~partition ~init () =
+  let controller, _, _ =
+    hdd_detailed ?log ?trace ?wall_every_commits ~partition ~init ()
+  in
   controller
 
 let s2pl ?log ?read_locks ~init () =

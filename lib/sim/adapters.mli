@@ -5,6 +5,7 @@
 
 val hdd :
   ?log:Sched_log.t ->
+  ?trace:Hdd_obs.Trace.t ->
   ?wall_every_commits:int ->
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
@@ -13,6 +14,7 @@ val hdd :
 
 val hdd_detailed :
   ?log:Sched_log.t ->
+  ?trace:Hdd_obs.Trace.t ->
   ?wall_every_commits:int ->
   ?gc_every_commits:int ->
   ?gc_on_wall:bool ->

@@ -15,11 +15,11 @@ let all_controlled = [ Hdd; Sdd1; Mv2pl; S2pl; Tso; Mvto ]
 
 let all = [ Hdd; Sdd1; Mv2pl; S2pl; S2plNoRl; Tso; TsoNoRts; Mvto; Nocc ]
 
-let make ?log spec (wl : Workload.t) =
+let make ?log ?trace spec (wl : Workload.t) =
   let init = wl.Workload.init in
   let segments = Workload.segment_count wl in
   match spec with
-  | Hdd -> Adapters.hdd ?log ~partition:wl.Workload.partition ~init ()
+  | Hdd -> Adapters.hdd ?log ?trace ~partition:wl.Workload.partition ~init ()
   | S2pl -> Adapters.s2pl ?log ~init ()
   | S2plNoRl -> Adapters.s2pl ?log ~read_locks:false ~init ()
   | Tso -> Adapters.tso ?log ~init ()
@@ -38,3 +38,14 @@ let certified_run ?(config = Runner.default_config) spec wl =
   let controller = make ~log spec wl in
   let result = Runner.run config wl controller in
   (result, Hdd_core.Certifier.serializable log)
+
+let traced_run ?(config = Runner.default_config) ?capacity spec wl =
+  let trace = Hdd_obs.Trace.create ?capacity () in
+  Hdd_obs.Trace.enable trace;
+  let monitor = Hdd_obs.Monitor.create ~raise_on_violation:false () in
+  Hdd_obs.Monitor.attach monitor trace;
+  let metrics = Hdd_obs.Metrics.create () in
+  Hdd_obs.Metrics.attach metrics trace;
+  let controller = make ~trace spec wl in
+  let result = Runner.run ~trace config wl controller in
+  (result, trace, metrics, monitor)

@@ -23,8 +23,12 @@ val all : spec list
 (** Every spec, crippled variants and [Nocc] included — the set the
     schedule-space explorer sweeps. *)
 
-val make : ?log:Sched_log.t -> spec -> Workload.t -> Controller.t
-(** A fresh controller instance (own clock and store) for the workload. *)
+val make :
+  ?log:Sched_log.t -> ?trace:Hdd_obs.Trace.t -> spec -> Workload.t ->
+  Controller.t
+(** A fresh controller instance (own clock and store) for the workload.
+    [trace] is threaded to the HDD scheduler (the baselines carry no
+    emission hooks and ignore it). *)
 
 val compare_protocols :
   ?config:Runner.config ->
@@ -38,3 +42,15 @@ val certified_run :
   ?config:Runner.config -> spec -> Workload.t -> Runner.result * bool
 (** Run with schedule logging on and certify the final committed schedule;
     the boolean is the serializability verdict. *)
+
+val traced_run :
+  ?config:Runner.config ->
+  ?capacity:int ->
+  spec ->
+  Workload.t ->
+  Runner.result * Hdd_obs.Trace.t * Hdd_obs.Metrics.t * Hdd_obs.Monitor.t
+(** Run with the full observability stack on: a fresh enabled trace of
+    [capacity] records (default 65536), the standard {!Hdd_obs.Metrics}
+    bridge and a non-raising {!Hdd_obs.Monitor}.  The caller inspects
+    [Hdd_obs.Monitor.violations] for the verdict; for the baselines the
+    trace only carries driver-level [Sim] records. *)

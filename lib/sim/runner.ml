@@ -55,8 +55,15 @@ type event = Start of int | Do of int | Arrive  (** worker ids *)
    queueing delay counts — the standard open-system latency. *)
 type mode = Closed | Open of float  (** arrival rate *)
 
-let run_impl ~mode config workload (c : Controller.t) =
+let run_impl ?trace ~mode config workload (c : Controller.t) =
   if config.mpl <= 0 then invalid_arg "Runner.run: mpl must be positive";
+  (* driver-level telemetry: restarts, deadlock aborts and give-ups are
+     scheduling-policy outcomes the controller never sees *)
+  let emit_sim label txn =
+    match trace with
+    | None -> ()
+    | Some tr -> Hdd_obs.Trace.emit_here tr (Hdd_obs.Trace.Sim { label; txn })
+  in
   let q : event Event_queue.t = Event_queue.create () in
   let base_rng = Prng.create config.seed in
   let arrival_rng = Prng.split base_rng in
@@ -167,6 +174,8 @@ let run_impl ~mode config workload (c : Controller.t) =
      fast when the whole system restarts without ever committing. *)
   let restart w =
     incr restarts;
+    let tid = match w.txn with Some t -> t.Txn.id | None -> -1 in
+    emit_sim "restart" tid;
     Retry.note_restart retry_monitor;
     if Retry.consecutive_restarts retry_monitor > !max_streak then
       max_streak := Retry.consecutive_restarts retry_monitor;
@@ -182,6 +191,7 @@ let run_impl ~mode config workload (c : Controller.t) =
       (* starvation bound: drop this transaction rather than retry it
          forever; the worker moves on to fresh work *)
       incr gave_up;
+      emit_sim "give_up" tid;
       w.attempts <- 0;
       w.tpl <- None;
       w.all_ops <- [];
@@ -216,6 +226,8 @@ let run_impl ~mode config workload (c : Controller.t) =
       if in_deadlock w.wid then begin
         (* break the cycle by aborting the requester *)
         incr deadlocks;
+        emit_sim "deadlock"
+          (match w.txn with Some t -> t.Txn.id | None -> -1);
         (* unpark first so the wakeups of our own finish don't re-add us *)
         List.iter
           (fun b ->
@@ -336,12 +348,12 @@ let run_impl ~mode config workload (c : Controller.t) =
       (if Stats.count response > 0 then Stats.percentile response 95. else nan);
     counters }
 
-let run config workload c = run_impl ~mode:Closed config workload c
+let run ?trace config workload c = run_impl ?trace ~mode:Closed config workload c
 
-let run_open ~arrival_rate config workload c =
+let run_open ?trace ~arrival_rate config workload c =
   if arrival_rate <= 0. then
     invalid_arg "Runner.run_open: arrival rate must be positive";
-  run_impl ~mode:(Open arrival_rate) config workload c
+  run_impl ?trace ~mode:(Open arrival_rate) config workload c
 
 let pp_result ppf r =
   Format.fprintf ppf

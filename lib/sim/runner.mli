@@ -45,11 +45,14 @@ type result = {
   counters : Controller.counters;  (** controller-side deltas *)
 }
 
-val run : config -> Workload.t -> Controller.t -> result
-(** Closed loop: [mpl] workers run transactions back to back.
+val run : ?trace:Hdd_obs.Trace.t -> config -> Workload.t -> Controller.t -> result
+(** Closed loop: [mpl] workers run transactions back to back.  With
+    [trace], driver-level outcomes the controller never sees — restarts,
+    deadlock aborts, give-ups — emit [Sim] records.
     @raise Failure when [max_events] is exceeded. *)
 
 val run_open :
+  ?trace:Hdd_obs.Trace.t ->
   arrival_rate:float -> config -> Workload.t -> Controller.t -> result
 (** Open system: transactions arrive in a Poisson stream of the given
     rate and are served by [mpl] workers; arrivals finding every worker

@@ -22,19 +22,19 @@ type recovered = {
   valid_bytes : int;
 }
 
-let build ?(sync_on_commit = false) ?sink ?log ~path ~partition ~clock ~store
-    () =
-  let sched = Scheduler.create ?log ~partition ~clock ~store () in
+let build ?(sync_on_commit = false) ?sink ?log ?trace ~path ~partition ~clock
+    ~store () =
+  let sched = Scheduler.create ?log ?trace ~partition ~clock ~store () in
   { wal = Wal.create ?sink ~path (); sched; store; partition; sync_on_commit;
     in_flight = 0 }
 
-let create ?sync_on_commit ?sink ?log ~path ~partition () =
+let create ?sync_on_commit ?sink ?log ?trace ~path ~partition () =
   let clock = Time.Clock.create () in
   let store =
     Store.create ~segments:(Partition.segment_count partition)
       ~init:(fun _ -> 0)
   in
-  build ?sync_on_commit ?sink ?log ~path ~partition ~clock ~store ()
+  build ?sync_on_commit ?sink ?log ?trace ~path ~partition ~clock ~store ()
 
 let recover ~path ~segments ~init =
   let { Wal.records; complete; bytes_read } = Wal.read_all ~path in
@@ -92,7 +92,7 @@ let recover ~path ~segments ~init =
     log_intact = complete;
     valid_bytes = bytes_read }
 
-let of_recovery ?sync_on_commit ?sink ?log ~path ~partition recovered =
+let of_recovery ?sync_on_commit ?sink ?log ?trace ~path ~partition recovered =
   (* A torn or corrupt tail is dead bytes: recovery already ignores it,
      but appending after it would put every future record beyond the
      reach of the next recovery (replay stops at the first bad frame).
@@ -103,7 +103,7 @@ let of_recovery ?sync_on_commit ?sink ?log ~path ~partition recovered =
   then Unix.truncate path recovered.valid_bytes;
   let clock = Time.Clock.create () in
   Time.Clock.catch_up clock recovered.last_time;
-  build ?sync_on_commit ?sink ?log ~path ~partition ~clock
+  build ?sync_on_commit ?sink ?log ?trace ~path ~partition ~clock
     ~store:recovered.store ()
 
 let scheduler t = t.sched

@@ -42,6 +42,7 @@ val create :
   ?sync_on_commit:bool ->
   ?sink:Fault.sink ->
   ?log:Hdd_txn.Sched_log.t ->
+  ?trace:Hdd_obs.Trace.t ->
   path:string ->
   partition:Hdd_core.Partition.t ->
   unit ->
@@ -52,7 +53,9 @@ val create :
     for speed — the classic group-commit knob, minus the grouping.
     [sink] (default the production file sink) carries the WAL bytes —
     the fault-injection seam.  [log] is handed to the scheduler so the
-    live schedule can be certified. *)
+    live schedule can be certified; [trace] likewise, so monitors and
+    metrics can watch a durable database (the torture harness attaches
+    invariant monitors this way). *)
 
 val recover :
   path:string -> segments:int -> init:(Granule.t -> int) -> recovered
@@ -64,6 +67,7 @@ val of_recovery :
   ?sync_on_commit:bool ->
   ?sink:Fault.sink ->
   ?log:Hdd_txn.Sched_log.t ->
+  ?trace:Hdd_obs.Trace.t ->
   path:string ->
   partition:Hdd_core.Partition.t ->
   recovered ->

@@ -346,7 +346,24 @@ let flipped plan =
     (function Fault.Bit_flip _ -> true | _ -> false)
     (Fault.fired plan)
 
-let run_cycle ?(config = default_config) ~partition ~path ~seed () =
+(* A fresh per-phase observability stack: the monitor must not raise
+   (violations join the cycle's list) and must not outlive its phase
+   (txn ids recur across sessions, which would confuse its shadow). *)
+let watch monitors =
+  if not monitors then (None, fun _add ~label:_ -> ())
+  else begin
+    let trace = Hdd_obs.Trace.create () in
+    let monitor = Hdd_obs.Monitor.create ~raise_on_violation:false () in
+    Hdd_obs.Monitor.attach monitor trace;
+    ( Some trace,
+      fun add ~label ->
+        List.iter
+          (fun v -> add (Printf.sprintf "monitor %s: %s" label v))
+          (Hdd_obs.Monitor.violations monitor) )
+  end
+
+let run_cycle ?(config = default_config) ?(monitors = false) ~partition ~path
+    ~seed () =
   if Sys.file_exists path then Sys.remove path;
   let rng = Prng.create seed in
   let segments = Partition.segment_count partition in
@@ -355,14 +372,16 @@ let run_cycle ?(config = default_config) ~partition ~path ~seed () =
   (* phase 1: run into the fault *)
   let plan1 = gen_plan rng config in
   let log1 = Sched_log.create () in
+  let trace1, drain1 = watch monitors in
   let db1 =
     Durable.create ~sync_on_commit:true
       ~sink:(Fault.apply plan1 (Fault.file_sink ~fsync:false ~path ()))
-      ~log:log1 ~path ~partition ()
+      ~log:log1 ?trace:trace1 ~path ~partition ()
   in
   let p1 = run_phase db1 plan1 rng config ~partition ~base:0 in
   if not (Certifier.serializable log1) then
     add "phase 1: live schedule not serializable";
+  drain1 add ~label:"phase 1";
   (* first recovery *)
   let r1 = Durable.recover ~path ~segments ~init:(fun _ -> 0) in
   let visible1 =
@@ -393,16 +412,18 @@ let run_cycle ?(config = default_config) ~partition ~path ~seed () =
     else Fault.plan []
   in
   let log2 = Sched_log.create () in
+  let trace2, drain2 = watch monitors in
   let db2 =
     Durable.of_recovery ~sync_on_commit:true
       ~sink:(Fault.apply plan2 (Fault.file_sink ~fsync:false ~path ()))
-      ~log:log2 ~path ~partition r1
+      ~log:log2 ?trace:trace2 ~path ~partition r1
   in
   let p2 =
     run_phase db2 plan2 rng config ~partition ~base:r1.Durable.valid_bytes
   in
   if not (Certifier.serializable log2) then
     add "phase 2: live schedule not serializable";
+  drain2 add ~label:"phase 2";
   (* final recovery over the full log *)
   let r2 = Durable.recover ~path ~segments ~init:(fun _ -> 0) in
   if r2.Durable.valid_bytes < r1.Durable.valid_bytes then
@@ -440,11 +461,11 @@ let run_cycle ?(config = default_config) ~partition ~path ~seed () =
     log_intact = r2.Durable.log_intact;
     violations = List.rev !violations }
 
-let run ?(config = default_config) ?(first_seed = 0) ~partition ~path ~seeds
-    () =
+let run ?(config = default_config) ?(monitors = false) ?(first_seed = 0)
+    ~partition ~path ~seeds () =
   let outcomes =
     List.init seeds (fun i ->
-        run_cycle ~config ~partition ~path ~seed:(first_seed + i) ())
+        run_cycle ~config ~monitors ~partition ~path ~seed:(first_seed + i) ())
   in
   if Sys.file_exists path then Sys.remove path;
   { cycles = seeds;

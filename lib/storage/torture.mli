@@ -54,13 +54,18 @@ type outcome = {
 
 val run_cycle :
   ?config:config ->
+  ?monitors:bool ->
   partition:Hdd_core.Partition.t ->
   path:string ->
   seed:int ->
   unit ->
   outcome
 (** One crash/recover/resume/recover cycle at [path] (the file is
-    removed first). *)
+    removed first).  With [monitors] (default false) each phase runs
+    under a fresh {!Hdd_obs.Monitor} — non-raising, a stack per phase
+    because txn ids recur across sessions — and any invariant the
+    monitor catches joins [violations] with a ["monitor phase N:"]
+    prefix. *)
 
 type report = {
   cycles : int;
@@ -73,6 +78,7 @@ type report = {
 
 val run :
   ?config:config ->
+  ?monitors:bool ->
   ?first_seed:int ->
   partition:Hdd_core.Partition.t ->
   path:string ->
@@ -80,6 +86,7 @@ val run :
   unit ->
   report
 (** [run ~partition ~path ~seeds ()] executes [seeds] cycles with seeds
-    [first_seed] (default 0) onward and aggregates. *)
+    [first_seed] (default 0) onward and aggregates.  [monitors] as in
+    {!run_cycle}. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -20,16 +20,16 @@ type class_log = {
   mutable gen : int;  (* bumped whenever a query could change *)
 }
 
-type t = { logs : class_log array }
+type t = { logs : class_log array; trace : Hdd_obs.Trace.t option }
 
 let fresh_log () =
   { records = Array.make 8 Txn.bootstrap; base = 0; len = 0;
     pending = []; w_end = [||]; w_init = [||]; w_base = 0; w_len = 0;
     gen = 0 }
 
-let create ~classes =
+let create ?trace ~classes () =
   if classes <= 0 then invalid_arg "Registry.create: classes must be > 0";
-  { logs = Array.init classes (fun _ -> fresh_log ()) }
+  { logs = Array.init classes (fun _ -> fresh_log ()); trace }
 
 let class_count t = Array.length t.logs
 
@@ -251,6 +251,7 @@ let window_count t ~class_id =
   log.w_len - log.w_base
 
 let prune t ~upto =
+  let records_dropped = ref 0 and windows_dropped = ref 0 in
   Array.iter
     (fun log ->
       sync log;
@@ -262,7 +263,18 @@ let prune t ~upto =
         | Some e when e <= upto -> incr i
         | _ -> continue := false
       done;
+      records_dropped := !records_dropped + (!i - log.base);
       log.base <- !i;
       (* windows closed at or before [upto] can serve no query at >= upto *)
-      log.w_base <- first_end_above log upto)
-    t.logs
+      let w = first_end_above log upto in
+      windows_dropped := !windows_dropped + (w - log.w_base);
+      log.w_base <- w)
+    t.logs;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Hdd_obs.Trace.emit_here tr
+      (Hdd_obs.Trace.Registry_prune
+         { upto;
+           records_dropped = !records_dropped;
+           windows_dropped = !windows_dropped })

@@ -30,8 +30,10 @@
 
 type t
 
-val create : classes:int -> t
-(** Registry for update classes [0 .. classes-1]. *)
+val create : ?trace:Hdd_obs.Trace.t -> classes:int -> unit -> t
+(** Registry for update classes [0 .. classes-1].  With [trace], {!prune}
+    emits a [Registry_prune] record carrying the prune depth (records and
+    windows dropped). *)
 
 val class_count : t -> int
 

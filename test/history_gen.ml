@@ -64,7 +64,7 @@ type t = {
 let random ?(quiesce = true) ?(commit_bias = 8) ?(ro_weight = 0)
     ?(adhoc_weight = 0) ~seed ~steps ~classes () =
   let rng = Prng.create seed in
-  let registry = Registry.create ~classes in
+  let registry = Registry.create ~classes () in
   let clock = Time.Clock.create () in
   let active = ref [] in
   let all = ref [] in

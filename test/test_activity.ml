@@ -15,7 +15,7 @@ let chain3 = History_gen.chain_partition 3
 
 let mk_ctx partition =
   let registry =
-    Registry.create ~classes:(Partition.segment_count partition)
+    Registry.create ~classes:(Partition.segment_count partition) ()
   in
   (Activity.make_ctx partition registry, registry)
 
@@ -212,7 +212,7 @@ let test_timewall_compute_idle () =
 
 let test_timewall_manager () =
   let partition = deep_tree in
-  let registry = Registry.create ~classes:4 in
+  let registry = Registry.create ~classes:4 () in
   let ctx = Activity.make_ctx partition registry in
   let clock = Time.Clock.create () in
   let mgr = Timewall.create ctx ~clock in

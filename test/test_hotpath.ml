@@ -28,7 +28,7 @@ let prop_registry_matches_scan =
     (fun seed ->
       let g = Prng.create seed in
       let classes = 1 + Prng.int g 3 in
-      let reg = Registry.create ~classes in
+      let reg = Registry.create ~classes () in
       let clock = ref 0 in
       let tick () =
         incr clock;

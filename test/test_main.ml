@@ -13,4 +13,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("check", Test_check.suite);
       ("hotpath", Test_hotpath.suite);
-      ("storage", Test_storage.suite) ]
+      ("storage", Test_storage.suite);
+      ("obs", Test_obs.suite);
+      ("benchkit", Test_benchkit.suite) ]

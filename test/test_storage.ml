@@ -670,9 +670,20 @@ let torture_cycles =
     | Some n when n > 0 -> n
     | _ -> Alcotest.failf "HDD_TORTURE_CYCLES must be a positive int: %S" s)
 
+(* The invariant monitors ride along by default (the "monitor torture
+   integration" of the observability PR): any monitor catch counts as a
+   cycle violation.  HDD_TORTURE_MONITORS=0 detaches them. *)
+let torture_monitors =
+  match Sys.getenv_opt "HDD_TORTURE_MONITORS" with
+  | Some "0" -> false
+  | _ -> true
+
 let test_torture_cycles () =
   let path = fresh "hdd_torture.log" in
-  let report = Torture.run ~partition ~path ~seeds:torture_cycles () in
+  let report =
+    Torture.run ~monitors:torture_monitors ~partition ~path
+      ~seeds:torture_cycles ()
+  in
   (match report.Torture.violating with
   | [] -> ()
   | bad ->

@@ -56,7 +56,7 @@ let test_read_only_txn () =
 
 (* --- registry --- *)
 
-let mk_registry () = Registry.create ~classes:3
+let mk_registry () = Registry.create ~classes:3 ()
 
 let test_registry_register_validation () =
   let r = mk_registry () in
