@@ -509,8 +509,19 @@ let bench_cmd =
                  CI.")
   in
   let out =
-    Arg.(value & opt string "BENCH_hot_paths.json" & info [ "o"; "out" ]
-           ~docv:"FILE" ~doc:"Where to write the JSON report.")
+    Arg.(value & opt (some string) None & info [ "o"; "out" ]
+           ~docv:"FILE"
+           ~doc:"Where to write the JSON report (default \
+                 BENCH_hot_paths.json, or BENCH_parallel.json with \
+                 $(b,--parallel)).")
+  in
+  let parallel =
+    Arg.(value & flag & info [ "parallel" ]
+           ~doc:"Run the multicore runtime scaling benchmark instead: \
+                 closed-loop workers at 1, 2, 4 (and all-cores) domains \
+                 on a chain hierarchy, reporting throughput, Protocol A \
+                 read rate, commit-latency quantiles and wall lag \
+                 (BENCH_parallel.json).")
   in
   let baseline =
     Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
@@ -538,7 +549,17 @@ let bench_cmd =
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression obs_gate =
+  let run quick out baseline max_regression obs_gate parallel =
+    if parallel then begin
+      let out = Option.value out ~default:"BENCH_parallel.json" in
+      let seconds = if quick then 0.2 else 1.0 in
+      let r = Hdd_runtime.Parbench.run ~seconds () in
+      J.to_file out (Hdd_runtime.Parbench.to_json r);
+      Printf.printf "wrote %s\n" out;
+      Format.printf "%a@?" Hdd_runtime.Parbench.pp r
+    end
+    else
+    let out = Option.value out ~default:"BENCH_hot_paths.json" in
     match obs_gate with
     | Some limit ->
       let r = Macro.obs_overhead ~quick () in
@@ -603,7 +624,9 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:"Run the hot-path macro-benchmark, write BENCH_hot_paths.json, \
              and optionally gate against a committed baseline")
-    Term.(const run $ quick $ out $ baseline $ max_regression $ obs_gate)
+    Term.(
+      const run $ quick $ out $ baseline $ max_regression $ obs_gate
+      $ parallel)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in

@@ -8,6 +8,20 @@ type t =
 
 let num_of_int i = Num (float_of_int i)
 
+(* --- schema versioning --- *)
+
+let schema_version = 2
+
+let with_schema fields =
+  Obj (("schema_version", num_of_int schema_version) :: fields)
+
+let schema_of = function
+  | Obj fields -> (
+    match List.assoc_opt "schema_version" fields with
+    | Some (Num f) when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None)
+  | _ -> None
+
 (* --- emission --- *)
 
 let escape b s =

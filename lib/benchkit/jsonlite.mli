@@ -13,6 +13,21 @@ type t =
 
 val num_of_int : int -> t
 
+val schema_version : int
+(** Version of every JSON document this tree emits.  Bumped when a
+    report's shape changes incompatibly; readers tolerate unknown fields
+    (the parser keeps them, the accessors ignore them), so additions
+    don't bump it. *)
+
+val with_schema : (string * t) list -> t
+(** An object with [schema_version] prepended — the constructor every
+    emitted report goes through. *)
+
+val schema_of : t -> int option
+(** The document's [schema_version] field, if it is an integer.  Old
+    documents (pre-versioning) return [None]; readers treat that as
+    version 1. *)
+
 val to_string : t -> string
 (** Pretty-printed, two-space indent, trailing newline.  Non-finite
     numbers (JSON has no token for them) emit as [null]. *)

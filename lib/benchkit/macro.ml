@@ -295,7 +295,7 @@ let macro ?trace ~quick () =
           ] ) ]
 
 let run ?(quick = false) () =
-  J.Obj
+  J.with_schema
     [ ( "meta",
         J.Obj
           [ ("schema", J.num_of_int 1);
@@ -340,7 +340,7 @@ let obs_overhead ?(quick = false) ?(runs = 3) () =
   and disabled = !disabled
   and on = !on in
   let frac x = if off > 0. then 1. -. (x /. off) else 0. in
-  J.Obj
+  J.with_schema
     [ ("off_txns_per_sec", J.Num off);
       ("disabled_txns_per_sec", J.Num disabled);
       ("on_txns_per_sec", J.Num on);

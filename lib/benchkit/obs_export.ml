@@ -132,7 +132,7 @@ let chrome_trace trace =
            ~start:init ~finish:init ~tid:txn
            [ ("outcome", Jsonlite.Str "active") ]))
     begins;
-  Jsonlite.Obj
+  Jsonlite.with_schema
     [ ("traceEvents", Jsonlite.List (List.rev !events));
       ("displayTimeUnit", Jsonlite.Str "ms") ]
 

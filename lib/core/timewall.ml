@@ -7,6 +7,9 @@ type wall = {
 
 let threshold wall ~class_id = wall.components.(class_id)
 
+let make ~s ~m ~components ~released_at =
+  { s; m; components = Array.copy components; released_at }
+
 (* Choose one lowest class per connected component of the hierarchy. *)
 let component_starts (partition : Partition.t) =
   let n = Partition.segment_count partition in

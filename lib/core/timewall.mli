@@ -20,6 +20,19 @@ type wall = private {
 
 val threshold : wall -> class_id:int -> Time.t
 
+val make :
+  s:int -> m:Time.t -> components:Time.t array -> released_at:Time.t -> wall
+(** Assemble a wall from externally computed components — the parallel
+    runtime's wall coordinator evaluates [E] over published registry
+    snapshots rather than through a live {!Activity.ctx}.  The array is
+    copied. *)
+
+val component_starts : Partition.t -> int array
+(** For each class, the start class of its connected component (one
+    lowest class per component; isolated nodes start at themselves) —
+    the per-component wall assembly of §5.2, exposed for the parallel
+    coordinator. *)
+
 val compute :
   Activity.ctx -> m:Time.t -> (Time.t array, Txn.id) result
 (** One attempt at building the component vector anchored at [m]; [Error

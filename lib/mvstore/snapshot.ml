@@ -1,0 +1,35 @@
+type entry = { ts : Time.t; value : int }
+
+type t = {
+  index : entry list Granule.Map.t;  (* newest first *)
+  versions : int;
+}
+
+let empty = { index = Granule.Map.empty; versions = 0 }
+
+let add_commit t g ~ts ~value =
+  let prev =
+    match Granule.Map.find_opt g t.index with Some l -> l | None -> []
+  in
+  (match prev with
+  | { ts = newest; _ } :: _ when ts <= newest ->
+    invalid_arg
+      (Printf.sprintf
+         "Snapshot.add_commit: ts %d not above newest %d at %s" ts newest
+         (Granule.to_string g))
+  | _ -> ());
+  { index = Granule.Map.add g ({ ts; value } :: prev) t.index;
+    versions = t.versions + 1 }
+
+let latest_before t g ~ts =
+  match Granule.Map.find_opt g t.index with
+  | None -> None
+  | Some entries ->
+    let rec go = function
+      | [] -> None
+      | e :: rest -> if e.ts < ts then Some (e.ts, e.value) else go rest
+    in
+    go entries
+
+let version_count t = t.versions
+let granule_count t = Granule.Map.cardinal t.index

@@ -1,0 +1,36 @@
+(** Immutable committed-version index — the publication vehicle for the
+    parallel runtime's Protocol A reads.
+
+    Each owner domain keeps one of these alongside its mutable
+    {!Store.t}: on every commit it extends the persistent map with the
+    freshly installed versions and swaps the new value into an
+    [Atomic.t].  Readers on other domains do a single [Atomic.get] and
+    then walk a purely immutable structure — no locks, no fences beyond
+    the swap itself, and the paper's guarantee that a Protocol A read
+    registers nothing maps onto memory that is never written after
+    publication.
+
+    Only {e committed} versions enter a snapshot, so [latest_before]
+    here is the snapshot-read rule ([committed_before]) of the serial
+    store restricted to what the publishing domain had committed at swap
+    time; the activity-link threshold machinery guarantees that is
+    enough (see DESIGN.md §13). *)
+
+type t
+
+val empty : t
+
+val add_commit : t -> Granule.t -> ts:Time.t -> value:int -> t
+(** Extend with a committed version.  Per granule, commit order is
+    version-timestamp order, so [ts] must exceed the granule's newest.
+    @raise Invalid_argument otherwise. *)
+
+val latest_before : t -> Granule.t -> ts:Time.t -> (Time.t * int) option
+(** The newest committed version strictly below [ts] — timestamp and
+    value — or [None] when the granule has no version below [ts] in this
+    snapshot (callers fall back to the bootstrap version). *)
+
+val version_count : t -> int
+(** Committed versions indexed, across all granules. *)
+
+val granule_count : t -> int

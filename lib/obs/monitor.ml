@@ -11,6 +11,7 @@ type txn_info = {
 
 type t = {
   raise_on_violation : bool;
+  wall_rule : [ `Latest | `Any_released ];
   mutable violations : string list;  (** newest first *)
   active : (int, txn_info) Hashtbl.t;
   committed : (int * int, int list) Hashtbl.t;
@@ -20,8 +21,9 @@ type t = {
   mutable events_seen : int;
 }
 
-let create ?(raise_on_violation = true) () =
+let create ?(raise_on_violation = true) ?(wall_rule = `Latest) () =
   { raise_on_violation;
+    wall_rule;
     violations = [];
     active = Hashtbl.create 64;
     committed = Hashtbl.create 256;
@@ -86,8 +88,30 @@ let check_read t (r : Trace.record) ~txn ~protocol ~segment ~key ~threshold
   | Some info ->
     record_use info ~segment ~threshold;
     (* a walled reader's threshold is pinned to its wall's component *)
-    (match (info.kind, info.wall) with
-    | Trace.Read_only, Some components ->
+    (match (info.kind, info.wall, t.wall_rule) with
+    | Trace.Read_only, _, `Any_released ->
+      (* Parallel runtime: a reader grabs the seqlock wall before
+         ticking its initiation time, so by the time both events reach
+         the merged trace any wall released before [init] is legal, not
+         just the newest one. *)
+      let applicable =
+        List.filter
+          (fun (released_at, components) ->
+            released_at < info.init
+            && segment >= 0
+            && segment < Array.length components)
+          t.walls
+      in
+      if
+        applicable <> []
+        && not
+             (List.exists (fun (_, c) -> c.(segment) = threshold) applicable)
+      then
+        violate t "event %d: protocol C read of D%d by txn %d used \
+                   threshold %d; no wall released before init %d has that \
+                   component"
+          r.Trace.seq segment txn threshold info.init
+    | Trace.Read_only, Some components, `Latest ->
       if
         segment >= 0
         && segment < Array.length components
@@ -253,3 +277,4 @@ let handle t (r : Trace.record) =
     ()
 
 let attach t trace = Trace.subscribe trace (handle t)
+let feed = handle

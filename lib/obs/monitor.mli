@@ -38,12 +38,29 @@ exception Violation of string
 
 type t
 
-val create : ?raise_on_violation:bool -> unit -> t
+val create :
+  ?raise_on_violation:bool ->
+  ?wall_rule:[ `Latest | `Any_released ] ->
+  unit ->
+  t
 (** [raise_on_violation] (default [true]) raises {!Violation} out of the
     emitting call on the first broken invariant; with [false] violations
-    accumulate and the run continues — the torture harness's mode. *)
+    accumulate and the run continues — the torture harness's mode.
+
+    [wall_rule] (default [`Latest]) sets how a walled reader's observed
+    thresholds are pinned.  [`Latest] is the serial scheduler's rule: the
+    newest wall released before the reader's initiation.  [`Any_released]
+    accepts the component of {e any} wall released before the reader's
+    initiation — the sound relaxation for the parallel runtime, where a
+    reader loads the seqlock-published wall and only then ticks its
+    initiation time, so a concurrent release can slide a newer wall in
+    between. *)
 
 val attach : t -> Trace.t -> unit
+
+val feed : t -> Trace.record -> unit
+(** Check one record directly — for replaying a merged per-domain record
+    list (see {!Trace.merged}) rather than subscribing to a live ring. *)
 
 val violations : t -> string list
 (** Oldest first; empty when every event so far conformed. *)

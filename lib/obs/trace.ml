@@ -47,7 +47,7 @@ type event =
   | Sim of { label : string; txn : int }
   | Note of string
 
-type record = { seq : int; at : int; ev : event }
+type record = { seq : int; at : int; dom : int; ev : event }
 
 (* The ring holds plain ints, not records: a boxed record retained in a
    big ring survives every minor collection and gets promoted, which at
@@ -63,6 +63,7 @@ let dummy_ev = Note ""
 
 type t = {
   mutable on : bool;
+  domain : int;  (** stamped into every decoded record *)
   capacity : int;
   data : int array;  (** capacity * width: tag, at, payload... *)
   boxed : event array;  (** only read when the slot's tag says so *)
@@ -72,9 +73,10 @@ type t = {
   mutable subs : (record -> unit) array;  (** subscription order *)
 }
 
-let create ?(capacity = 65536) () =
+let create ?(capacity = 65536) ?(domain = 0) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be > 0";
   { on = true;
+    domain;
     capacity;
     data = Array.make (capacity * width) 0;
     boxed = Array.make capacity dummy_ev;
@@ -86,6 +88,7 @@ let create ?(capacity = 65536) () =
 let enabled t = t.on
 let enable t = t.on <- true
 let disable t = t.on <- false
+let domain t = t.domain
 
 let proto_int = function A -> 0 | B -> 1 | C -> 2
 let int_proto = function 0 -> A | 1 -> B | _ -> C
@@ -172,7 +175,7 @@ let emit t ~at ev =
     t.last_at <- at;
     let subs = t.subs in
     if Array.length subs > 0 then begin
-      let r = { seq = t.emitted - 1; at; ev } in
+      let r = { seq = t.emitted - 1; at; dom = t.domain; ev } in
       Array.iter (fun f -> f r) subs
     end
   end
@@ -220,13 +223,22 @@ let decode t i ~seq =
           windows_dropped = d.(b + 4) }
     | _ -> t.boxed.(i)
   in
-  { seq; at; ev }
+  { seq; at; dom = t.domain; ev }
 
 let records t =
   let kept = Int.min t.emitted t.capacity in
   List.init kept (fun k ->
       let seq = t.emitted - kept + k in
       decode t (seq mod t.capacity) ~seq)
+
+let merged ts =
+  let all = List.concat_map records ts in
+  List.sort
+    (fun a b ->
+      match compare a.at b.at with
+      | 0 -> ( match compare a.dom b.dom with 0 -> compare a.seq b.seq | c -> c)
+      | c -> c)
+    all
 
 let emitted t = t.emitted
 let dropped t = Int.max 0 (t.emitted - t.capacity)

@@ -78,19 +78,28 @@ type event =
       (** driver-level happenings: restart, deadlock, give_up, … *)
   | Note of string
 
-type record = { seq : int; at : int; ev : event }
+type record = { seq : int; at : int; dom : int; ev : event }
+(** [dom] is the emitting trace's {!domain} tag — 0 for the serial stack,
+    the owning domain's index under the parallel runtime, where each
+    domain writes its own ring and drains merge by logical time. *)
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?domain:int -> unit -> t
 (** A fresh, enabled trace.  [capacity] (default 65536) bounds the ring;
     older records are evicted ({!dropped} counts them).  Subscribers see
-    every record regardless of eviction.
+    every record regardless of eviction.  [domain] (default 0) tags every
+    record decoded from this trace; under the parallel runtime each
+    domain owns a private ring, so the tag never needs to live in the
+    ring encoding itself.
     @raise Invalid_argument if [capacity <= 0]. *)
 
 val enabled : t -> bool
 val enable : t -> unit
 val disable : t -> unit
+
+val domain : t -> int
+(** The tag stamped into this trace's records. *)
 
 val emit : t -> at:int -> event -> unit
 (** Append a record stamped [at] (a logical time) and fan it out to the
@@ -107,6 +116,13 @@ val subscribe : t -> (record -> unit) -> unit
 
 val records : t -> record list
 (** Retained records, oldest first. *)
+
+val merged : t list -> record list
+(** Merge-on-drain: the retained records of several (typically
+    per-domain) rings, sorted by [(at, dom, seq)].  With the parallel
+    runtime ticking the shared logical clock once per emitted event,
+    [at] values are unique across domains and the merge is a total
+    order consistent with the clock's happens-before. *)
 
 val emitted : t -> int
 (** Total records emitted, evicted ones included. *)

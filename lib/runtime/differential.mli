@@ -1,0 +1,91 @@
+(** The differential correctness harness for the parallel engine.
+
+    A parallel run is accepted only if, simultaneously:
+
+    + the merged per-domain trace, restricted to committed transactions,
+      replays into a schedule the MVSG {!Hdd_core.Certifier} certifies
+      one-copy serializable;
+    + the merged trace passes every online invariant of
+      {!Hdd_obs.Monitor} (wall rule [`Any_released] — a parallel reader
+      may legally hold any wall released before its initiation);
+    + executing the {e same} descriptor script through the serial
+      {!Hdd_core.Scheduler}, one transaction at a time in the parallel
+      run's initiation order, yields the same per-transaction
+      commit/abort verdict for every descriptor; and
+    + for every committed update transaction, the sequence of writers it
+      read from in its {e own root segment} (Protocol B) is identical in
+      both runs — within a class both runs serialize identically, so
+      root-segment reads must resolve to the same writers (version
+      timestamps differ across runs; writer identity is the invariant).
+
+    Protocol A/C read {e values} may legitimately differ from the serial
+    replay: activity intervals differ when earlier-initiated
+    transactions are still running in the parallel run, so thresholds
+    differ.  Their correctness is what the certifier and monitor
+    establish. *)
+
+type script = Engine.desc array
+
+val gen_script :
+  partition:Hdd_core.Partition.t ->
+  seed:int ->
+  txns:int ->
+  ?keys_per_segment:int ->
+  ?ro_frac:float ->
+  ?abort_frac:float ->
+  ?cross_frac:float ->
+  ?ops_per_txn:int ->
+  unit ->
+  script
+(** Random descriptor script legal for the partition: updates write only
+    their root segment and read only segments their class may read;
+    read-only descriptors read arbitrary segments (the ad-hoc-read
+    shape, served by Protocol C). *)
+
+val default_init : Granule.t -> int
+(** The store initializer both runs share. *)
+
+type report = {
+  r_serializable : bool;
+  r_cycle : int list option;
+  r_monitor_violations : string list;
+  r_verdicts_agree : bool;
+  r_b_reads_agree : bool;
+  r_mismatches : string list;  (** human-readable disagreement details *)
+  r_committed : int;
+  r_aborted : int;
+  r_wall_releases : int;
+  r_events : int;
+}
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val check :
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  config:Engine.config ->
+  script ->
+  report
+(** Run the script on the parallel engine, then apply all four checks. *)
+
+(** {1 Stress profiles} *)
+
+val chain_partition : int -> Hdd_core.Partition.t
+(** A depth-[n] chain: type [i] writes [D_i] and reads [D_i, D_{i+1}] —
+    all activity links are up-steps.  Also the benchmark hierarchy. *)
+
+val tree_partition : int -> Hdd_core.Partition.t
+(** [n] branch classes all reading a shared root [D_0] — the shape whose
+    walls exercise [C_late] down-steps. *)
+
+type profile = Abort_heavy | Adhoc_read | Mixed
+
+val stress_one :
+  seed:int -> workers:int -> txns:int -> profile:profile -> report
+(** One randomized stress run: the seed picks a chain or tree hierarchy
+    (trees exercise the wall coordinator's [C_late] down-steps), the
+    profile sets the mix — [Abort_heavy] ~40% aborts, [Adhoc_read] ~50%
+    read-only transactions over arbitrary segments, [Mixed] in
+    between. *)

@@ -1,0 +1,628 @@
+module T = Hdd_obs.Trace
+module Snap = Hdd_mvstore.Snapshot
+module P = Hdd_core.Partition
+module TW = Hdd_core.Timewall
+
+type op = Read of Granule.t | Write of Granule.t * int
+
+type desc = {
+  d_id : Txn.id;
+  d_kind : [ `Update of int | `Read_only ];
+  d_ops : op list;
+  d_abort : bool;
+}
+
+type config = {
+  workers : int;
+  traced : bool;
+  trace_capacity : int;
+  mailbox_capacity : int;
+  wall_poll_s : float;
+}
+
+let default_config ~workers =
+  { workers;
+    traced = true;
+    trace_capacity = 1 lsl 16;
+    mailbox_capacity = 64;
+    wall_poll_s = 100e-6 }
+
+type stats = {
+  committed : int;
+  aborted : int;
+  reads_a : int;
+  reads_b : int;
+  reads_c : int;
+  writes : int;
+  wall_releases : int;
+  wall_lag_sum : int;
+  wall_lag_max : int;
+}
+
+type run = {
+  records : T.record list;
+  outcomes : (Txn.id * bool) list;
+  stats : stats;
+}
+
+(* --- shared state --- *)
+
+(* An owner's activity publication: a frozen registry view plus the
+   global-clock value read at capture.  The snapshot answers I_old and
+   C_late exactly for arguments <= upto: every transaction of the owner's
+   classes with a smaller initiation was ticked, registered and (if
+   finished) finalized on the owner's own thread before the capture. *)
+type pub = { p_snap : Registry.snapshot; p_upto : Time.t }
+
+type shared = {
+  clock : Gclock.t;
+  partition : P.t;
+  workers : int;
+  nseg : int;
+  init_fn : Granule.t -> int;
+  stores : Snap.t Atomic.t array;  (* per segment, set only by its owner *)
+  pubs : pub Atomic.t array;  (* per worker *)
+  wall : Seqwall.t;
+  stop : bool Atomic.t;  (* coordinator shutdown *)
+  halt : bool Atomic.t;  (* timed mode: worker deadline *)
+}
+
+let owner sh class_id = class_id mod sh.workers
+
+type counters = {
+  mutable n_committed : int;
+  mutable n_aborted : int;
+  mutable n_reads_a : int;
+  mutable n_reads_b : int;
+  mutable n_reads_c : int;
+  mutable n_writes : int;
+}
+
+let fresh_counters () =
+  { n_committed = 0; n_aborted = 0; n_reads_a = 0; n_reads_b = 0;
+    n_reads_c = 0; n_writes = 0 }
+
+type wctx = {
+  sh : shared;
+  me : int;
+  registry : Registry.t;
+  locals : Snap.t array;  (* per segment; only own segments maintained *)
+  trace : T.t option;
+  c : counters;
+  mutable outcomes : (Txn.id * bool) list;
+  mutable latencies : float list;  (* commit latency, seconds; timed mode *)
+  timed : bool;
+}
+
+let emit_at w ~at ev =
+  match w.trace with None -> () | Some tr -> T.emit tr ~at ev
+
+(* Commit-then-activity is the publication order commit relies on; the
+   capture itself reads the clock first so [upto] never claims more than
+   the snapshot holds. *)
+let publish_pub w =
+  let upto = Gclock.now w.sh.clock in
+  Atomic.set w.sh.pubs.(w.me)
+    { p_snap = Registry.snapshot w.registry; p_upto = upto }
+
+(* A worker with no work left will register nothing ever again, so its
+   final activity snapshot answers exactly for every argument: publish it
+   with unbounded coverage, or waiters on this owner would spin forever
+   once it exits. *)
+let publish_final w =
+  Atomic.set w.sh.pubs.(w.me)
+    { p_snap = Registry.snapshot w.registry; p_upto = max_int }
+
+(* Wait for the owner of [class_id] to have published activity covering
+   argument [m].  While waiting, republish our own activity: two workers
+   awaiting each other mid-transaction then unblock each other (a
+   publication is valid at any instant — the current transaction simply
+   shows as active). *)
+let await_pub w ~class_id m =
+  let rec go n =
+    let pub = Atomic.get w.sh.pubs.(owner w.sh class_id) in
+    if pub.p_upto >= m then pub
+    else begin
+      publish_pub w;
+      (* back off once the owner is clearly descheduled (oversubscribed
+         cores): snapshots are too expensive to re-capture in a hot spin *)
+      if n < 64 then Domain.cpu_relax () else Unix.sleepf 20e-6;
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* A_i^j(m) over published snapshots: I_old composed along the critical
+   path, each step exact because we wait until the queried snapshot's
+   upto covers the argument — the same historical facts the serial
+   scheduler computes, since I_old(a) is fixed once the clock passes
+   [a]. *)
+let a_threshold w ~from_class ~to_class m =
+  match P.critical_path w.sh.partition from_class to_class with
+  | None | Some [] ->
+    invalid_arg
+      (Printf.sprintf "Engine: no critical path from T%d to T%d" from_class
+         to_class)
+  | Some (_ :: rest) ->
+    List.fold_left
+      (fun m cls ->
+        let pub = await_pub w ~class_id:cls m in
+        Registry.snap_i_old pub.p_snap ~class_id:cls ~at:m)
+      m rest
+
+let serve sh snap g ~ts =
+  match Snap.latest_before snap g ~ts with
+  | Some (vts, v) -> (vts, v)
+  | None -> (Time.zero, sh.init_fn g)
+
+let op_at w =
+  match w.trace with Some _ -> Gclock.tick w.sh.clock | None -> 0
+
+let exec_update w d cls =
+  let sh = w.sh in
+  let t0 = if w.timed then Unix.gettimeofday () else 0. in
+  let init = Gclock.tick sh.clock in
+  let txn = Txn.make ~id:d.d_id ~kind:(Txn.Update cls) ~init in
+  Registry.register_in w.registry ~class_id:cls txn;
+  emit_at w ~at:init (T.Begin { txn = d.d_id; kind = T.Update cls; init });
+  let pending = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Write (g, v) ->
+        if g.Granule.segment <> cls then
+          invalid_arg
+            (Printf.sprintf "Engine: T%d writing outside root segment D%d"
+               cls g.Granule.segment);
+        pending :=
+          (g, v)
+          :: List.filter (fun (g', _) -> not (Granule.equal g g')) !pending;
+        w.c.n_writes <- w.c.n_writes + 1;
+        emit_at w ~at:(op_at w)
+          (T.Write
+             { txn = d.d_id; segment = g.Granule.segment; key = g.Granule.key;
+               ts = init })
+      | Read g ->
+        let seg = g.Granule.segment in
+        if seg = cls then begin
+          (* Protocol B, domain-local: this domain runs class [cls] one
+             transaction at a time, so the committed snapshot below
+             [init] is the whole MVTO story — no pending versions to
+             block on, no younger readers to reject for. *)
+          let vts, _ = serve sh w.locals.(seg) g ~ts:init in
+          w.c.n_reads_b <- w.c.n_reads_b + 1;
+          emit_at w ~at:(op_at w)
+            (T.Read
+               { txn = d.d_id; protocol = T.B; segment = seg;
+                 key = g.Granule.key; threshold = init; version = vts })
+        end
+        else begin
+          if not (P.may_read sh.partition ~class_id:cls ~segment:seg) then
+            invalid_arg
+              (Printf.sprintf "Engine: T%d may not read D%d" cls seg);
+          let th = a_threshold w ~from_class:cls ~to_class:seg init in
+          (* store fetched after the threshold: every version below [th]
+             was published before the activity publication the threshold
+             came from *)
+          let store = Atomic.get sh.stores.(seg) in
+          let vts, _ = serve sh store g ~ts:th in
+          w.c.n_reads_a <- w.c.n_reads_a + 1;
+          emit_at w ~at:(op_at w)
+            (T.Read
+               { txn = d.d_id; protocol = T.A; segment = seg;
+                 key = g.Granule.key; threshold = th; version = vts })
+        end)
+    d.d_ops;
+  if d.d_abort then begin
+    let a = Gclock.tick sh.clock in
+    Txn.abort txn ~at:a;
+    emit_at w ~at:a (T.Abort { txn = d.d_id; at = a });
+    w.c.n_aborted <- w.c.n_aborted + 1;
+    w.outcomes <- (d.d_id, false) :: w.outcomes
+  end
+  else begin
+    let e = Gclock.tick sh.clock in
+    Txn.commit txn ~at:e;
+    (* store before activity: install committed versions into the
+       immutable per-segment index and swap it in before the registry
+       publication below makes this transaction's window visible *)
+    let touched = ref [] in
+    List.iter
+      (fun ((g : Granule.t), v) ->
+        let seg = g.segment in
+        w.locals.(seg) <- Snap.add_commit w.locals.(seg) g ~ts:init ~value:v;
+        if not (List.mem seg !touched) then touched := seg :: !touched)
+      !pending;
+    List.iter (fun seg -> Atomic.set sh.stores.(seg) w.locals.(seg)) !touched;
+    emit_at w ~at:e (T.Commit { txn = d.d_id; at = e });
+    w.c.n_committed <- w.c.n_committed + 1;
+    if w.timed then w.latencies <- (Unix.gettimeofday () -. t0) :: w.latencies;
+    w.outcomes <- (d.d_id, true) :: w.outcomes
+  end;
+  publish_pub w
+
+let exec_ro w d =
+  let sh = w.sh in
+  (* wall first, initiation tick second: released_at < init, always *)
+  let wall = Seqwall.read sh.wall in
+  let init = Gclock.tick sh.clock in
+  emit_at w ~at:init (T.Begin { txn = d.d_id; kind = T.Read_only; init });
+  List.iter
+    (fun op ->
+      match op with
+      | Write _ -> invalid_arg "Engine: read-only transaction writes"
+      | Read g ->
+        let seg = g.Granule.segment in
+        let th = wall.TW.components.(seg) in
+        let store = Atomic.get sh.stores.(seg) in
+        let vts, _ = serve sh store g ~ts:th in
+        w.c.n_reads_c <- w.c.n_reads_c + 1;
+        emit_at w ~at:(op_at w)
+          (T.Read
+             { txn = d.d_id; protocol = T.C; segment = seg;
+               key = g.Granule.key; threshold = th; version = vts }))
+    d.d_ops;
+  let e = Gclock.tick sh.clock in
+  emit_at w ~at:e (T.Commit { txn = d.d_id; at = e });
+  w.c.n_committed <- w.c.n_committed + 1;
+  w.outcomes <- (d.d_id, true) :: w.outcomes
+
+let exec w d =
+  match d.d_kind with
+  | `Update cls -> exec_update w d cls
+  | `Read_only -> exec_ro w d
+
+(* --- the wall coordinator --- *)
+
+exception Wall_stale
+exception Wall_not_computable
+
+let coordinator sh ~primary ~starts ~initial_m trace =
+  let nseg = sh.nseg in
+  let reduction = sh.partition.P.reduction in
+  let last_m = ref initial_m in
+  let releases = ref 0 and lag_sum = ref 0 and lag_max = ref 0 in
+  while not (Atomic.get sh.stop) do
+    (* one release attempt over a single fetch of every publication *)
+    (try
+       let pubs = Array.map Atomic.get sh.pubs in
+       let pub_of c = pubs.(c mod sh.workers) in
+       (* q.(i): below this, class i is quiescent — every member with a
+          smaller initiation has finished and its versions are published *)
+       let q =
+         Array.init nseg (fun c ->
+             let p = pub_of c in
+             Registry.snap_i_old p.p_snap ~class_id:c ~at:p.p_upto)
+       in
+       let m = Array.fold_left Time.min q.(0) q in
+       (* m = max_int means every owner has published its final (exit)
+          snapshot: the run is over, a wall there would be meaningless *)
+       if m > !last_m && m < max_int then begin
+         let i_old_at c a =
+           let p = pub_of c in
+           if p.p_upto < a then raise Wall_stale;
+           Registry.snap_i_old p.p_snap ~class_id:c ~at:a
+         in
+         let c_late_at c a =
+           let p = pub_of c in
+           if p.p_upto < a then raise Wall_stale;
+           match Registry.snap_c_late p.p_snap ~class_id:c ~at:a with
+           | Ok v -> v
+           | Error _ -> raise Wall_not_computable
+         in
+         (* E_s^i(m): I_old at the target of up-arcs, C_late at the
+            source of down-arcs — Activity.e_fn over frozen views *)
+         let components = Array.make nseg Time.zero in
+         for i = 0 to nseg - 1 do
+           let path =
+             match P.ucp sh.partition starts.(i) i with
+             | Some p -> p
+             | None -> [ i ]
+           in
+           let rec walk a = function
+             | [] | [ _ ] -> a
+             | u :: (v :: _ as rest) ->
+               if Hdd_graph.Digraph.mem_arc reduction u v then
+                 walk (i_old_at v a) rest
+               else walk (c_late_at u a) rest
+           in
+           components.(i) <- walk m path
+         done;
+         (* stability re-check: a component above q.(i) could admit a
+            version a class-i straggler has yet to publish; retry once
+            the stragglers drain *)
+         Array.iteri
+           (fun i v -> if v > q.(i) then raise Wall_stale)
+           components;
+         let released_at = Gclock.tick sh.clock in
+         let wall = TW.make ~s:primary ~m ~components ~released_at in
+         Seqwall.publish sh.wall wall;
+         (match trace with
+         | None -> ()
+         | Some tr ->
+           T.emit tr ~at:released_at
+             (T.Wall_release
+                { m; released_at; components = Array.copy components }));
+         last_m := m;
+         incr releases;
+         let lag = released_at - m in
+         lag_sum := !lag_sum + lag;
+         if lag > !lag_max then lag_max := lag
+       end
+     with Wall_stale | Wall_not_computable -> ());
+    Unix.sleepf (if sh.workers = 0 then 1e-3 else 1e-4)
+  done;
+  (!releases, !lag_sum, !lag_max)
+
+(* --- engine setup shared by both modes --- *)
+
+type setup = {
+  s_sh : shared;
+  s_regs : Registry.t array;
+  s_primary : int;
+  s_starts : int array;
+  s_initial_m : Time.t;
+  s_coord_trace : T.t option;
+}
+
+let setup ~partition ~init ~workers ~traced ~trace_capacity =
+  if workers <= 0 then invalid_arg "Engine: workers must be > 0";
+  let nseg = P.segment_count partition in
+  let clock = Gclock.create () in
+  let regs = Array.init workers (fun _ -> Registry.create ~classes:nseg ()) in
+  (* the initial wall: trivially computable on the idle system, released
+     before any worker starts so read-only transactions always find one *)
+  let m0 = Gclock.tick clock in
+  let released0 = Gclock.tick clock in
+  let primary =
+    match P.lowest_classes partition with s :: _ -> s | [] -> 0
+  in
+  let starts = TW.component_starts partition in
+  let wall0 =
+    TW.make ~s:primary ~m:m0 ~components:(Array.make nseg m0)
+      ~released_at:released0
+  in
+  let sh =
+    { clock;
+      partition;
+      workers;
+      nseg;
+      init_fn = init;
+      stores = Array.init nseg (fun _ -> Atomic.make Snap.empty);
+      pubs =
+        Array.init workers (fun w ->
+            Atomic.make
+              { p_snap = Registry.snapshot regs.(w);
+                p_upto = Gclock.now clock });
+      wall = Seqwall.create wall0;
+      stop = Atomic.make false;
+      halt = Atomic.make false }
+  in
+  let coord_trace =
+    if traced then begin
+      let tr = T.create ~capacity:trace_capacity ~domain:(workers + 1) () in
+      T.emit tr ~at:released0
+        (T.Wall_release
+           { m = m0; released_at = released0;
+             components = Array.make nseg m0 });
+      Some tr
+    end
+    else None
+  in
+  { s_sh = sh; s_regs = regs; s_primary = primary; s_starts = starts;
+    s_initial_m = m0; s_coord_trace = coord_trace }
+
+let stats_of counters ~wall:(releases, lag_sum, lag_max) =
+  let committed = ref 0 and aborted = ref 0 in
+  let ra = ref 0 and rb = ref 0 and rc = ref 0 and wr = ref 0 in
+  Array.iter
+    (fun c ->
+      committed := !committed + c.n_committed;
+      aborted := !aborted + c.n_aborted;
+      ra := !ra + c.n_reads_a;
+      rb := !rb + c.n_reads_b;
+      rc := !rc + c.n_reads_c;
+      wr := !wr + c.n_writes)
+    counters;
+  { committed = !committed;
+    aborted = !aborted;
+    reads_a = !ra;
+    reads_b = !rb;
+    reads_c = !rc;
+    writes = !wr;
+    wall_releases = releases;
+    wall_lag_sum = lag_sum;
+    wall_lag_max = lag_max }
+
+(* --- script mode --- *)
+
+let run_script ~partition ~init (config : config) ~script =
+  let s =
+    setup ~partition ~init ~workers:config.workers ~traced:config.traced
+      ~trace_capacity:config.trace_capacity
+  in
+  let sh = s.s_sh in
+  let traces =
+    Array.init config.workers (fun w ->
+        if config.traced then
+          Some (T.create ~capacity:config.trace_capacity ~domain:(w + 1) ())
+        else None)
+  in
+  let mboxes =
+    Array.init config.workers (fun _ ->
+        Mailbox.create ~capacity:config.mailbox_capacity)
+  in
+  let worker w =
+    let ctx =
+      { sh; me = w; registry = s.s_regs.(w);
+        locals = Array.make sh.nseg Snap.empty; trace = traces.(w);
+        c = fresh_counters (); outcomes = []; latencies = []; timed = false }
+    in
+    let rec loop () =
+      match Mailbox.try_pop mboxes.(w) with
+      | Some d ->
+        exec ctx d;
+        loop ()
+      | None ->
+        if Mailbox.is_drained mboxes.(w) then ()
+        else begin
+          publish_pub ctx;
+          Unix.sleepf 10e-6;
+          loop ()
+        end
+    in
+    loop ();
+    publish_final ctx;
+    (ctx.outcomes, ctx.c)
+  in
+  let domains =
+    Array.init config.workers (fun w -> Domain.spawn (fun () -> worker w))
+  in
+  let coord =
+    Domain.spawn (fun () ->
+        coordinator sh ~primary:s.s_primary ~starts:s.s_starts
+          ~initial_m:s.s_initial_m s.s_coord_trace)
+  in
+  Array.iter
+    (fun d ->
+      let o =
+        match d.d_kind with
+        | `Update c -> owner sh c
+        | `Read_only -> ((d.d_id mod config.workers) + config.workers)
+                        mod config.workers
+      in
+      ignore (Mailbox.push mboxes.(o) d))
+    script;
+  Array.iter Mailbox.close mboxes;
+  let results = Array.map Domain.join domains in
+  Atomic.set sh.stop true;
+  let wall_stats = Domain.join coord in
+  let outcomes =
+    Array.to_list results
+    |> List.concat_map (fun (o, _) -> o)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let records =
+    if config.traced then
+      T.merged
+        (List.filter_map Fun.id
+           (Array.to_list traces @ [ s.s_coord_trace ]))
+    else []
+  in
+  { records;
+    outcomes;
+    stats = stats_of (Array.map snd results) ~wall:wall_stats }
+
+(* --- timed self-generating mode (benchmark) --- *)
+
+type mix = {
+  ro_frac : float;
+  abort_frac : float;
+  cross_reads : int;
+  own_ops : int;
+  keys_per_segment : int;
+}
+
+type timed = {
+  t_stats : stats;
+  t_elapsed_s : float;
+  t_latency : Hdd_obs.Metrics.t;
+}
+
+let gen_desc sh mix prng ~id ~classes_mine ~readable =
+  if Array.length classes_mine > 0 && Hdd_util.Prng.float prng 1. >= mix.ro_frac
+  then begin
+    let cls = Hdd_util.Prng.pick prng classes_mine in
+    let key () = Hdd_util.Prng.int prng mix.keys_per_segment in
+    let own =
+      List.init (Int.max 1 mix.own_ops) (fun i ->
+          let g = Granule.make ~segment:cls ~key:(key ()) in
+          if i = 0 then Write (g, Hdd_util.Prng.int prng 1_000_000)
+          else Read g)
+    in
+    let cross =
+      match readable.(cls) with
+      | [||] -> []
+      | segs ->
+        List.init mix.cross_reads (fun _ ->
+            let seg = Hdd_util.Prng.pick prng segs in
+            Read (Granule.make ~segment:seg ~key:(key ())))
+    in
+    { d_id = id;
+      d_kind = `Update cls;
+      d_ops = own @ cross;
+      d_abort = Hdd_util.Prng.float prng 1. < mix.abort_frac }
+  end
+  else begin
+    let nseg = sh.nseg in
+    let ops =
+      List.init (Int.max 1 mix.cross_reads) (fun _ ->
+          let seg = Hdd_util.Prng.int prng nseg in
+          Read
+            (Granule.make ~segment:seg
+               ~key:(Hdd_util.Prng.int prng mix.keys_per_segment)))
+    in
+    { d_id = id; d_kind = `Read_only; d_ops = ops; d_abort = false }
+  end
+
+let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
+    ~mix ~seed () =
+  ignore wall_poll_s;
+  let s =
+    setup ~partition ~init ~workers ~traced:false ~trace_capacity:1024
+  in
+  let sh = s.s_sh in
+  let nseg = sh.nseg in
+  let readable =
+    Array.init nseg (fun cls ->
+        List.init nseg Fun.id
+        |> List.filter (fun seg ->
+               seg <> cls && P.may_read partition ~class_id:cls ~segment:seg)
+        |> Array.of_list)
+  in
+  let worker w =
+    let prng = Hdd_util.Prng.create (seed + (w * 7919)) in
+    let classes_mine =
+      List.init nseg Fun.id
+      |> List.filter (fun c -> owner sh c = w)
+      |> Array.of_list
+    in
+    let ctx =
+      { sh; me = w; registry = s.s_regs.(w);
+        locals = Array.make nseg Snap.empty; trace = None;
+        c = fresh_counters (); outcomes = []; latencies = []; timed = true }
+    in
+    let next = ref (w + 1) in
+    while not (Atomic.get sh.halt) do
+      let d = gen_desc sh mix prng ~id:!next ~classes_mine ~readable in
+      next := !next + workers;
+      exec ctx d;
+      publish_pub ctx
+    done;
+    publish_final ctx;
+    (ctx.c, ctx.latencies)
+  in
+  let domains = Array.init workers (fun w -> Domain.spawn (fun () -> worker w)) in
+  let coord =
+    Domain.spawn (fun () ->
+        coordinator sh ~primary:s.s_primary ~starts:s.s_starts
+          ~initial_m:s.s_initial_m None)
+  in
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf seconds;
+  Atomic.set sh.halt true;
+  let results = Array.map Domain.join domains in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Atomic.set sh.stop true;
+  let wall_stats = Domain.join coord in
+  let metrics = Hdd_obs.Metrics.create () in
+  let hist = Hdd_obs.Metrics.histogram metrics "commit_latency_us" in
+  Array.iter
+    (fun (_, lats) ->
+      List.iter
+        (fun l -> Hdd_obs.Metrics.observe hist (l *. 1e6))
+        lats)
+    results;
+  { t_stats = stats_of (Array.map fst results) ~wall:wall_stats;
+    t_elapsed_s = elapsed;
+    t_latency = metrics }

@@ -1,0 +1,125 @@
+(** The multicore parallel execution engine: one domain per group of
+    transaction classes, coordination-free cross-class reads.
+
+    Topology (DESIGN.md §13): class [Ti] is owned by worker domain
+    [i mod workers].  An owner runs its classes' transactions one at a
+    time, so Protocol B inside each root segment is domain-local with no
+    locks, never blocks and never rejects — intra-class concurrency is
+    the coordination the paper's decomposition removes, and giving it up
+    buys lock-freedom; the parallelism that remains, cross-class, is
+    exactly what the paper makes free.  On commit an owner extends an
+    immutable {!Hdd_mvstore.Snapshot} per root segment and publishes it
+    with one [Atomic.set]; it then publishes its {!Registry.snapshot}
+    together with an [upto] bound (the global clock value at capture:
+    the snapshot answers [I_old]/[C_late] exactly for arguments at or
+    below it — store before activity, so any reader that derives a
+    threshold from the activity publication finds every version below
+    that threshold already in the store it fetches afterwards).
+
+    A Protocol A read by class [i] of segment [j] composes
+    [I_old] along the critical path over published snapshots — waiting,
+    if a snapshot's [upto] lags the argument, for the owner's next
+    republication (owners republish when idle and whenever they finish a
+    transaction, and a waiting worker republishes its own activity so
+    two waiters always unblock each other) — then loads the segment's
+    store snapshot and serves the latest committed version below the
+    threshold: the same historical fact the serial scheduler computes,
+    because [I_old(m)] is fixed once the clock passes [m].
+
+    A wall-coordinator domain anchors Protocol C walls at
+    [m = min_i q_i] where [q_i = I_old^i(upto_i)] — below [q_i] class
+    [i] is quiescent and fully published — evaluates [E_s^i(m)] over the
+    same snapshots, re-checks every component against [q], and releases
+    through a {!Seqwall}.  Read-only transactions load the wall before
+    ticking their initiation, so a released wall always satisfies
+    [released_at < init].
+
+    Correctness is checked differentially ({!Differential}): merged
+    per-domain traces are certified by the MVSG certifier, replayed
+    through the invariant {!Hdd_obs.Monitor}, and compared against the
+    serial {!Hdd_core.Scheduler} oracle. *)
+
+type op =
+  | Read of Granule.t
+  | Write of Granule.t * int  (** update transactions: own root segment only *)
+
+type desc = {
+  d_id : Txn.id;  (** unique, > 0; stable across parallel and serial runs *)
+  d_kind : [ `Update of int | `Read_only ];
+  d_ops : op list;
+  d_abort : bool;  (** driver-chosen abort after executing every op *)
+}
+
+type config = {
+  workers : int;  (** worker domains; classes are assigned [c mod workers] *)
+  traced : bool;
+      (** per-domain trace rings, one clock tick per event so the merge
+          by [(at, dom, seq)] is a total order; off for benchmarks *)
+  trace_capacity : int;
+  mailbox_capacity : int;
+  wall_poll_s : float;  (** coordinator poll between release attempts *)
+}
+
+val default_config : workers:int -> config
+
+type stats = {
+  committed : int;
+  aborted : int;
+  reads_a : int;
+  reads_b : int;
+  reads_c : int;
+  writes : int;
+  wall_releases : int;
+  wall_lag_sum : int;  (** sum of [released_at - m] in clock ticks *)
+  wall_lag_max : int;
+}
+
+type run = {
+  records : Hdd_obs.Trace.record list;  (** merged; empty when untraced *)
+  outcomes : (Txn.id * bool) list;  (** per descriptor: committed? sorted by id *)
+  stats : stats;
+}
+
+val run_script :
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  config ->
+  script:desc array ->
+  run
+(** Execute the script: descriptors are pushed in order into the owning
+    worker's bounded mailbox (backpressure when full), read-only ones
+    round-robin by id.  Returns when every descriptor has finished and
+    the coordinator has stopped.
+    @raise Invalid_argument on an update descriptor writing outside its
+    root segment or reading a segment its class may not read. *)
+
+(** {1 Timed self-generating runs (benchmark mode)} *)
+
+type mix = {
+  ro_frac : float;  (** share of read-only (Protocol C) transactions *)
+  abort_frac : float;  (** share of update transactions that abort *)
+  cross_reads : int;  (** Protocol A reads per update transaction *)
+  own_ops : int;  (** Protocol B ops per update transaction (first is a write) *)
+  keys_per_segment : int;
+}
+
+type timed = {
+  t_stats : stats;
+  t_elapsed_s : float;
+  t_latency : Hdd_obs.Metrics.t;
+      (** [commit_latency_us] histogram across all workers *)
+}
+
+val run_timed :
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  workers:int ->
+  seconds:float ->
+  ?wall_poll_s:float ->
+  mix:mix ->
+  seed:int ->
+  unit ->
+  timed
+(** Untraced closed-loop run: each worker generates and executes its own
+    transactions until the deadline.  Used by [hdd_cli bench --parallel]
+    for the scaling curves. *)

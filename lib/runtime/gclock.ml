@@ -1,0 +1,5 @@
+type t = int Atomic.t
+
+let create ?(start = 0) () = Atomic.make start
+let tick t = Atomic.fetch_and_add t 1 + 1
+let now t = Atomic.get t

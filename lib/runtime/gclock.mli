@@ -1,0 +1,22 @@
+(** The shared logical clock of the parallel runtime.
+
+    The serial stack's {!Time.Clock} is a mutable cell owned by one
+    thread; here every domain ticks the same [Atomic] counter, so
+    initiation and commit instants stay unique and totally ordered
+    across domains — the property all the activity-link reasoning rests
+    on — and the total order on timestamps doubles as the merge order
+    for per-domain trace rings. *)
+
+type t
+
+val create : ?start:Time.t -> unit -> t
+(** [start] (default 0) is the last time already handed out. *)
+
+val tick : t -> Time.t
+(** A fresh time, strictly larger than every time returned by any
+    domain so far ([Atomic.fetch_and_add]): unique and monotone. *)
+
+val now : t -> Time.t
+(** The last time handed out anywhere.  A reader holding [now t = c]
+    knows every {e later} tick on any domain exceeds [c] — what makes a
+    published activity snapshot's [upto] bound sound. *)

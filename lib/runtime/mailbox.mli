@@ -1,0 +1,29 @@
+(** Bounded multi-producer single-consumer mailboxes — the work-feed of
+    the parallel runtime.
+
+    A mutex-protected ring.  Producers block (poll-sleep) while the box
+    is full — the backpressure that keeps a fast driver from ballooning
+    memory ahead of a slow owner domain — and consumers poll with
+    {!try_pop} so an idle owner can interleave housekeeping (activity
+    republication) with draining.  OCaml 5.1's stdlib has no timed
+    condition wait, hence the poll loops; the sleep quantum is small
+    against transaction service times. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> bool
+(** Enqueue, blocking while full.  [false] iff the box was closed (the
+    item is dropped). *)
+
+val try_pop : 'a t -> 'a option
+
+val close : 'a t -> unit
+(** No further pushes succeed; queued items remain poppable. *)
+
+val is_drained : 'a t -> bool
+(** Closed and empty — the consumer's exit condition. *)
+
+val length : 'a t -> int

@@ -1,0 +1,149 @@
+module J = Hdd_benchkit.Jsonlite
+module M = Hdd_obs.Metrics
+
+type point = {
+  b_workers : int;
+  b_elapsed_s : float;
+  b_committed : int;
+  b_aborted : int;
+  b_txn_per_s : float;
+  b_reads_a : int;
+  b_reads_a_per_s : float;
+  b_reads_b : int;
+  b_reads_c : int;
+  b_writes : int;
+  b_wall_releases : int;
+  b_wall_lag_mean : float;
+  b_wall_lag_max : int;
+  b_lat_p50_us : float;
+  b_lat_p95_us : float;
+  b_lat_p99_us : float;
+}
+
+type result = {
+  r_points : point list;
+  r_scaling_1_to_4 : float option;
+  r_depth : int;
+  r_seconds_per_point : float;
+  r_seed : int;
+}
+
+(* The read-heavy cross-class mix: each update transaction does a couple
+   of root-segment ops and a burst of Protocol A reads — the access
+   pattern whose parallel cost the decomposition claims is zero. *)
+let scaling_mix =
+  { Engine.ro_frac = 0.05;
+    abort_frac = 0.02;
+    cross_reads = 8;
+    own_ops = 2;
+    keys_per_segment = 16 }
+
+let run ?workers_list ?(depth = 8) ?(seconds = 1.0) ?(seed = 42) () =
+  let workers_list =
+    match workers_list with
+    | Some l -> l
+    | None ->
+      let cores = Domain.recommended_domain_count () in
+      let base = [ 1; 2; 4 ] in
+      let hi = cores - 1 in
+      if hi > 4 then base @ [ hi ] else base
+  in
+  let partition = Differential.chain_partition depth in
+  let points =
+    List.map
+      (fun w ->
+        let t =
+          Engine.run_timed ~partition ~init:Differential.default_init
+            ~workers:w ~seconds ~mix:scaling_mix ~seed ()
+        in
+        let s = t.Engine.t_stats in
+        let el = t.Engine.t_elapsed_s in
+        let hist = M.histogram t.Engine.t_latency "commit_latency_us" in
+        let q p = M.quantile hist p in
+        { b_workers = w;
+          b_elapsed_s = el;
+          b_committed = s.Engine.committed;
+          b_aborted = s.Engine.aborted;
+          b_txn_per_s = float_of_int s.Engine.committed /. el;
+          b_reads_a = s.Engine.reads_a;
+          b_reads_a_per_s = float_of_int s.Engine.reads_a /. el;
+          b_reads_b = s.Engine.reads_b;
+          b_reads_c = s.Engine.reads_c;
+          b_writes = s.Engine.writes;
+          b_wall_releases = s.Engine.wall_releases;
+          b_wall_lag_mean =
+            (if s.Engine.wall_releases = 0 then 0.
+             else
+               float_of_int s.Engine.wall_lag_sum
+               /. float_of_int s.Engine.wall_releases);
+          b_wall_lag_max = s.Engine.wall_lag_max;
+          b_lat_p50_us = q 0.5;
+          b_lat_p95_us = q 0.95;
+          b_lat_p99_us = q 0.99 })
+      workers_list
+  in
+  let rate w =
+    List.find_opt (fun p -> p.b_workers = w) points
+    |> Option.map (fun p -> p.b_reads_a_per_s)
+  in
+  let scaling =
+    match (rate 1, rate 4) with
+    | Some r1, Some r4 when r1 > 0. -> Some (r4 /. r1)
+    | _ -> None
+  in
+  { r_points = points;
+    r_scaling_1_to_4 = scaling;
+    r_depth = depth;
+    r_seconds_per_point = seconds;
+    r_seed = seed }
+
+let json_of_point p =
+  J.Obj
+    [ ("workers", J.num_of_int p.b_workers);
+      ("elapsed_s", J.Num p.b_elapsed_s);
+      ("committed", J.num_of_int p.b_committed);
+      ("aborted", J.num_of_int p.b_aborted);
+      ("txn_per_s", J.Num p.b_txn_per_s);
+      ("reads_a", J.num_of_int p.b_reads_a);
+      ("reads_a_per_s", J.Num p.b_reads_a_per_s);
+      ("reads_b", J.num_of_int p.b_reads_b);
+      ("reads_c", J.num_of_int p.b_reads_c);
+      ("writes", J.num_of_int p.b_writes);
+      ("wall_releases", J.num_of_int p.b_wall_releases);
+      ("wall_lag_mean_ticks", J.Num p.b_wall_lag_mean);
+      ("wall_lag_max_ticks", J.num_of_int p.b_wall_lag_max);
+      ("commit_latency_us",
+       J.Obj
+         [ ("p50", J.Num p.b_lat_p50_us);
+           ("p95", J.Num p.b_lat_p95_us);
+           ("p99", J.Num p.b_lat_p99_us) ]) ]
+
+let to_json r =
+  J.with_schema
+    [ ("benchmark", J.Str "parallel_runtime");
+      ("hierarchy", J.Str (Printf.sprintf "chain-%d" r.r_depth));
+      ("seconds_per_point", J.Num r.r_seconds_per_point);
+      ("seed", J.num_of_int r.r_seed);
+      ("recommended_domains",
+       J.num_of_int (Domain.recommended_domain_count ()));
+      ("points", J.List (List.map json_of_point r.r_points));
+      ("cross_read_scaling_1_to_4",
+       match r.r_scaling_1_to_4 with None -> J.Null | Some s -> J.Num s) ]
+
+let pp ppf r =
+  Format.fprintf ppf
+    "parallel runtime, chain-%d, %.2fs/point (seed %d)@." r.r_depth
+    r.r_seconds_per_point r.r_seed;
+  Format.fprintf ppf
+    "  %8s %12s %14s %10s %10s %10s@." "workers" "txn/s" "A-reads/s"
+    "p50us" "p99us" "walls";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %8d %12.0f %14.0f %10.0f %10.0f %10d@."
+        p.b_workers p.b_txn_per_s p.b_reads_a_per_s p.b_lat_p50_us
+        p.b_lat_p99_us p.b_wall_releases)
+    r.r_points;
+  match r.r_scaling_1_to_4 with
+  | Some s ->
+    Format.fprintf ppf "  cross-class read scaling 1 -> 4 workers: %.2fx@." s
+  | None -> ()

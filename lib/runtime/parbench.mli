@@ -1,0 +1,55 @@
+(** Scaling benchmark for the parallel runtime ([hdd_cli bench
+    --parallel]).
+
+    Runs the untraced closed-loop engine ({!Engine.run_timed}) on a
+    chain hierarchy at increasing worker-domain counts and reports, per
+    point: transaction throughput, cross-class (Protocol A) read rate,
+    commit-latency quantiles, and wall-release count and lag.  The
+    headline figure is [scaling_1_to_4]: the Protocol A read-rate ratio
+    between the 4-worker and 1-worker points — the paper's
+    coordination-free cross-class reads should scale near-linearly,
+    which a 4-core runner checks in CI ([BENCH_parallel.json]). *)
+
+type point = {
+  b_workers : int;
+  b_elapsed_s : float;
+  b_committed : int;
+  b_aborted : int;
+  b_txn_per_s : float;
+  b_reads_a : int;
+  b_reads_a_per_s : float;
+  b_reads_b : int;
+  b_reads_c : int;
+  b_writes : int;
+  b_wall_releases : int;
+  b_wall_lag_mean : float;  (** ticks between anchor and release *)
+  b_wall_lag_max : int;
+  b_lat_p50_us : float;
+  b_lat_p95_us : float;
+  b_lat_p99_us : float;
+}
+
+type result = {
+  r_points : point list;
+  r_scaling_1_to_4 : float option;
+      (** reads_a/s at 4 workers over 1 worker, when both ran *)
+  r_depth : int;
+  r_seconds_per_point : float;
+  r_seed : int;
+}
+
+val run :
+  ?workers_list:int list ->
+  ?depth:int ->
+  ?seconds:float ->
+  ?seed:int ->
+  unit ->
+  result
+(** Defaults: workers [[1; 2; 4]] extended with [Domain
+    .recommended_domain_count () - 1] when that exceeds 4, chain depth
+    8, 1.0 s per point, seed 42. *)
+
+val to_json : result -> Hdd_benchkit.Jsonlite.t
+(** Schema-versioned report ({!Hdd_benchkit.Jsonlite.with_schema}). *)
+
+val pp : Format.formatter -> result -> unit

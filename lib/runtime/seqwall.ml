@@ -1,0 +1,29 @@
+type t = {
+  epoch : int Atomic.t;  (* even = stable, odd = publish in progress *)
+  mutable wall : Hdd_core.Timewall.wall;
+}
+
+let create wall = { epoch = Atomic.make 0; wall }
+
+let publish t wall =
+  let e = Atomic.get t.epoch in
+  Atomic.set t.epoch (e + 1);
+  t.wall <- wall;
+  Atomic.set t.epoch (e + 2)
+
+let rec read t =
+  let e1 = Atomic.get t.epoch in
+  if e1 land 1 = 1 then begin
+    Domain.cpu_relax ();
+    read t
+  end
+  else begin
+    let w = t.wall in
+    if Atomic.get t.epoch = e1 then w
+    else begin
+      Domain.cpu_relax ();
+      read t
+    end
+  end
+
+let epoch t = Atomic.get t.epoch

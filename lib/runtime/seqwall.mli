@@ -1,0 +1,30 @@
+(** Seqlock-style publication of the current time wall.
+
+    The wall coordinator is the only writer; every domain reads on each
+    read-only begin.  The classic seqlock epoch pair: the epoch is even
+    when the slot is stable, the writer makes it odd, stores the new
+    wall, then makes it even again; a reader retries until it observes
+    the same even epoch on both sides of its load.
+
+    Memory-publication argument (DESIGN.md §13): OCaml [Atomic]
+    operations are SC, so the epoch stores order the wall store for any
+    reader that sees the second epoch bump; the wall itself is an
+    immutable record, so even the discarded racy load of a retrying
+    reader only ever observes a whole, previously published value —
+    OCaml's memory model forbids tearing and out-of-thin-air reads. *)
+
+type t
+
+val create : Hdd_core.Timewall.wall -> t
+
+val publish : t -> Hdd_core.Timewall.wall -> unit
+(** Single writer only (the coordinator). *)
+
+val read : t -> Hdd_core.Timewall.wall
+(** Wait-free in practice: retries only while overlapping a publish.
+    A reader that loads the wall {e before} ticking its initiation time
+    is guaranteed [released_at < init] — the release instant was ticked
+    before publication, the initiation after the read. *)
+
+val epoch : t -> int
+(** Current epoch (even when stable) — telemetry. *)

@@ -250,6 +250,77 @@ let window_count t ~class_id =
   sync log;
   log.w_len - log.w_base
 
+(* --- immutable snapshots --- *)
+
+type class_view = {
+  v_actives : (Txn.id * Time.t) list;
+  v_w_init : Time.t array;
+  v_w_end : Time.t array;
+  v_gen : int;
+}
+
+type snapshot = { views : class_view array }
+
+let snapshot t =
+  { views =
+      Array.map
+        (fun log ->
+          sync log;
+          let live = log.w_len - log.w_base in
+          { v_actives =
+              List.map (fun (r : Txn.t) -> (r.Txn.id, r.Txn.init)) log.pending;
+            v_w_init = Array.sub log.w_init log.w_base live;
+            v_w_end = Array.sub log.w_end log.w_base live;
+            v_gen = log.gen })
+        t.logs }
+
+let snap_classes snap = Array.length snap.views
+
+let view_of snap class_id =
+  if class_id < 0 || class_id >= Array.length snap.views then
+    invalid_arg
+      (Printf.sprintf "Registry.snapshot: class %d out of range" class_id);
+  snap.views.(class_id)
+
+let snap_generation snap ~class_id = (view_of snap class_id).v_gen
+
+(* The binary searches from the live index, over a view's plain arrays
+   (the view has no [w_base]; its arrays start at 0). *)
+let v_first_end_above v m =
+  let lo = ref 0 and hi = ref (Array.length v.v_w_end) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v.v_w_end.(mid) > m then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let v_first_init_at_or_above v m =
+  let lo = ref 0 and hi = ref (Array.length v.v_w_init) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v.v_w_init.(mid) < m then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let snap_i_old snap ~class_id ~at =
+  let v = view_of snap class_id in
+  let best = ref at in
+  (match v.v_actives with
+  | (_, init) :: _ when init < at -> best := init
+  | _ -> ());
+  let i = v_first_end_above v at in
+  if i < Array.length v.v_w_end && v.v_w_init.(i) < at && v.v_w_init.(i) < !best
+  then best := v.v_w_init.(i);
+  !best
+
+let snap_c_late snap ~class_id ~at =
+  let v = view_of snap class_id in
+  match v.v_actives with
+  | (id, init) :: _ when init < at -> Error id
+  | _ ->
+    let i = v_first_init_at_or_above v at in
+    if i > 0 && v.v_w_end.(i - 1) > at then Ok v.v_w_end.(i - 1) else Ok at
+
 let prune t ~upto =
   let records_dropped = ref 0 and windows_dropped = ref 0 in
   Array.iter

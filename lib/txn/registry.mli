@@ -93,6 +93,37 @@ val window_count : t -> class_id:int -> int
 (** Retained finished-activity windows after dominance pruning
     (telemetry for the benchmark suite). *)
 
+(** {1 Immutable snapshots}
+
+    A {!snapshot} freezes every class's activity state — the ordered
+    actives (id, initiation) and the dominance-pruned finished-window
+    arrays — into a value that shares nothing mutable with the live
+    registry.  The parallel runtime publishes one per owner domain
+    through an [Atomic], so cross-class threshold computations on other
+    domains are pure reads with no locks and no access to scan
+    internals.  A snapshot answers exactly as the live registry answered
+    at capture time: the 1000-seed equivalence property in
+    [test_runtime.ml] pins this. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture all classes.  Costs O(actives + windows) copies; the live
+    registry is synced first so the view reflects every finish observed
+    so far. *)
+
+val snap_classes : snapshot -> int
+
+val snap_generation : snapshot -> class_id:int -> int
+(** The class's {!generation} at capture time. *)
+
+val snap_i_old : snapshot -> class_id:int -> at:Time.t -> Time.t
+(** {!i_old} against the frozen view. *)
+
+val snap_c_late :
+  snapshot -> class_id:int -> at:Time.t -> (Time.t, Txn.id) result
+(** {!c_late} against the frozen view. *)
+
 val prune : t -> upto:Time.t -> unit
 (** Forget prefix records that finished at or before [upto].  Queries with
     [at < upto] become unreliable after pruning; callers pass the oldest

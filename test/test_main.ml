@@ -15,4 +15,5 @@ let () =
       ("hotpath", Test_hotpath.suite);
       ("storage", Test_storage.suite);
       ("obs", Test_obs.suite);
-      ("benchkit", Test_benchkit.suite) ]
+      ("benchkit", Test_benchkit.suite);
+      ("runtime", Test_runtime.suite) ]

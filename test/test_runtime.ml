@@ -1,0 +1,423 @@
+(* The parallel runtime: unit tests for the multicore primitives, the
+   1000-seed registry snapshot-vs-live equivalence property, JSON schema
+   versioning, and the randomized multicore differential stress
+   (reduced seed count in-tree; CI nightly raises HDD_PAR_SEEDS to the
+   full 500). *)
+
+module R = Hdd_runtime
+module T = Hdd_obs.Trace
+module J = Hdd_benchkit.Jsonlite
+module P = Hdd_core.Partition
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- global logical clock --- *)
+
+let test_gclock_unique () =
+  let clock = R.Gclock.create () in
+  let domains = 4 and per = 2000 in
+  let spawned =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () -> Array.init per (fun _ -> R.Gclock.tick clock)))
+  in
+  let all =
+    Array.to_list spawned
+    |> List.concat_map (fun d -> Array.to_list (Domain.join d))
+  in
+  let sorted = List.sort_uniq compare all in
+  checki "all ticks distinct" (domains * per) (List.length sorted);
+  checki "clock advanced exactly once per tick" (domains * per)
+    (R.Gclock.now clock);
+  List.iter (fun t -> checkb "tick positive" true (t > 0)) sorted
+
+(* --- bounded MPSC mailbox --- *)
+
+let test_mailbox_fifo () =
+  let mb = R.Mailbox.create ~capacity:8 in
+  for i = 1 to 5 do
+    checkb "push accepted" true (R.Mailbox.push mb i)
+  done;
+  checki "length" 5 (R.Mailbox.length mb);
+  for i = 1 to 5 do
+    check (Alcotest.option Alcotest.int) "fifo order" (Some i)
+      (R.Mailbox.try_pop mb)
+  done;
+  check (Alcotest.option Alcotest.int) "empty" None (R.Mailbox.try_pop mb);
+  R.Mailbox.close mb;
+  checkb "push to closed refused" false (R.Mailbox.push mb 99);
+  checkb "drained" true (R.Mailbox.is_drained mb)
+
+let test_mailbox_backpressure () =
+  (* a tiny ring forces the producer to wait for the consumer *)
+  let n = 500 in
+  let mb = R.Mailbox.create ~capacity:4 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          ignore (R.Mailbox.push mb i)
+        done;
+        R.Mailbox.close mb)
+  in
+  let received = ref [] in
+  let rec drain () =
+    match R.Mailbox.try_pop mb with
+    | Some v ->
+      received := v :: !received;
+      drain ()
+    | None -> if not (R.Mailbox.is_drained mb) then (Domain.cpu_relax (); drain ())
+  in
+  drain ();
+  Domain.join producer;
+  checki "all delivered" n (List.length !received);
+  check
+    (Alcotest.list Alcotest.int)
+    "in order" (List.init n (fun i -> i + 1))
+    (List.rev !received)
+
+(* --- seqlock-published wall --- *)
+
+let test_seqwall_no_tearing () =
+  (* every published wall has all components equal to its anchor; a torn
+     read would mix two publications and break the uniformity *)
+  let mk m =
+    Hdd_core.Timewall.make ~s:0 ~m ~components:(Array.make 6 m)
+      ~released_at:(m + 1)
+  in
+  let sw = R.Seqwall.create (mk 0) in
+  let rounds = 2000 in
+  let writer =
+    Domain.spawn (fun () ->
+        for m = 1 to rounds do
+          R.Seqwall.publish sw (mk m)
+        done)
+  in
+  let torn = ref 0 and seen_m = ref (-1) in
+  let reads = ref 0 in
+  while !seen_m < rounds do
+    let w = R.Seqwall.read sw in
+    incr reads;
+    let m = w.Hdd_core.Timewall.m in
+    Array.iter
+      (fun c -> if c <> m then incr torn)
+      w.Hdd_core.Timewall.components;
+    if w.Hdd_core.Timewall.released_at <> m + 1 then incr torn;
+    if m > !seen_m then seen_m := m
+  done;
+  Domain.join writer;
+  checki "no torn reads" 0 !torn;
+  checkb "reader made progress" true (!reads > 0)
+
+(* --- immutable store snapshots --- *)
+
+let test_store_snapshot () =
+  let module S = Hdd_mvstore.Snapshot in
+  let g = Granule.make ~segment:0 ~key:1 in
+  let s0 = S.empty in
+  checkb "empty has nothing" true (S.latest_before s0 g ~ts:100 = None);
+  let s1 = S.add_commit s0 g ~ts:5 ~value:50 in
+  let s2 = S.add_commit s1 g ~ts:9 ~value:90 in
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "latest below 100" (Some (9, 90))
+    (S.latest_before s2 g ~ts:100);
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "latest below 9" (Some (5, 50))
+    (S.latest_before s2 g ~ts:9);
+  checkb "below oldest" true (S.latest_before s2 g ~ts:5 = None);
+  (* older snapshots are unaffected by later additions *)
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "s1 frozen" (Some (5, 50))
+    (S.latest_before s1 g ~ts:100);
+  checki "version count" 2 (S.version_count s2);
+  checkb "non-monotone ts refused" true
+    (try
+       ignore (S.add_commit s2 g ~ts:9 ~value:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- per-domain traces merge by logical time --- *)
+
+let test_trace_merge () =
+  let t1 = T.create ~domain:1 () and t2 = T.create ~domain:2 () in
+  T.emit t1 ~at:3 (T.Note "a");
+  T.emit t2 ~at:1 (T.Note "b");
+  T.emit t1 ~at:5 (T.Note "c");
+  T.emit t2 ~at:4 (T.Note "d");
+  let merged = T.merged [ t1; t2 ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "sorted by (at, dom)"
+    [ (1, 2); (3, 1); (4, 2); (5, 1) ]
+    (List.map (fun (r : T.record) -> (r.at, r.dom)) merged);
+  checki "domain tag" 1 (T.domain t1)
+
+(* --- monitor wall rules --- *)
+
+let test_monitor_any_released () =
+  let mk_records () =
+    let wall1 = T.Wall_release { m = 1; released_at = 2; components = [| 5; 5 |] } in
+    let wall2 = T.Wall_release { m = 3; released_at = 4; components = [| 7; 7 |] } in
+    let begin_ro = T.Begin { txn = 9; kind = T.Read_only; init = 6 } in
+    let read_old =
+      T.Read { txn = 9; protocol = T.C; segment = 1; key = 0; threshold = 5;
+               version = 0 }
+    in
+    List.mapi
+      (fun i ev -> { T.seq = i; at = i + 1; dom = 0; ev })
+      [ wall1; wall2; begin_ro; read_old ]
+  in
+  (* under the serial rule the reader must hold the newest wall (7) *)
+  let strict =
+    Hdd_obs.Monitor.create ~raise_on_violation:false ~wall_rule:`Latest ()
+  in
+  List.iter (Hdd_obs.Monitor.feed strict) (mk_records ());
+  checkb "Latest flags the stale wall" true
+    (Hdd_obs.Monitor.violations strict <> []);
+  (* the parallel rule accepts any wall released before initiation *)
+  let relaxed =
+    Hdd_obs.Monitor.create ~raise_on_violation:false
+      ~wall_rule:`Any_released ()
+  in
+  List.iter (Hdd_obs.Monitor.feed relaxed) (mk_records ());
+  check (Alcotest.list Alcotest.string) "Any_released accepts it" []
+    (Hdd_obs.Monitor.violations relaxed);
+  (* but still rejects a threshold no released wall ever had *)
+  let bogus =
+    Hdd_obs.Monitor.create ~raise_on_violation:false
+      ~wall_rule:`Any_released ()
+  in
+  List.iter (Hdd_obs.Monitor.feed bogus)
+    (List.map
+       (fun (r : T.record) ->
+         match r.ev with
+         | T.Read p -> { r with ev = T.Read { p with threshold = 6 } }
+         | _ -> r)
+       (mk_records ()));
+  checkb "Any_released rejects invented threshold" true
+    (Hdd_obs.Monitor.violations bogus <> [])
+
+(* --- registry snapshot-vs-live equivalence, 1000 seeds --- *)
+
+let test_registry_snapshot_property () =
+  let seeds = 1000 in
+  for seed = 1 to seeds do
+    let prng = Hdd_util.Prng.create seed in
+    let classes = 1 + Hdd_util.Prng.int prng 4 in
+    let reg = Registry.create ~classes () in
+    let now = ref 0 in
+    let tick () = incr now; !now in
+    let actives = ref [] in
+    let steps = 10 + Hdd_util.Prng.int prng 40 in
+    let next_id = ref 0 in
+    let mutate () =
+      if !actives <> [] && Hdd_util.Prng.float prng 1. < 0.45 then begin
+        let arr = Array.of_list !actives in
+        let t = Hdd_util.Prng.pick prng arr in
+        actives := List.filter (fun u -> u != t) !actives;
+        if Hdd_util.Prng.bool prng then Txn.commit t ~at:(tick ())
+        else Txn.abort t ~at:(tick ())
+      end
+      else begin
+        incr next_id;
+        let c = Hdd_util.Prng.int prng classes in
+        let t =
+          Txn.make ~id:!next_id ~kind:(Txn.Update c) ~init:(tick ())
+        in
+        Registry.register reg t;
+        actives := t :: !actives
+      end
+    in
+    for _ = 1 to steps do mutate () done;
+    let capture = !now in
+    let snap = Registry.snapshot reg in
+    let queries =
+      List.init 20 (fun _ ->
+          (Hdd_util.Prng.int prng classes, Hdd_util.Prng.int prng (capture + 1)))
+    in
+    let expect =
+      List.map
+        (fun (c, at) ->
+          ( Registry.i_old reg ~class_id:c ~at,
+            Registry.c_late reg ~class_id:c ~at ))
+        queries
+    in
+    let compare_snap () =
+      List.iter2
+        (fun (c, at) (io, cl) ->
+          if Registry.snap_i_old snap ~class_id:c ~at <> io then
+            Alcotest.failf "seed %d: snap_i_old(%d, %d) diverges" seed c at;
+          if Registry.snap_c_late snap ~class_id:c ~at <> cl then
+            Alcotest.failf "seed %d: snap_c_late(%d, %d) diverges" seed c at)
+        queries expect
+    in
+    compare_snap ();
+    (* the snapshot is immutable: later registry activity on fresh
+       transactions must not change any answer at or below capture *)
+    for _ = 1 to 10 do mutate () done;
+    compare_snap ();
+    List.iter
+      (fun c ->
+        checki "generation frozen at capture"
+          (Registry.snap_generation snap ~class_id:c)
+          (Registry.snap_generation snap ~class_id:c))
+      (List.init classes Fun.id)
+  done
+
+(* --- JSON schema versioning --- *)
+
+let test_jsonlite_schema () =
+  let doc = J.with_schema [ ("x", J.num_of_int 1) ] in
+  check (Alcotest.option Alcotest.int) "stamped" (Some J.schema_version)
+    (J.schema_of doc);
+  check (Alcotest.option Alcotest.int) "survives round-trip"
+    (Some J.schema_version)
+    (J.schema_of (J.of_string (J.to_string doc)));
+  check (Alcotest.option Alcotest.int) "pre-versioning doc" None
+    (J.schema_of (J.Obj [ ("x", J.Num 1.) ]));
+  (* unknown fields are kept by the parser and ignored by accessors *)
+  let fancy =
+    J.of_string
+      {|{"schema_version": 99, "future_blob": {"deep": [1, 2, {"k": true}]},
+         "x": 7}|}
+  in
+  check (Alcotest.option Alcotest.int) "future version readable" (Some 99)
+    (J.schema_of fancy);
+  check
+    (Alcotest.option (Alcotest.float 0.))
+    "known fields still reachable" (Some 7.)
+    (Option.bind (J.member "x" fancy) J.number)
+
+(* --- the engine itself --- *)
+
+let ok_or_fail label r =
+  if not (R.Differential.ok r) then
+    Alcotest.failf "%s:@.%a" label R.Differential.pp_report r
+
+let test_engine_single_worker () =
+  let partition = R.Differential.chain_partition 4 in
+  let script =
+    R.Differential.gen_script ~partition ~seed:7 ~txns:60 ()
+  in
+  let config = R.Engine.default_config ~workers:1 in
+  let r = R.Differential.check ~partition ~init:R.Differential.default_init ~config script in
+  ok_or_fail "single worker" r;
+  checki "every descriptor got a verdict" 60 (r.R.Differential.r_committed + r.R.Differential.r_aborted);
+  checkb "traced events present" true (r.R.Differential.r_events > 0);
+  checkb "walls released" true (r.R.Differential.r_wall_releases >= 1)
+
+let test_engine_cross_class_values () =
+  (* deterministic two-class script: the cross-class reader must see the
+     initial value while the writer is uncommitted, then the committed
+     value once the writer's activity has cleared *)
+  let partition = R.Differential.chain_partition 2 in
+  let g1 = Granule.make ~segment:1 ~key:0 in
+  let script =
+    [| { R.Engine.d_id = 1; d_kind = `Update 1;
+         d_ops = [ R.Engine.Write (g1, 111); R.Engine.Read g1 ];
+         d_abort = false };
+       { R.Engine.d_id = 2; d_kind = `Update 1;
+         d_ops = [ R.Engine.Write (g1, 222) ]; d_abort = true };
+       { R.Engine.d_id = 3; d_kind = `Update 0;
+         d_ops =
+           [ R.Engine.Write (Granule.make ~segment:0 ~key:0, 9);
+             R.Engine.Read g1 ];
+         d_abort = false } |]
+  in
+  let config = R.Engine.default_config ~workers:2 in
+  let r = R.Differential.check ~partition ~init:R.Differential.default_init ~config script in
+  ok_or_fail "two-class script" r;
+  checki "aborts" 1 r.R.Differential.r_aborted;
+  checki "commits" 2 r.R.Differential.r_committed
+
+let stress_seeds () =
+  match Sys.getenv_opt "HDD_PAR_SEEDS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 30)
+  | None -> 30
+
+let test_multicore_stress () =
+  let seeds = stress_seeds () in
+  let workers_of s = [| 2; 4; 8 |].(s mod 3) in
+  let profile_of s =
+    [| R.Differential.Abort_heavy; R.Differential.Adhoc_read;
+       R.Differential.Mixed |].(s / 3 mod 3)
+  in
+  let failures = ref [] in
+  for seed = 1 to seeds do
+    let workers = workers_of seed and profile = profile_of seed in
+    let r = R.Differential.stress_one ~seed ~workers ~txns:40 ~profile in
+    if not (R.Differential.ok r) then
+      failures :=
+        Format.asprintf "seed %d workers %d: %a" seed workers
+          R.Differential.pp_report r
+        :: !failures
+  done;
+  if !failures <> [] then
+    Alcotest.failf "%d/%d stress runs diverged:@.%s"
+      (List.length !failures) seeds
+      (String.concat "\n" !failures)
+
+let test_run_timed_smoke () =
+  let partition = R.Differential.chain_partition 4 in
+  let t =
+    R.Engine.run_timed ~partition ~init:R.Differential.default_init
+      ~workers:2 ~seconds:0.1
+      ~mix:
+        { R.Engine.ro_frac = 0.1; abort_frac = 0.05; cross_reads = 2;
+          own_ops = 2; keys_per_segment = 4 }
+      ~seed:3 ()
+  in
+  let s = t.R.Engine.t_stats in
+  checkb "made progress" true (s.R.Engine.committed > 0);
+  checkb "cross-class reads happened" true (s.R.Engine.reads_a > 0);
+  let hist =
+    Hdd_obs.Metrics.histogram t.R.Engine.t_latency "commit_latency_us"
+  in
+  let samples = Hdd_obs.Metrics.hist_count hist in
+  checkb "latency samples for update commits" true
+    (samples > 0 && samples <= s.R.Engine.committed)
+
+let test_parbench_json () =
+  let r =
+    R.Parbench.run ~workers_list:[ 1; 2 ] ~depth:4 ~seconds:0.05 ~seed:1 ()
+  in
+  let json = R.Parbench.to_json r in
+  check (Alcotest.option Alcotest.int) "schema stamped"
+    (Some J.schema_version) (J.schema_of json);
+  let parsed = J.of_string (J.to_string json) in
+  (match J.member "points" parsed with
+  | Some (J.List pts) -> checki "two points" 2 (List.length pts)
+  | _ -> Alcotest.fail "points missing");
+  checkb "no 1->4 ratio without a 4-worker point" true
+    (r.R.Parbench.r_scaling_1_to_4 = None)
+
+let suite =
+  [ Alcotest.test_case "gclock: ticks unique across domains" `Quick
+      test_gclock_unique;
+    Alcotest.test_case "mailbox: fifo, close, drain" `Quick test_mailbox_fifo;
+    Alcotest.test_case "mailbox: backpressure across domains" `Quick
+      test_mailbox_backpressure;
+    Alcotest.test_case "seqwall: no torn reads under concurrent publish"
+      `Quick test_seqwall_no_tearing;
+    Alcotest.test_case "store snapshot: immutable latest-before" `Quick
+      test_store_snapshot;
+    Alcotest.test_case "trace: per-domain merge by logical time" `Quick
+      test_trace_merge;
+    Alcotest.test_case "monitor: Any_released wall rule" `Quick
+      test_monitor_any_released;
+    Alcotest.test_case "registry: snapshot equals live on 1000 seeds" `Quick
+      test_registry_snapshot_property;
+    Alcotest.test_case "jsonlite: schema_version and unknown fields" `Quick
+      test_jsonlite_schema;
+    Alcotest.test_case "engine: single-worker differential" `Quick
+      test_engine_single_worker;
+    Alcotest.test_case "engine: deterministic two-class script" `Quick
+      test_engine_cross_class_values;
+    Alcotest.test_case "engine: randomized multicore stress" `Slow
+      test_multicore_stress;
+    Alcotest.test_case "engine: timed benchmark mode" `Quick
+      test_run_timed_smoke;
+    Alcotest.test_case "parbench: scaling report" `Quick test_parbench_json ]
