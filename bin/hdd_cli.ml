@@ -338,8 +338,13 @@ let recover_cmd =
   in
   let run file segments =
     let r =
-      Hdd_storage.Durable.recover ~path:file ~segments ~init:(fun _ -> 0)
+      Hdd_storage.Durable.recover ~path:file ~segments ~init:(fun _ -> 0) ()
     in
+    (match r.Hdd_storage.Durable.from_checkpoint with
+    | Some m ->
+      Printf.printf "from checkpoint: seq %d (log offset %d)\n"
+        m.Hdd_storage.Checkpoint.seq m.Hdd_storage.Checkpoint.log_offset
+    | None -> print_string "from checkpoint: none (full replay)\n");
     Printf.printf
       "log intact: %b
 committed: %d
@@ -523,6 +528,16 @@ let bench_cmd =
                  read rate, commit-latency quantiles and wall lag \
                  (BENCH_parallel.json).")
   in
+  let durable =
+    Arg.(value & flag & info [ "durable" ]
+           ~doc:"Run the durable-engine benchmark instead: group-commit \
+                 throughput, fsyncs/commit and ack latency over the \
+                 max_batch x max_delay knob grid, plus recovery time \
+                 against history length and checkpoint interval \
+                 (BENCH_durable.json).  Structural gates (fsync \
+                 reduction, recovery flatness) always apply; \
+                 $(b,--baseline) additionally gates throughput.")
+  in
   let baseline =
     Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Committed baseline report to gate against.")
@@ -549,8 +564,86 @@ let bench_cmd =
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression obs_gate parallel =
-    if parallel then begin
+  let run quick out baseline max_regression obs_gate parallel durable =
+    if durable then begin
+      let module Dbench = Hdd_storage.Dbench in
+      let out = Option.value out ~default:"BENCH_durable.json" in
+      let report = Dbench.run ~quick () in
+      J.to_file out report;
+      Printf.printf "wrote %s\n" out;
+      let num keys = num report keys in
+      Printf.printf
+        "group commit: fsync reduction at batch=8: %.1fx; recovery tail \
+         flatness: %.2f\n"
+        (num [ "group_commit"; "fsync_reduction_at_8" ])
+        (num [ "recovery"; "recovery_tail_flatness" ]);
+      (match J.path [ "group_commit"; "grid" ] report with
+      | Some (J.List cells) ->
+        List.iter
+          (fun c ->
+            let n keys =
+              match Option.bind (J.path keys c) J.number with
+              | Some f -> f
+              | None -> nan
+            in
+            Printf.printf
+              "  batch=%2.0f delay=%2.0f: %8.0f txns/sec, %.3f \
+               fsyncs/commit, ack p50 %.0fus p99 %.0fus\n"
+              (n [ "max_batch" ]) (n [ "max_delay" ])
+              (n [ "txns_per_sec" ])
+              (n [ "fsyncs_per_commit" ])
+              (n [ "ack_p50_us" ]) (n [ "ack_p99_us" ]))
+          cells
+      | _ -> ());
+      (match Dbench.gates report with
+      | [] -> ()
+      | problems ->
+        List.iter (fun p -> Printf.printf "DURABLE GATE FAILED: %s\n" p) problems;
+        exit 1);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base = J.of_file path in
+        let cell_throughput doc b d =
+          match J.path [ "group_commit"; "grid" ] doc with
+          | Some (J.List cells) ->
+            List.find_map
+              (fun c ->
+                let n keys = Option.bind (J.path keys c) J.number in
+                match (n [ "max_batch" ], n [ "max_delay" ]) with
+                | Some b', Some d'
+                  when int_of_float b' = b && int_of_float d' = d ->
+                  n [ "txns_per_sec" ]
+                | _ -> None)
+              cells
+          | _ -> None
+        in
+        let regressions =
+          List.filter_map
+            (fun (b, d) ->
+              match
+                (cell_throughput base b d, cell_throughput report b d)
+              with
+              | Some was, Some now
+                when now < was *. (1. -. max_regression) ->
+                Some (Printf.sprintf "batch=%d delay=%d" b d, was, now)
+              | _ -> None)
+            [ (0, 0); (8, 16); (32, 64) ]
+        in
+        (match regressions with
+        | [] ->
+          Printf.printf "no durable regression beyond %.0f%% against %s\n"
+            (100. *. max_regression) path
+        | rs ->
+          List.iter
+            (fun (metric, was, now) ->
+              Printf.printf "REGRESSION %s: %.0f -> %.0f txns/sec (-%.0f%%)\n"
+                metric was now
+                (100. *. (1. -. (now /. was))))
+            rs;
+          exit 1)
+    end
+    else if parallel then begin
       let out = Option.value out ~default:"BENCH_parallel.json" in
       let seconds = if quick then 0.2 else 1.0 in
       let r = Hdd_runtime.Parbench.run ~seconds () in
@@ -626,7 +719,7 @@ let bench_cmd =
              and optionally gate against a committed baseline")
     Term.(
       const run $ quick $ out $ baseline $ max_regression $ obs_gate
-      $ parallel)
+      $ parallel $ durable)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in

@@ -56,7 +56,7 @@ let () =
   print_endline "session 1: CRASH with one event insert in flight";
 
   (* --- session 2: recovery --- *)
-  let r = Durable.recover ~path:log_path ~segments:3 ~init:(fun _ -> 0) in
+  let r = Durable.recover ~path:log_path ~segments:3 ~init:(fun _ -> 0) () in
   Printf.printf
     "recovery: %d committed, %d aborted, %d in-flight lost, log intact: %b\n"
     r.Durable.committed r.Durable.aborted r.Durable.lost_uncommitted
@@ -87,7 +87,7 @@ let () =
   Printf.printf "session 2: reorder decision from recovered level %d\n" seen;
   Durable.close db2;
 
-  let r2 = Durable.recover ~path:log_path ~segments:3 ~init:(fun _ -> 0) in
+  let r2 = Durable.recover ~path:log_path ~segments:3 ~init:(fun _ -> 0) () in
   Printf.printf "final log holds %d committed transactions\n"
     r2.Durable.committed;
   Sys.remove log_path

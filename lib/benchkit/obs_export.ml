@@ -121,6 +121,20 @@ let chrome_trace trace =
                ("windows", num windows_dropped) ])
       | Trace.Sim { label; txn } ->
         push (instant ~name:("sim " ^ label) ~at ~tid:(Int.max 0 txn) [])
+      | Trace.Durable_ack { txn; at = fin } ->
+        push (instant ~name:"durable ack" ~at ~tid:txn [ ("at", num fin) ])
+      | Trace.Durable_recovered { txn; at = fin } ->
+        push
+          (instant ~name:"durable recovered" ~at ~tid:txn [ ("at", num fin) ])
+      | Trace.Recovery_complete { last_time } ->
+        push
+          (instant ~name:"recovery complete" ~at ~tid:0
+             [ ("last_time", num last_time) ])
+      | Trace.Checkpoint_cut { seq; components } ->
+        push
+          (instant ~name:"checkpoint cut" ~at ~tid:0
+             [ ("seq", num seq);
+               ("wall", int_list (Array.to_list components)) ])
       | Trace.Note s -> push (instant ~name:("note: " ^ s) ~at ~tid:0 []))
     (Trace.records trace);
   (* still-active transactions: zero-duration slices at their begin *)

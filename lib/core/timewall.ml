@@ -7,6 +7,8 @@ type wall = {
 
 let threshold wall ~class_id = wall.components.(class_id)
 
+let to_vector wall = Array.copy wall.components
+
 let make ~s ~m ~components ~released_at =
   { s; m; components = Array.copy components; released_at }
 

@@ -20,6 +20,10 @@ type wall = private {
 
 val threshold : wall -> class_id:int -> Time.t
 
+val to_vector : wall -> Time.t array
+(** A defensive copy of the component vector — what checkpoints persist
+    and log shipping sends alongside a batch. *)
+
 val make :
   s:int -> m:Time.t -> components:Time.t array -> released_at:Time.t -> wall
 (** Assemble a wall from externally computed components — the parallel

@@ -42,6 +42,48 @@ let gc_wall t ~wall =
     t.segments;
   !dropped
 
+let committed_versions t g =
+  List.rev_map
+    (fun (v : 'a Chain.version) -> (v.Chain.ts, v.Chain.value))
+    (List.filter
+       (fun (v : 'a Chain.version) ->
+         v.Chain.state = Chain.Committed && v.Chain.ts > Time.zero)
+       (Achain.versions (chain t g)))
+
+let dump t =
+  let out = ref [] in
+  for seg = Array.length t.segments - 1 downto 0 do
+    let s = t.segments.(seg) in
+    List.iter
+      (fun key ->
+        let g = Granule.make ~segment:seg ~key in
+        match committed_versions t g with
+        | [] -> ()
+        | vs -> out := (g, vs) :: !out)
+      (List.sort compare (Segment.keys s))
+  done;
+  !out
+
+let trim_dump ~wall d =
+  List.filter_map
+    (fun ((g : Granule.t), vs) ->
+      let w = wall.(g.Granule.segment) in
+      (* the wall-cut rule of gc_wall: newest committed below the wall,
+         plus everything at or above it *)
+      let below = List.filter (fun (ts, _) -> ts < w) vs in
+      let keep_below =
+        match List.rev below with last :: _ -> [ last ] | [] -> []
+      in
+      match keep_below @ List.filter (fun (ts, _) -> ts >= w) vs with
+      | [] -> None
+      | vs -> Some (g, vs))
+    d
+
+let dump_at_wall t ~wall =
+  if Array.length wall <> Array.length t.segments then
+    invalid_arg "Store.dump_at_wall: wall vector length mismatch";
+  trim_dump ~wall (dump t)
+
 let version_count t =
   Array.fold_left (fun acc s -> acc + Segment.version_count s) 0 t.segments
 

@@ -53,6 +53,35 @@ val gc_wall : 'a t -> wall:Time.t array -> int
     @raise Invalid_argument if the vector length differs from
     {!segment_count}. *)
 
+val committed_versions : 'a t -> Granule.t -> (Time.t * 'a) list
+(** The committed versions of one granule, oldest first — the
+    serialization view used by checkpoints and state-equality checks.
+    Pending versions are invisible (not yet part of the committed
+    database) and so is the bootstrap version (timestamp zero): it is
+    derivable from [init], not logged history, and chains re-create it
+    on demand, so including it would make dumps depend on which side
+    happened to materialize a chain. *)
+
+val dump : 'a t -> (Granule.t * (Time.t * 'a) list) list
+(** {!committed_versions} of every granule that has one, in granule
+    order — a canonical committed-state snapshot, directly comparable
+    with [=] between two stores over the same partition. *)
+
+val trim_dump :
+  wall:Time.t array ->
+  (Granule.t * (Time.t * 'a) list) list ->
+  (Granule.t * (Time.t * 'a) list) list
+(** Apply the {!gc_wall} cut rule to a dump: per granule of segment [i],
+    keep the newest version below [wall.(i)] plus everything at or above
+    it.  Pure — the oracle form of the cut, used to state checkpoint
+    equivalence. *)
+
+val dump_at_wall : 'a t -> wall:Time.t array -> (Granule.t * (Time.t * 'a) list) list
+(** [trim_dump ~wall (dump t)] with the length check of {!gc_wall} — the
+    consistent snapshot a checkpoint serializes at a released wall.
+    @raise Invalid_argument if the vector length differs from
+    {!segment_count}. *)
+
 val version_count : 'a t -> int
 
 val max_chain_length : 'a t -> int

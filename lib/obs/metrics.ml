@@ -122,7 +122,11 @@ let attach t trace =
   and gc_dropped = counter t "gc.versions_dropped"
   and gc_hist = histogram t "gc.dropped_per_collection"
   and pruned_records = counter t "registry.pruned_records"
-  and pruned_windows = counter t "registry.pruned_windows" in
+  and pruned_windows = counter t "registry.pruned_windows"
+  and durable_acks = counter t "durable.acks"
+  and durable_recovered = counter t "durable.recovered"
+  and recoveries = counter t "durable.recoveries"
+  and checkpoint_cuts = counter t "checkpoint.cuts" in
   Trace.subscribe trace (fun (r : Trace.record) ->
       match r.Trace.ev with
       | Trace.Begin _ -> incr begins
@@ -148,4 +152,8 @@ let attach t trace =
         add pruned_records records_dropped;
         add pruned_windows windows_dropped
       | Trace.Sim { label; _ } -> incr (counter t ("sim." ^ label))
+      | Trace.Durable_ack _ -> incr durable_acks
+      | Trace.Durable_recovered _ -> incr durable_recovered
+      | Trace.Recovery_complete _ -> incr recoveries
+      | Trace.Checkpoint_cut _ -> incr checkpoint_cuts
       | Trace.Note _ -> ())

@@ -12,22 +12,35 @@ type txn_info = {
 type t = {
   raise_on_violation : bool;
   wall_rule : [ `Latest | `Any_released ];
+  durability_only : bool;
   mutable violations : string list;  (** newest first *)
   active : (int, txn_info) Hashtbl.t;
   committed : (int * int, int list) Hashtbl.t;
       (** (segment, key) -> committed version timestamps, descending *)
   mutable walls : (int * int array) list;
       (** (released_at, components), newest first *)
+  acked : (int * int, unit) Hashtbl.t;
+      (** (txn, at) acknowledged as durable — must survive every
+          subsequent recovery *)
+  recovered_now : (int * int, unit) Hashtbl.t;
+      (** (txn, at) replayed by the recovery in progress *)
+  mutable last_cut : (int * int array) option;
+      (** newest checkpoint cut: (seq, wall components) *)
   mutable events_seen : int;
 }
 
-let create ?(raise_on_violation = true) ?(wall_rule = `Latest) () =
+let create ?(raise_on_violation = true) ?(wall_rule = `Latest)
+    ?(durability_only = false) () =
   { raise_on_violation;
     wall_rule;
+    durability_only;
     violations = [];
     active = Hashtbl.create 64;
     committed = Hashtbl.create 256;
     walls = [];
+    acked = Hashtbl.create 64;
+    recovered_now = Hashtbl.create 64;
+    last_cut = None;
     events_seen = 0 }
 
 let violations t = List.rev t.violations
@@ -189,9 +202,47 @@ let prune_shadow t ~vector =
       end)
     t.committed
 
+(* Invariant 5, durability: an acknowledged-durable commit survives every
+   subsequent recovery, and checkpoint cuts are monotone — increasing
+   sequence numbers, componentwise non-decreasing wall vectors. *)
+let handle_durability t (r : Trace.record) =
+  match r.Trace.ev with
+  | Trace.Durable_ack { txn; at } -> Hashtbl.replace t.acked (txn, at) ()
+  | Trace.Durable_recovered { txn; at } ->
+    Hashtbl.replace t.recovered_now (txn, at) ()
+  | Trace.Recovery_complete { last_time } ->
+    Hashtbl.iter
+      (fun (txn, at) () ->
+        if not (Hashtbl.mem t.recovered_now (txn, at)) then
+          violate t "event %d: acknowledged-durable commit of txn %d at %d \
+                     lost across recovery (replayed up to %d)"
+            r.Trace.seq txn at last_time)
+      t.acked;
+    Hashtbl.reset t.recovered_now
+  | Trace.Checkpoint_cut { seq; components } ->
+    (match t.last_cut with
+    | Some (prev_seq, prev) ->
+      if seq <= prev_seq then
+        violate t "event %d: checkpoint sequence moved backwards: %d after %d"
+          r.Trace.seq seq prev_seq;
+      Array.iteri
+        (fun s c ->
+          if s < Array.length prev && c < prev.(s) then
+            violate t "event %d: checkpoint %d wall component D%d moved \
+                       backwards: %d after %d"
+              r.Trace.seq seq s c prev.(s))
+        components
+    | None -> ());
+    t.last_cut <- Some (seq, Array.copy components)
+  | _ -> ()
+
 let handle t (r : Trace.record) =
   t.events_seen <- t.events_seen + 1;
   match r.Trace.ev with
+  | Trace.Durable_ack _ | Trace.Durable_recovered _ | Trace.Recovery_complete _
+  | Trace.Checkpoint_cut _ ->
+    handle_durability t r
+  | _ when t.durability_only -> ()
   | Trace.Begin { txn; kind; init } ->
     let wall =
       match kind with

@@ -21,6 +21,13 @@
       latest version the shadow store knows below its threshold — a
       version served strictly older than a committed one under the
       threshold is a timestamp-order violation.
+    + {b Durability} (the durable engine's contract): a commit
+      acknowledged as durable ({!Trace.event.Durable_ack}) must be
+      replayed ({!Trace.event.Durable_recovered}) by every subsequent
+      recovery — checked at each {!Trace.event.Recovery_complete} — and
+      checkpoint cuts ({!Trace.event.Checkpoint_cut}) carry strictly
+      increasing sequence numbers with componentwise non-decreasing wall
+      vectors.
     + {b GC never above the watermark} (§7.3): every collection's
       per-segment threshold vector stays below what any active
       transaction could still read — its initiation time for its own
@@ -41,6 +48,7 @@ type t
 val create :
   ?raise_on_violation:bool ->
   ?wall_rule:[ `Latest | `Any_released ] ->
+  ?durability_only:bool ->
   unit ->
   t
 (** [raise_on_violation] (default [true]) raises {!Violation} out of the
@@ -54,7 +62,14 @@ val create :
     initiation — the sound relaxation for the parallel runtime, where a
     reader loads the seqlock-published wall and only then ticks its
     initiation time, so a concurrent release can slide a newer wall in
-    between. *)
+    between.
+
+    [durability_only] (default [false]) checks only the durability
+    invariant and ignores every other event — the mode for feeding one
+    monitor a stream that spans crashes and recoveries, where
+    transaction ids recur across sessions and the shadow-replay rules
+    would misfire.  Acknowledged commits are keyed by [(txn, at)], which
+    recovery's clock catch-up keeps unique across sessions. *)
 
 val attach : t -> Trace.t -> unit
 

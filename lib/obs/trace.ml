@@ -46,6 +46,10 @@ type event =
     }
   | Sim of { label : string; txn : int }
   | Note of string
+  | Durable_ack of { txn : int; at : int }
+  | Durable_recovered of { txn : int; at : int }
+  | Recovery_complete of { last_time : int }
+  | Checkpoint_cut of { seq : int; components : int array }
 
 type record = { seq : int; at : int; dom : int; ev : event }
 
@@ -167,7 +171,11 @@ let emit t ~at ev =
       set 2 upto;
       set 3 records_dropped;
       set 4 windows_dropped
-    | Begin _ | Block _ | Reject _ | Wall_release _ | Gc _ | Sim _ | Note _ ->
+    | Begin _ | Block _ | Reject _ | Wall_release _ | Gc _ | Sim _ | Note _
+    | Durable_ack _ | Durable_recovered _ | Recovery_complete _
+    | Checkpoint_cut _ ->
+      (* durability events are per-batch or per-recovery, not per-op:
+         boxing them is off the hot path *)
       set 0 tag_boxed;
       Array.unsafe_set t.boxed i ev);
     t.head <- (if i + 1 = t.capacity then 0 else i + 1);
@@ -301,6 +309,14 @@ let event_to_string = function
       records_dropped windows_dropped
   | Sim { label; txn } -> Printf.sprintf "sim %s txn=%d" label txn
   | Note s -> Printf.sprintf "note %S" s
+  | Durable_ack { txn; at } -> Printf.sprintf "durable_ack txn=%d at=%d" txn at
+  | Durable_recovered { txn; at } ->
+    Printf.sprintf "durable_recovered txn=%d at=%d" txn at
+  | Recovery_complete { last_time } ->
+    Printf.sprintf "recovery_complete last_time=%d" last_time
+  | Checkpoint_cut { seq; components } ->
+    Printf.sprintf "checkpoint_cut seq=%d wall=[%s]" seq
+      (ints (Array.to_list components))
 
 let pp_event ppf ev = Format.pp_print_string ppf (event_to_string ev)
 

@@ -77,6 +77,19 @@ type event =
   | Sim of { label : string; txn : int }
       (** driver-level happenings: restart, deadlock, give_up, … *)
   | Note of string
+  | Durable_ack of { txn : int; at : int }
+      (** the durable engine acknowledged commit [at] of [txn] as on
+          disk — after the fsync (grouped or not) covering its commit
+          record succeeded *)
+  | Durable_recovered of { txn : int; at : int }
+      (** replay re-installed the commit [at] of [txn]; emitted by
+          full-log recovery, whose replay visits every commit record *)
+  | Recovery_complete of { last_time : int }
+      (** replay finished: every {!Durable_ack}ed commit must have been
+          {!Durable_recovered} by now — the durability monitor rule *)
+  | Checkpoint_cut of { seq : int; components : int array }
+      (** checkpoint [seq] cut the store at this wall vector; successive
+          cuts must be componentwise monotone *)
 
 type record = { seq : int; at : int; dom : int; ev : event }
 (** [dom] is the emitting trace's {!domain} tag — 0 for the serial stack,

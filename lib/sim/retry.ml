@@ -33,3 +33,24 @@ let note_commit m = m.streak <- 0
 let note_restart m = m.streak <- m.streak + 1
 let consecutive_restarts m = m.streak
 let livelocked m = m.p.livelock_window > 0 && m.streak >= m.p.livelock_window
+
+let run p rng ?monitor ?on_backoff ~transient f =
+  let note g = match monitor with Some m -> g m | None -> () in
+  let rec go attempt =
+    match f () with
+    | v ->
+      note note_commit;
+      Ok v
+    | exception e when transient e ->
+      let attempt = attempt + 1 in
+      note note_restart;
+      if exhausted p ~attempt then Error e
+      else begin
+        let delay = backoff p rng ~attempt in
+        (match on_backoff with
+        | Some g -> g ~attempt ~delay
+        | None -> ());
+        go attempt
+      end
+  in
+  go 0

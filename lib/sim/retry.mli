@@ -57,3 +57,21 @@ val consecutive_restarts : monitor -> int
 (** Restarts since the last commit. *)
 
 val livelocked : monitor -> bool
+
+val run :
+  policy ->
+  Hdd_util.Prng.t ->
+  ?monitor:monitor ->
+  ?on_backoff:(attempt:int -> delay:float -> unit) ->
+  transient:(exn -> bool) ->
+  (unit -> 'a) ->
+  ('a, exn) result
+(** [run policy rng ~transient f] calls [f] until it returns, retrying
+    with jittered exponential backoff any exception [transient] accepts
+    — the discipline the durable engine's fsync pipeline and the
+    replica's catch-up use on transient I/O errors.  Returns [Error e]
+    when the policy's [max_restarts] gives up on transient failure [e];
+    non-transient exceptions propagate unchanged.  A success feeds
+    [note_commit], each retry [note_restart], to the optional [monitor]
+    (livelock surfacing); [on_backoff] observes each computed delay
+    (virtual time — the caller decides whether to sleep). *)

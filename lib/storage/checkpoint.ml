@@ -1,0 +1,273 @@
+module J = Hdd_benchkit.Jsonlite
+
+type meta = {
+  seq : int;
+  file : string;  (** basename, relative to the log's directory *)
+  log_offset : int;
+  wall : Time.t array;
+  last_time : Time.t;
+  crc : int;
+  bytes : int;
+}
+
+let manifest_path ~log = log ^ ".manifest"
+let data_path ~log ~seq = Printf.sprintf "%s.ckpt.%d" log seq
+
+let keep_checkpoints = 2
+
+(* --- JSON shapes --- *)
+
+let num = J.num_of_int
+let ints l = J.List (List.map num l)
+
+let int_of j = Option.map int_of_float (J.number j)
+
+let int_field name j = Option.bind (J.member name j) int_of
+
+let int_array_field name j =
+  match J.member name j with
+  | Some (J.List l) ->
+    let vs = List.filter_map int_of l in
+    if List.length vs = List.length l then Some (Array.of_list vs) else None
+  | _ -> None
+
+let meta_json m =
+  J.Obj
+    [ ("seq", num m.seq);
+      ("file", J.Str m.file);
+      ("log_offset", num m.log_offset);
+      ("wall", ints (Array.to_list m.wall));
+      ("last_time", num m.last_time);
+      ("crc", num m.crc);
+      ("bytes", num m.bytes) ]
+
+let meta_of_json j =
+  match
+    ( int_field "seq" j,
+      J.member "file" j,
+      int_field "log_offset" j,
+      int_array_field "wall" j,
+      int_field "last_time" j,
+      int_field "crc" j,
+      int_field "bytes" j )
+  with
+  | Some seq, Some (J.Str file), Some log_offset, Some wall, Some last_time,
+    Some crc, Some bytes ->
+    Some { seq; file; log_offset; wall; last_time; crc; bytes }
+  | _ -> None
+
+let read_manifest ~log =
+  let path = manifest_path ~log in
+  if not (Sys.file_exists path) then []
+  else
+    match J.of_file path with
+    | exception _ -> []
+    | j -> (
+      match J.member "entries" j with
+      | Some (J.List l) ->
+        List.filter_map meta_of_json l
+        |> List.sort (fun a b -> compare b.seq a.seq)
+      | _ -> [])
+
+let manifest_json entries =
+  J.with_schema [ ("entries", J.List (List.map meta_json entries)) ]
+
+(* --- data file --- *)
+
+let versions_json versions =
+  J.List
+    (List.map
+       (fun ((g : Granule.t), vs) ->
+         J.List
+           [ num g.Granule.segment; num g.Granule.key;
+             J.List (List.map (fun (ts, v) -> J.List [ num ts; num v ]) vs) ])
+       versions)
+
+let pending_json pending =
+  J.List
+    (List.map
+       (fun (txn, class_id, init, writes) ->
+         J.List
+           [ num txn; num class_id; num init;
+             J.List
+               (List.map
+                  (fun ((g : Granule.t), ts, v) ->
+                    J.List
+                      [ num g.Granule.segment; num g.Granule.key; num ts;
+                        num v ])
+                  writes) ])
+       pending)
+
+let data_json ~seq ~log_offset ~wall ~last_time ~committed ~aborted ~versions
+    ~pending =
+  J.with_schema
+    [ ("seq", num seq);
+      ("log_offset", num log_offset);
+      ("wall", ints (Array.to_list wall));
+      ("last_time", num last_time);
+      ("committed", num committed);
+      ("aborted", num aborted);
+      ("versions", versions_json versions);
+      ("pending", pending_json pending) ]
+
+let pair_of = function
+  | J.List [ a; b ] -> (
+    match (int_of a, int_of b) with Some a, Some b -> Some (a, b) | _ -> None)
+  | _ -> None
+
+let versions_of_json = function
+  | J.List l ->
+    let entry = function
+      | J.List [ s; k; J.List vs ] -> (
+        match (int_of s, int_of k) with
+        | Some segment, Some key ->
+          let pairs = List.filter_map pair_of vs in
+          if List.length pairs = List.length vs then
+            Some (Granule.make ~segment ~key, pairs)
+          else None
+        | _ -> None)
+      | _ -> None
+    in
+    let entries = List.filter_map entry l in
+    if List.length entries = List.length l then Some entries else None
+  | _ -> None
+
+let pending_of_json = function
+  | J.List l ->
+    let write = function
+      | J.List [ s; k; ts; v ] -> (
+        match (int_of s, int_of k, int_of ts, int_of v) with
+        | Some segment, Some key, Some ts, Some v ->
+          Some (Granule.make ~segment ~key, ts, v)
+        | _ -> None)
+      | _ -> None
+    in
+    let entry = function
+      | J.List [ txn; class_id; init; J.List ws ] -> (
+        match (int_of txn, int_of class_id, int_of init) with
+        | Some txn, Some class_id, Some init ->
+          let writes = List.filter_map write ws in
+          if List.length writes = List.length ws then
+            Some (txn, class_id, init, writes)
+          else None
+        | _ -> None)
+      | _ -> None
+    in
+    let entries = List.filter_map entry l in
+    if List.length entries = List.length l then Some entries else None
+  | _ -> None
+
+(* --- atomic file discipline: temp + checksum + rename --- *)
+
+let write_atomic ?faults ~point_write ~point_rename ~path payload =
+  let tmp = path ^ ".tmp" in
+  (match faults with
+  | Some p -> Fault.cross_write p point_write ~path:tmp payload
+  | None ->
+    let oc = Out_channel.open_bin tmp in
+    Out_channel.output_bytes oc payload;
+    Out_channel.close oc);
+  (match faults with Some p -> Fault.cross p point_rename | None -> ());
+  Sys.rename tmp path
+
+(* Keep the newest [keep_checkpoints] manifest entries (newest first on
+   input); best-effort removal of the dropped entries' data files. *)
+let prune ~log entries =
+  let rec split i = function
+    | [] -> ([], [])
+    | m :: rest ->
+      if i < keep_checkpoints then
+        let k, d = split (i + 1) rest in
+        (m :: k, d)
+      else ([], m :: rest)
+  in
+  let keep, drop = split 0 entries in
+  List.iter
+    (fun m ->
+      let p = Filename.concat (Filename.dirname log) m.file in
+      if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
+    drop;
+  keep
+
+let write ?faults ~log ~seq ~log_offset ~wall ~last_time ~committed ~aborted
+    ~versions ~pending () =
+  let json =
+    data_json ~seq ~log_offset ~wall ~last_time ~committed ~aborted ~versions
+      ~pending
+  in
+  let payload = Bytes.of_string (J.to_string json) in
+  let crc = Codec.crc32 payload in
+  let path = data_path ~log ~seq in
+  write_atomic ?faults ~point_write:(Fault.Checkpoint_write seq)
+    ~point_rename:(Fault.Checkpoint_rename seq) ~path payload;
+  let m =
+    { seq; file = Filename.basename path; log_offset; wall = Array.copy wall;
+      last_time; crc; bytes = Bytes.length payload }
+  in
+  let entries = prune ~log (m :: read_manifest ~log) in
+  let manifest = Bytes.of_string (J.to_string (manifest_json entries)) in
+  write_atomic ?faults ~point_write:(Fault.Manifest_write seq)
+    ~point_rename:(Fault.Manifest_rename seq)
+    ~path:(manifest_path ~log) manifest;
+  m
+
+(* --- load --- *)
+
+let load_data ~log m =
+  let path = Filename.concat (Filename.dirname log) m.file in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = In_channel.open_bin path in
+    let payload = Bytes.of_string (In_channel.input_all ic) in
+    In_channel.close ic;
+    if Bytes.length payload <> m.bytes || Codec.crc32 payload <> m.crc then
+      None
+    else
+      match J.of_string (Bytes.to_string payload) with
+      | exception J.Parse_error _ -> None
+      | j -> (
+        match
+          ( int_field "seq" j,
+            int_field "log_offset" j,
+            int_array_field "wall" j,
+            int_field "last_time" j,
+            int_field "committed" j,
+            int_field "aborted" j,
+            Option.bind (J.member "versions" j) versions_of_json,
+            Option.bind (J.member "pending" j) pending_of_json )
+        with
+        | Some seq, Some log_offset, Some wall, Some last_time,
+          Some committed, Some aborted, Some versions, Some pending
+          when seq = m.seq && log_offset = m.log_offset ->
+          Some (wall, last_time, committed, aborted, versions, pending)
+        | _ -> None)
+
+let restore ?trace ~segments ~init
+    (_wall, last_time, committed, aborted, versions, pending) =
+  let replay = Replay.create ?trace ~segments ~init () in
+  List.iter
+    (fun (g, vs) ->
+      List.iter
+        (fun (ts, value) ->
+          Replay.install_writes replay ~txn:Txn.bootstrap.Txn.id
+            [ (g, ts, value) ])
+        vs)
+    versions;
+  replay.Replay.last_time <- last_time;
+  replay.Replay.committed <- committed;
+  replay.Replay.aborted <- aborted;
+  Replay.restore_pending replay pending;
+  replay
+
+let best ?trace ~log ~segments ~init () =
+  let rec try_entries = function
+    | [] -> None
+    | m :: rest -> (
+      match load_data ~log m with
+      | Some data -> Some (restore ?trace ~segments ~init data, m)
+      | None -> try_entries rest)
+  in
+  try_entries (read_manifest ~log)
+
+let latest_seq ~log =
+  match read_manifest ~log with [] -> 0 | m :: _ -> m.seq

@@ -3,6 +3,7 @@ type record =
   | Write of { txn : Txn.id; granule : Granule.t; ts : Time.t; value : int }
   | Commit of { txn : Txn.id; at : Time.t }
   | Abort of { txn : Txn.id; at : Time.t }
+  | Wall of { released_at : Time.t; components : Time.t array }
 
 let equal_record a b = a = b
 
@@ -13,6 +14,10 @@ let pp_record ppf = function
     Format.fprintf ppf "write t%d %a^%d=%d" txn Granule.pp granule ts value
   | Commit { txn; at } -> Format.fprintf ppf "commit t%d @%d" txn at
   | Abort { txn; at } -> Format.fprintf ppf "abort t%d @%d" txn at
+  | Wall { released_at; components } ->
+    Format.fprintf ppf "wall @%d [%s]" released_at
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int components)))
 
 let crc_table =
   lazy
@@ -33,14 +38,22 @@ let crc32 bytes =
     bytes;
   !c lxor 0xFFFFFFFF
 
-(* payload layout: 1-byte tag, then 8-byte little-endian signed ints *)
-let tag = function Begin _ -> 1 | Write _ -> 2 | Commit _ -> 3 | Abort _ -> 4
+(* payload layout: 1-byte tag, then 8-byte little-endian signed ints.
+   Wall is count-prefixed: released_at, n, then n components. *)
+let tag = function
+  | Begin _ -> 1
+  | Write _ -> 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | Wall _ -> 5
 
 let fields = function
   | Begin { txn; class_id; init } -> [ txn; class_id; init ]
   | Write { txn; granule; ts; value } ->
     [ txn; granule.Granule.segment; granule.Granule.key; ts; value ]
   | Commit { txn; at } | Abort { txn; at } -> [ txn; at ]
+  | Wall { released_at; components } ->
+    released_at :: Array.length components :: Array.to_list components
 
 let encode r =
   let fs = fields r in
@@ -84,4 +97,13 @@ let decode buf ~pos =
               next )
         | 3 when expect 2 -> Ok (Commit { txn = field 0; at = field 1 }, next)
         | 4 when expect 2 -> Ok (Abort { txn = field 0; at = field 1 }, next)
+        | 5 when plen >= 1 + (8 * 2) ->
+          let n = field 1 in
+          if n < 0 || not (expect (2 + n)) then Error `Corrupt
+          else
+            Ok
+              ( Wall
+                  { released_at = field 0;
+                    components = Array.init n (fun i -> field (2 + i)) },
+                next )
         | _ -> Error `Corrupt

@@ -11,6 +11,11 @@ type record =
   | Write of { txn : Txn.id; granule : Granule.t; ts : Time.t; value : int }
   | Commit of { txn : Txn.id; at : Time.t }
   | Abort of { txn : Txn.id; at : Time.t }
+  | Wall of { released_at : Time.t; components : Time.t array }
+      (** a released time-wall vector.  Never written to the WAL itself:
+          it is the trailer of a log-shipping batch ({!Replica}), placed
+          last so a partially applied batch never advances the replica's
+          wall past the records it actually holds. *)
 
 val equal_record : record -> record -> bool
 val pp_record : Format.formatter -> record -> unit

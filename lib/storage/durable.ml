@@ -2,15 +2,29 @@ module Scheduler = Hdd_core.Scheduler
 module Partition = Hdd_core.Partition
 module Outcome = Hdd_core.Outcome
 module Store = Hdd_mvstore.Store
+module Trace = Hdd_obs.Trace
 
 type t = {
-  mutable wal : Wal.t;
+  wal : Wal.t;
   sched : int Scheduler.t;
   store : int Store.t;
   partition : Partition.t;
   sync_on_commit : bool;
+  clock : Time.Clock.clock;
+  trace : Trace.t option;
+  faults : Fault.plan option;
+  group : Group_commit.t option;
+  base_offset : int;  (** log length when this handle opened the file *)
+  pending_writes : (Txn.id, Replay.pending_txn) Hashtbl.t;
   mutable in_flight : int;  (** update transactions begun and unfinished *)
+  mutable logged_commits : int;  (** commit frames logged, ever (checkpoint metadata) *)
+  mutable logged_aborts : int;
+  mutable next_ckpt_seq : int;
+  mutable direct_syncs : int;  (** sync_on_commit fsyncs (no group) *)
+  mutable direct_synced_offset : int;
 }
+
+type ticket = Group of Group_commit.ticket | Logged of int | Readonly
 
 type recovered = {
   store : int Store.t;
@@ -20,79 +34,78 @@ type recovered = {
   lost_uncommitted : int;
   log_intact : bool;
   valid_bytes : int;
+  from_checkpoint : Checkpoint.meta option;
 }
 
-let build ?(sync_on_commit = false) ?sink ?log ?trace ~path ~partition ~clock
-    ~store () =
+let build ?(sync_on_commit = false) ?sink ?log ?trace ?group ?faults ?retry
+    ?metrics ~path ~partition ~clock ~store ~committed ~aborted () =
   let sched = Scheduler.create ?log ?trace ~partition ~clock ~store () in
-  { wal = Wal.create ?sink ~path (); sched; store; partition; sync_on_commit;
-    in_flight = 0 }
+  let base_offset = Wal.size ~path in
+  let wal = Wal.create ?sink ~path () in
+  let group =
+    Option.map
+      (fun config ->
+        (* In fault runs the plan's byte counter (plus the length at open)
+           is the log offset — querying the file would force a flush per
+           append.  Without a plan offsets are not tracked. *)
+        let offset_of =
+          Option.map (fun p () -> base_offset + Fault.bytes_appended p) faults
+        in
+        Group_commit.create ?faults ?retry ?metrics ?trace ?offset_of ~config
+          wal)
+      group
+  in
+  { wal; sched; store; partition; sync_on_commit; clock; trace; faults; group;
+    base_offset; pending_writes = Hashtbl.create 64; in_flight = 0;
+    logged_commits = committed; logged_aborts = aborted;
+    next_ckpt_seq = Checkpoint.latest_seq ~log:path + 1; direct_syncs = 0;
+    direct_synced_offset = 0 }
 
-let create ?sync_on_commit ?sink ?log ?trace ~path ~partition () =
+let create ?sync_on_commit ?sink ?log ?trace ?group ?faults ?retry ?metrics
+    ~path ~partition () =
   let clock = Time.Clock.create () in
   let store =
     Store.create ~segments:(Partition.segment_count partition)
       ~init:(fun _ -> 0)
   in
-  build ?sync_on_commit ?sink ?log ?trace ~path ~partition ~clock ~store ()
+  build ?sync_on_commit ?sink ?log ?trace ?group ?faults ?retry ?metrics ~path
+    ~partition ~clock ~store ~committed:0 ~aborted:0 ()
 
-let recover ~path ~segments ~init =
-  let { Wal.records; complete; bytes_read } = Wal.read_all ~path in
-  let store = Store.create ~segments ~init in
-  (* redo-only replay: buffer each transaction's writes, install them at
-     its commit record; txn ids may recur across sessions, so buffers are
-     cleared at every commit/abort *)
-  let pending : (Txn.id, (Granule.t * Time.t * int) list) Hashtbl.t =
-    Hashtbl.create 64
+let recover ?trace ?(use_checkpoints = true) ~path ~segments ~init () =
+  let full () =
+    let { Wal.records; complete; bytes_read } = Wal.read_all ~path in
+    let replay = Replay.create ?trace ~segments ~init () in
+    Replay.apply_all replay records;
+    (replay, complete, bytes_read, None)
   in
-  let last_time = ref Time.zero in
-  let committed = ref 0 in
-  let aborted = ref 0 in
-  let see t = if t > !last_time then last_time := t in
-  List.iter
-    (fun (r : Codec.record) ->
-      match r with
-      | Codec.Begin { init; txn; _ } ->
-        see init;
-        Hashtbl.replace pending txn []
-      | Codec.Write { txn; granule; ts; value } ->
-        see ts;
-        let buf =
-          match Hashtbl.find_opt pending txn with Some b -> b | None -> []
+  let replay, log_intact, valid_bytes, from_checkpoint =
+    if not use_checkpoints then full ()
+    else
+      match Checkpoint.best ?trace ~log:path ~segments ~init () with
+      | None -> full ()
+      | Some (replay, m) ->
+        let { Wal.records; complete; bytes_read } =
+          Wal.read_from ~path ~offset:m.Checkpoint.log_offset
         in
-        Hashtbl.replace pending txn ((granule, ts, value) :: buf)
-      | Codec.Commit { txn; at } ->
-        see at;
-        (match Hashtbl.find_opt pending txn with
-        | None -> ()
-        | Some writes ->
-          List.iter
-            (fun (granule, ts, value) ->
-              (* the last write of a granule within a transaction wins;
-                 writes were buffered newest-first, so install the first
-                 occurrence of each granule *)
-              match Store.committed_before store granule ~ts:(ts + 1) with
-              | Some v when v.Hdd_mvstore.Chain.ts = ts -> ()
-              | _ ->
-                ignore (Store.install store granule ~ts ~writer:txn ~value);
-                Store.commit_version store granule ~ts)
-            writes;
-          Hashtbl.remove pending txn);
-        incr committed
-      | Codec.Abort { txn; at } ->
-        see at;
-        Hashtbl.remove pending txn;
-        incr aborted)
-    records;
-  { store;
-    last_time = !last_time;
-    committed = !committed;
-    aborted = !aborted;
-    lost_uncommitted = Hashtbl.length pending;
-    log_intact = complete;
-    valid_bytes = bytes_read }
+        Replay.apply_all replay records;
+        (replay, complete, bytes_read, Some m)
+  in
+  (match trace with
+  | Some tr ->
+    Trace.emit tr ~at:replay.Replay.last_time
+      (Trace.Recovery_complete { last_time = replay.Replay.last_time })
+  | None -> ());
+  { store = replay.Replay.store;
+    last_time = replay.Replay.last_time;
+    committed = replay.Replay.committed;
+    aborted = replay.Replay.aborted;
+    lost_uncommitted = Replay.lost_uncommitted replay;
+    log_intact;
+    valid_bytes;
+    from_checkpoint }
 
-let of_recovery ?sync_on_commit ?sink ?log ?trace ~path ~partition recovered =
+let of_recovery ?sync_on_commit ?sink ?log ?trace ?group ?faults ?retry
+    ?metrics ~path ~partition recovered =
   (* A torn or corrupt tail is dead bytes: recovery already ignores it,
      but appending after it would put every future record beyond the
      reach of the next recovery (replay stops at the first bad frame).
@@ -103,111 +116,188 @@ let of_recovery ?sync_on_commit ?sink ?log ?trace ~path ~partition recovered =
   then Unix.truncate path recovered.valid_bytes;
   let clock = Time.Clock.create () in
   Time.Clock.catch_up clock recovered.last_time;
-  build ?sync_on_commit ?sink ?log ?trace ~path ~partition ~clock
-    ~store:recovered.store ()
+  build ?sync_on_commit ?sink ?log ?trace ?group ?faults ?retry ?metrics ~path
+    ~partition ~clock ~store:recovered.store ~committed:recovered.committed
+    ~aborted:recovered.aborted ()
 
 let scheduler t = t.sched
+let store (t : t) = t.store
+let group t = t.group
+
+let tick_group t = match t.group with Some g -> Group_commit.tick g | None -> ()
+
+let log_offset t =
+  match t.faults with
+  | Some p -> t.base_offset + Fault.bytes_appended p
+  | None ->
+    Wal.flush t.wal;
+    Wal.size ~path:(Wal.path t.wal)
+
+let durable_offset t =
+  match t.group with
+  | Some g -> Group_commit.synced_offset g
+  | None -> t.direct_synced_offset
 
 (* If the Begin record cannot be logged the transaction must not exist:
    roll the scheduler back before re-raising, so a transient append
    failure leaves no half-begun transaction behind. *)
-let log_begin t txn record =
+let log_begin t txn ~class_id record =
   (try Wal.append t.wal record
    with e ->
      (try Scheduler.abort t.sched txn with _ -> ());
      raise e);
+  Hashtbl.replace t.pending_writes txn.Txn.id
+    { Replay.class_id; init = txn.Txn.init; writes = [] };
   t.in_flight <- t.in_flight + 1;
   txn
 
 let begin_update t ~class_id =
+  tick_group t;
   let txn = Scheduler.begin_update t.sched ~class_id in
-  log_begin t txn
+  log_begin t txn ~class_id
     (Codec.Begin { txn = txn.Txn.id; class_id; init = txn.Txn.init })
 
 let begin_adhoc_update t ~writes ~reads =
+  tick_group t;
   let txn = Scheduler.begin_adhoc_update t.sched ~writes ~reads in
-  log_begin t txn
-    (Codec.Begin
-       { txn = txn.Txn.id; class_id = List.hd (List.sort compare writes);
-         init = txn.Txn.init })
+  let class_id = List.hd (List.sort compare writes) in
+  log_begin t txn ~class_id
+    (Codec.Begin { txn = txn.Txn.id; class_id; init = txn.Txn.init })
 
-let begin_read_only t = Scheduler.begin_read_only t.sched
+let begin_read_only t =
+  tick_group t;
+  Scheduler.begin_read_only t.sched
 
-let read t txn g = Scheduler.read t.sched txn g
+let read t txn g =
+  tick_group t;
+  Scheduler.read t.sched txn g
 
 let write t txn g value =
+  tick_group t;
   match Scheduler.write t.sched txn g value with
   | Outcome.Granted () as ok ->
     Wal.append t.wal
-      (Codec.Write
-         { txn = txn.Txn.id; granule = g; ts = txn.Txn.init; value });
+      (Codec.Write { txn = txn.Txn.id; granule = g; ts = txn.Txn.init; value });
+    (* mirror the write into the in-flight table only once it is in the
+       log: a checkpoint must not persist a write recovery cannot see *)
+    (match Hashtbl.find_opt t.pending_writes txn.Txn.id with
+    | Some p -> p.Replay.writes <- (g, txn.Txn.init, value) :: p.Replay.writes
+    | None -> ());
     ok
   | (Outcome.Blocked _ | Outcome.Rejected _) as other -> other
 
-let commit t txn =
+let commit_ticket t txn =
   Scheduler.commit t.sched txn;
   let at =
     match Txn.end_time txn with Some at -> at | None -> assert false
   in
-  if Txn.is_update txn then begin
-    Wal.append t.wal (Codec.Commit { txn = txn.Txn.id; at });
-    if t.sync_on_commit then Wal.sync t.wal else Wal.flush t.wal;
-    t.in_flight <- t.in_flight - 1
+  if not (Txn.is_update txn) then Readonly
+  else begin
+    let record = Codec.Commit { txn = txn.Txn.id; at } in
+    let tk =
+      match t.group with
+      | Some g -> Group (Group_commit.submit g ~txn:txn.Txn.id ~at record)
+      | None ->
+        Wal.append t.wal record;
+        if t.sync_on_commit then begin
+          Wal.sync t.wal;
+          t.direct_syncs <- t.direct_syncs + 1;
+          t.direct_synced_offset <- log_offset t;
+          match t.trace with
+          | Some tr ->
+            Trace.emit tr ~at (Trace.Durable_ack { txn = txn.Txn.id; at })
+          | None -> ()
+        end
+        else Wal.flush t.wal;
+        Logged (match t.faults with Some _ -> log_offset t | None -> 0)
+    in
+    Hashtbl.remove t.pending_writes txn.Txn.id;
+    t.in_flight <- t.in_flight - 1;
+    t.logged_commits <- t.logged_commits + 1;
+    tk
   end
 
+let commit t txn = ignore (commit_ticket t txn)
+
+let acked t = function
+  | Readonly | Logged _ -> true  (* a direct commit raising means no ticket *)
+  | Group k -> (
+    match t.group with Some g -> Group_commit.acked g k | None -> false)
+
+let ack_offset t = function
+  | Readonly -> None
+  | Logged off -> Some off
+  | Group k -> (
+    match t.group with Some g -> Group_commit.ack_offset g k | None -> None)
+
 let abort t txn =
+  tick_group t;
   Scheduler.abort t.sched txn;
   if Txn.is_update txn then begin
+    (* the in-memory abort is done whether or not the Abort frame makes
+       it to the log: without the frame, recovery counts the transaction
+       as lost-uncommitted instead of aborted — same database *)
+    Hashtbl.remove t.pending_writes txn.Txn.id;
+    t.in_flight <- t.in_flight - 1;
     Wal.append t.wal
       (Codec.Abort
          { txn = txn.Txn.id;
            at = (match Txn.end_time txn with Some a -> a | None -> 0) });
-    t.in_flight <- t.in_flight - 1
+    t.logged_aborts <- t.logged_aborts + 1
   end
 
-let close t = Wal.close t.wal
+let flush t =
+  (match t.group with Some g -> Group_commit.flush g | None -> ());
+  Wal.flush t.wal
+
+let sync t =
+  match t.group with
+  | Some g -> Group_commit.flush g
+  | None ->
+    Wal.sync t.wal;
+    t.direct_syncs <- t.direct_syncs + 1;
+    t.direct_synced_offset <- log_offset t
+
+let close t =
+  (match t.group with
+  | Some g -> ( try Group_commit.flush g with Fault.Crash _ | Fault.Io_error _ -> ())
+  | None -> ());
+  Wal.close t.wal
 
 let in_flight t = t.in_flight
 
-(* Compact the log to the latest committed version of every granule, as
-   one synthetic transaction (id 0), written to a side file and renamed
-   over the log. *)
 let checkpoint t =
-  if t.in_flight > 0 then
-    failwith "Durable.checkpoint: update transactions in flight";
-  let side = Wal.path t.wal ^ ".ckpt" in
-  if Sys.file_exists side then Sys.remove side;
-  let snapshot = Wal.create ~path:side () in
-  let latest = ref Time.zero in
-  let versions = ref [] in
-  for seg = 0 to Store.segment_count t.store - 1 do
-    let segment = Store.segment t.store seg in
-    List.iter
-      (fun key ->
-        match
-          Hdd_mvstore.Achain.latest_committed
-            (Hdd_mvstore.Segment.chain segment key)
-        with
-        | Some v when v.Hdd_mvstore.Chain.ts > Time.zero ->
-          (* bootstrap versions (ts 0) come back through [init] *)
-          if v.Hdd_mvstore.Chain.ts > !latest then
-            latest := v.Hdd_mvstore.Chain.ts;
-          versions :=
-            (Granule.make ~segment:seg ~key, v.Hdd_mvstore.Chain.ts,
-             v.Hdd_mvstore.Chain.value)
-            :: !versions
-        | _ -> ())
-      (Hdd_mvstore.Segment.keys segment)
-  done;
-  Wal.append snapshot (Codec.Begin { txn = 0; class_id = 0; init = !latest });
-  List.iter
-    (fun (granule, ts, value) ->
-      Wal.append snapshot (Codec.Write { txn = 0; granule; ts; value }))
-    !versions;
-  Wal.append snapshot (Codec.Commit { txn = 0; at = !latest });
-  Wal.sync snapshot;
-  Wal.close snapshot;
-  let path = Wal.path t.wal in
-  Wal.close t.wal;
-  Sys.rename side path;
-  t.wal <- Wal.create ~path ()
+  (* every logged commit below the cut offset must be in the file *)
+  (match t.group with Some g -> Group_commit.flush g | None -> Wal.flush t.wal);
+  let log = Wal.path t.wal in
+  let log_offset = log_offset t in
+  let seq = t.next_ckpt_seq in
+  let wall =
+    let raw = Scheduler.gc_watermark_vector t.sched in
+    (* clamp against the last checkpoint's cut so the persisted wall
+       vectors are monotone across handles and recoveries *)
+    match Checkpoint.read_manifest ~log with
+    | m :: _ when Array.length m.Checkpoint.wall = Array.length raw ->
+      Array.mapi (fun i v -> Stdlib.max v m.Checkpoint.wall.(i)) raw
+    | _ -> raw
+  in
+  let versions = Store.dump_at_wall t.store ~wall in
+  let pending =
+    Hashtbl.fold
+      (fun txn (p : Replay.pending_txn) acc ->
+        (txn, p.Replay.class_id, p.Replay.init, p.Replay.writes) :: acc)
+      t.pending_writes []
+    |> List.sort compare
+  in
+  let m =
+    Checkpoint.write ?faults:t.faults ~log ~seq ~log_offset ~wall
+      ~last_time:(Time.Clock.now t.clock) ~committed:t.logged_commits
+      ~aborted:t.logged_aborts ~versions ~pending ()
+  in
+  t.next_ckpt_seq <- seq + 1;
+  (match t.trace with
+  | Some tr ->
+    Trace.emit tr ~at:(Time.Clock.now t.clock)
+      (Trace.Checkpoint_cut { seq; components = Array.copy wall })
+  | None -> ());
+  m

@@ -21,6 +21,47 @@ let file_sink ?(fsync = true) ~path () =
         if fsync then Unix.fsync fd);
     close = (fun () -> close_out oc (* flushes, closes the descriptor *)) }
 
+(* --- logical injection points --- *)
+
+type point =
+  | Batch_append of { batch : int; frame : int }
+  | Batch_fsync of int
+  | Batch_ack of int
+  | Checkpoint_write of int
+  | Checkpoint_rename of int
+  | Manifest_write of int
+  | Manifest_rename of int
+  | Ship_send of int
+  | Ship_apply of int
+
+let kind = function
+  | Batch_append _ -> "batch_append"
+  | Batch_fsync _ -> "batch_fsync"
+  | Batch_ack _ -> "batch_ack"
+  | Checkpoint_write _ -> "checkpoint_write"
+  | Checkpoint_rename _ -> "checkpoint_rename"
+  | Manifest_write _ -> "manifest_write"
+  | Manifest_rename _ -> "manifest_rename"
+  | Ship_send _ -> "ship_send"
+  | Ship_apply _ -> "ship_apply"
+
+let kinds =
+  [ "batch_append"; "batch_fsync"; "batch_ack"; "checkpoint_write";
+    "checkpoint_rename"; "manifest_write"; "manifest_rename"; "ship_send";
+    "ship_apply" ]
+
+let pp_point ppf = function
+  | Batch_append { batch; frame } ->
+    Format.fprintf ppf "batch_append(%d,%d)" batch frame
+  | Batch_fsync n -> Format.fprintf ppf "batch_fsync(%d)" n
+  | Batch_ack n -> Format.fprintf ppf "batch_ack(%d)" n
+  | Checkpoint_write n -> Format.fprintf ppf "checkpoint_write(%d)" n
+  | Checkpoint_rename n -> Format.fprintf ppf "checkpoint_rename(%d)" n
+  | Manifest_write n -> Format.fprintf ppf "manifest_write(%d)" n
+  | Manifest_rename n -> Format.fprintf ppf "manifest_rename(%d)" n
+  | Ship_send n -> Format.fprintf ppf "ship_send(%d)" n
+  | Ship_apply n -> Format.fprintf ppf "ship_apply(%d)" n
+
 type event =
   | Crash_after_frames of int
   | Crash_after_bytes of int
@@ -28,6 +69,10 @@ type event =
   | Bit_flip of { byte : int; bit : int }
   | Append_error of { frame : int }
   | Sync_error of { sync : int }
+  | Crash_at of point
+  | Error_at of point
+  | Torn_at of { point : point; keep : int }
+  | Corrupt_at of { point : point; byte : int; bit : int }
 
 let pp_event ppf = function
   | Crash_after_frames n -> Format.fprintf ppf "crash-after-%d-frames" n
@@ -38,6 +83,12 @@ let pp_event ppf = function
     Format.fprintf ppf "bit-flip byte %d bit %d" byte bit
   | Append_error { frame } -> Format.fprintf ppf "append-error frame %d" frame
   | Sync_error { sync } -> Format.fprintf ppf "sync-error sync %d" sync
+  | Crash_at p -> Format.fprintf ppf "crash-at %a" pp_point p
+  | Error_at p -> Format.fprintf ppf "error-at %a" pp_point p
+  | Torn_at { point; keep } ->
+    Format.fprintf ppf "torn-at %a keep %d" pp_point point keep
+  | Corrupt_at { point; byte; bit } ->
+    Format.fprintf ppf "corrupt-at %a byte %d bit %d" pp_point point byte bit
 
 type plan = {
   events : event list;
@@ -46,14 +97,17 @@ type plan = {
   mutable sync_count : int;
   mutable is_crashed : bool;
   mutable fired_events : event list;
+  mutable reached_points : point list;
+  mutable on_crash : (unit -> unit) list;
 }
 
 let plan events =
   { events; frames = 0; bytes = 0; sync_count = 0; is_crashed = false;
-    fired_events = [] }
+    fired_events = []; reached_points = []; on_crash = [] }
 
 let crashed p = p.is_crashed
 let fired p = p.fired_events
+let reached p = p.reached_points
 let bytes_appended p = p.bytes
 let frames_appended p = p.frames
 let syncs p = p.sync_count
@@ -66,18 +120,96 @@ let next_match p select =
     (fun ev -> select ev && not (List.mem ev p.fired_events))
     p.events
 
+(* The one crash path: flush whatever every registered sink buffered (the
+   appended prefix becomes the recoverable state), mark the plan dead,
+   raise. *)
+let crash_now p msg =
+  p.is_crashed <- true;
+  List.iter (fun f -> try f () with _ -> ()) p.on_crash;
+  raise (Crash msg)
+
+let alive p =
+  if p.is_crashed then raise (Crash "operation after simulated crash")
+
+let cross p pt =
+  alive p;
+  p.reached_points <- pt :: p.reached_points;
+  (match next_match p (function Error_at q -> q = pt | _ -> false) with
+  | Some ev ->
+    fire p ev;
+    raise
+      (Io_error (Format.asprintf "injected transient error at %a" pp_point pt))
+  | None -> ());
+  match next_match p (function Crash_at q -> q = pt | _ -> false) with
+  | Some ev ->
+    fire p ev;
+    crash_now p (Format.asprintf "crash at %a" pp_point pt)
+  | None -> ()
+
+let write_file path b =
+  let oc = Out_channel.open_bin path in
+  Out_channel.output_bytes oc b;
+  Out_channel.close oc
+
+let cross_write p pt ~path b =
+  alive p;
+  p.reached_points <- pt :: p.reached_points;
+  (match next_match p (function Error_at q -> q = pt | _ -> false) with
+  | Some ev ->
+    fire p ev;
+    raise
+      (Io_error (Format.asprintf "injected transient error at %a" pp_point pt))
+  | None -> ());
+  (match next_match p (function Crash_at q -> q = pt | _ -> false) with
+  | Some ev ->
+    fire p ev;
+    crash_now p (Format.asprintf "crash at %a" pp_point pt)
+  | None -> ());
+  (match
+     next_match p (function Torn_at { point; _ } -> point = pt | _ -> false)
+   with
+  | Some (Torn_at { keep; _ } as ev) ->
+    fire p ev;
+    let keep = max 0 (min keep (Bytes.length b - 1)) in
+    write_file path (Bytes.sub b 0 keep);
+    crash_now p
+      (Format.asprintf "torn write at %a: %d of %d bytes" pp_point pt keep
+         (Bytes.length b))
+  | _ -> ());
+  let b =
+    match
+      List.filter
+        (fun ev ->
+          (match ev with
+          | Corrupt_at { point; byte; _ } ->
+            point = pt && byte >= 0 && byte < Bytes.length b
+          | _ -> false)
+          && not (List.mem ev p.fired_events))
+        p.events
+    with
+    | [] -> b
+    | flips ->
+      let c = Bytes.copy b in
+      List.iter
+        (function
+          | Corrupt_at { byte; bit; _ } as ev ->
+            fire p ev;
+            Bytes.set_uint8 c byte
+              (Bytes.get_uint8 c byte lxor (1 lsl (bit land 7)))
+          | _ -> ())
+        flips;
+      c
+  in
+  write_file path b
+
 let apply p inner =
+  p.on_crash <- inner.flush :: p.on_crash;
   let die msg =
     (* everything appended so far becomes the recoverable prefix *)
-    p.is_crashed <- true;
-    inner.flush ();
-    raise (Crash msg)
-  in
-  let alive () =
-    if p.is_crashed then raise (Crash "operation after simulated crash")
+    crash_now p msg
   in
   let append frame =
-    alive ();
+    alive p;
     let idx = p.frames in
     (match next_match p (function Append_error { frame = f } -> f = idx | _ -> false) with
     | Some ev ->
@@ -136,11 +268,11 @@ let apply p inner =
     | None -> ()
   in
   let flush () =
-    alive ();
+    alive p;
     inner.flush ()
   in
   let sync () =
-    alive ();
+    alive p;
     p.sync_count <- p.sync_count + 1;
     (match next_match p (function Sync_error { sync = s } -> s = p.sync_count | _ -> false) with
     | Some ev ->

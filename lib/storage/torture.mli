@@ -2,27 +2,40 @@
     faults, recovered, and checked against the durability invariants.
 
     One {!run_cycle} plays a pseudo-random update workload against a
-    {!Durable} database writing through a {!Fault}-wrapped sink, lets
-    the scripted fault fire ("the machine dies"), recovers, verifies,
-    then continues the workload on {!Durable.of_recovery} — possibly
-    into a second fault — and recovers and verifies once more.  The
-    invariants checked after every recovery:
+    {!Durable} database writing through a {!Fault}-wrapped sink — each
+    cycle draws a group-commit configuration from a knob grid (off,
+    flush-per-commit, widening batch windows), cuts checkpoints and
+    ships log batches to a warm {!Replica} at random points — lets the
+    scripted fault fire ("the machine dies"), recovers, verifies, then
+    continues the workload on {!Durable.of_recovery} — possibly into a
+    second fault — and recovers and verifies once more.  The invariants
+    checked after every recovery:
 
-    + {b Durability}: every transaction whose commit was acknowledged
-      (returned, under [sync_on_commit]) is present in the recovered
-      store with exactly its written values — unless silent corruption
-      (a scripted bit flip) destroyed its frames, in which case it must
-      be hidden, never half-applied.
+    + {b Durability}: every transaction whose commit was {e acknowledged}
+      — the direct append returned under [sync_on_commit], or the group
+      ticket acked — is present in the recovered store with exactly its
+      written values; unless silent corruption (a scripted bit flip)
+      destroyed its frames, in which case it must be hidden, never
+      half-applied.  Commits submitted but never acked have unknown
+      durability: either outcome is legal, torn is not.
     + {b No resurrection}: every non-bootstrap version in the recovered
-      store belongs to an acknowledged transaction or to the at most one
-      transaction whose commit was in flight when the fault fired;
-      aborted and unfinished transactions leave no trace.
+      store belongs to an acknowledged transaction or to a transaction
+      whose commit was in flight (queued in the pipeline) when the fault
+      fired; aborted and unfinished transactions leave no trace.
     + {b Clock domination}: [recovered.last_time] is at least every
       version timestamp recovered, so the resumed clock orders new work
       strictly after everything recovered.
     + {b Serializability}: the committed write schedule reconstructed
       from the log certifies against {!Hdd_core.Certifier}, and so does
       the live schedule the scheduler produced before the fault.
+    + {b Checkpoint equivalence}: the production recovery (newest valid
+      checkpoint + log tail) lands on exactly the wall-cut of the
+      full-log replay oracle, with a clock at least as far along —
+      checked whenever no bit flip has silently diverged the two.
+    + {b Replica consistency}: every replica read at its effective wall
+      equals the primary's Protocol A/C read at the same timestamp
+      against the final recovered store — bounded staleness, never a
+      different answer.
 
     Everything is a pure function of the seed: a failing seed replays
     exactly. *)
@@ -33,11 +46,17 @@ type config = {
   keys_per_segment : int;
   max_writes : int;  (** writes per transaction, 1 to this many *)
   read_fraction : float;  (** probability an operation is a read *)
-  corruption_probability : float;  (** chance the plan adds a bit flip *)
+  corruption_probability : float;
+      (** chance the plan adds silent corruption: a log bit flip, or a
+          torn/corrupt checkpoint or manifest file write *)
   transient_probability : float;
-      (** chance the plan adds a transient append or fsync error *)
+      (** chance the plan adds a transient append/fsync/point error *)
   second_fault_probability : float;
       (** chance the post-recovery phase gets its own fault plan *)
+  checkpoint_probability : float;
+      (** per-step chance the workload cuts a checkpoint *)
+  ship_probability : float;
+      (** per-step chance the workload syncs and ships to the replica *)
 }
 
 val default_config : config
@@ -46,6 +65,9 @@ type outcome = {
   seed : int;
   crashed : bool;  (** a crash event fired in either phase *)
   fired : Fault.event list;  (** every fault event that fired *)
+  reached : Fault.point list;
+      (** every logical fault point the workload crossed, armed or not —
+          the coverage record behind {!report.reached_kinds} *)
   acknowledged : int;  (** commits acknowledged across both phases *)
   recovered_committed : int;  (** commit records in the final replay *)
   log_intact : bool;  (** final recovery saw no torn/corrupt tail *)
@@ -73,6 +95,10 @@ type report = {
   corruptions : int;  (** cycles in which a bit flip fired *)
   acknowledged : int;
   recovered : int;
+  reached_kinds : (string * int) list;
+      (** per {!Fault.kind} counts of fault points crossed, in
+          {!Fault.kinds} order — assert against {!Fault.kinds} to prove a
+          run exercised every boundary *)
   violating : outcome list;  (** outcomes with a non-empty violation list *)
 }
 

@@ -26,24 +26,31 @@ type recovery = {
   bytes_read : int;
 }
 
-let read_all ~path =
+let read_from ~path ~offset =
   if not (Sys.file_exists path) then
     (* a database that was never written: recovery of the empty log *)
     { records = []; complete = true; bytes_read = 0 }
   else begin
     let ic = open_in_bin path in
-    let len = in_channel_length ic in
+    let file_len = in_channel_length ic in
+    let offset = max 0 (min offset file_len) in
+    seek_in ic offset;
+    let len = file_len - offset in
     let buf = Bytes.create len in
     really_input ic buf 0 len;
     close_in ic;
     let rec go pos acc =
       if pos >= len then
-        { records = List.rev acc; complete = true; bytes_read = pos }
+        { records = List.rev acc; complete = true; bytes_read = offset + pos }
       else
         match Codec.decode buf ~pos with
         | Ok (r, next) -> go next (r :: acc)
         | Error (`Truncated | `Corrupt) ->
-          { records = List.rev acc; complete = false; bytes_read = pos }
+          { records = List.rev acc; complete = false; bytes_read = offset + pos }
     in
     go 0 []
   end
+
+let read_all ~path = read_from ~path ~offset:0
+
+let size ~path = if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0

@@ -41,3 +41,15 @@ val read_all : path:string -> recovery
 (** A missing file reads as the empty log — a database that was never
     written recovers to its initial state ([records = []],
     [complete = true]) rather than raising. *)
+
+val read_from : path:string -> offset:int -> recovery
+(** Like {!read_all} but decode only the tail starting at byte [offset]
+    (clamped to the file length) — the O(Δ) path of checkpointed
+    recovery.  [bytes_read] stays absolute: it is [offset] plus the
+    intact tail length, so it remains directly comparable to
+    {!read_all}'s and usable as a truncation bound.  [offset] must be a
+    frame boundary of the log (a checkpoint's recorded cut), otherwise
+    the tail decodes as corrupt at its first frame. *)
+
+val size : path:string -> int
+(** Current byte length of the log file at [path]; 0 when missing. *)
