@@ -538,6 +538,17 @@ let bench_cmd =
                  reduction, recovery flatness) always apply; \
                  $(b,--baseline) additionally gates throughput.")
   in
+  let shard =
+    Arg.(value & flag & info [ "shard" ]
+           ~doc:"Run the cross-shard read benchmark instead: one domain \
+                 per shard over the loopback hub, every transaction \
+                 reading a segment another shard owns — HDD's \
+                 publication-composed thresholds against an in-tree \
+                 2PC-read (lock/read/unlock) baseline \
+                 (BENCH_shard.json).  Structural gates always apply \
+                 (both sides commit, speedup > 1); $(b,--baseline) \
+                 additionally gates the speedup.")
+  in
   let baseline =
     Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Committed baseline report to gate against.")
@@ -564,8 +575,43 @@ let bench_cmd =
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression obs_gate parallel durable =
-    if durable then begin
+  let run quick out baseline max_regression obs_gate parallel durable shard =
+    if shard then begin
+      let module Sb = Hdd_shard.Shardbench in
+      let out = Option.value out ~default:"BENCH_shard.json" in
+      let seconds = if quick then 0.25 else 1.0 in
+      let r = Sb.run ~seconds () in
+      J.to_file out (Sb.to_json r);
+      Printf.printf "wrote %s\n" out;
+      Format.printf "%a@?" Sb.pp r;
+      (match Sb.gates r with
+      | [] -> ()
+      | problems ->
+        List.iter
+          (fun p -> Printf.printf "SHARD GATE FAILED: %s\n" p)
+          problems;
+        exit 1);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base = J.of_file path in
+        let was =
+          match Option.bind (J.path [ "speedup" ] base) J.number with
+          | Some f -> f
+          | None -> nan
+        in
+        let now = r.Sb.r_speedup in
+        if was > 0. && now < was *. (1. -. max_regression) then begin
+          Printf.printf "REGRESSION speedup: %.2fx -> %.2fx (-%.0f%%)\n" was
+            now
+            (100. *. (1. -. (now /. was)));
+          exit 1
+        end
+        else
+          Printf.printf "no shard regression beyond %.0f%% against %s\n"
+            (100. *. max_regression) path
+    end
+    else if durable then begin
       let module Dbench = Hdd_storage.Dbench in
       let out = Option.value out ~default:"BENCH_durable.json" in
       let report = Dbench.run ~quick () in
@@ -719,7 +765,7 @@ let bench_cmd =
              and optionally gate against a committed baseline")
     Term.(
       const run $ quick $ out $ baseline $ max_regression $ obs_gate
-      $ parallel $ durable)
+      $ parallel $ durable $ shard)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in
@@ -778,6 +824,78 @@ let trace_cmd =
     Term.(const run $ workload $ commits $ mpl $ seed $ protocol $ out
           $ capacity)
 
+let shard_cmd =
+  let module Sh = Hdd_shard in
+  let module D = Hdd_runtime.Differential in
+  let module J = Hdd_benchkit.Jsonlite in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
+           ~doc:"Number of shards; segments are partitioned round-robin \
+                 across them.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED"
+           ~doc:"Draws the hierarchy (even seeds a chain, odd a tree), \
+                 the script, and the deterministic interleaving.")
+  in
+  let txns =
+    Arg.(value & opt int 40 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions in the generated script.")
+  in
+  let profile =
+    Arg.(value
+         & opt
+             (enum
+                [ ("mixed", D.Mixed); ("abort-heavy", D.Abort_heavy);
+                  ("adhoc-read", D.Adhoc_read) ])
+             D.Mixed
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Workload mix: $(b,mixed), $(b,abort-heavy) (~40% \
+                   aborts), or $(b,adhoc-read) (~50% read-only \
+                   transactions over arbitrary segments).")
+  in
+  let processes =
+    Arg.(value & flag & info [ "processes" ]
+           ~doc:"Fork one OS process per shard connected by real pipes \
+                 instead of the deterministic in-process scheduler.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the merged cluster trace as Chrome trace-event \
+                 JSON (load in chrome://tracing or Perfetto).")
+  in
+  let run shards seed txns profile processes trace_out =
+    let partition, script = Sh.Shard_diff.stress_case ~seed ~txns ~profile in
+    let init = D.default_init in
+    let run =
+      if processes then
+        Sh.Cluster.run_script_processes ~partition ~init ~shards ~script ()
+      else
+        Sh.Cluster.run_script_det ~partition ~init ~shards ~seed ~script ()
+    in
+    let report = D.check_run ~partition ~init ~script run in
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+      J.to_file file
+        (Hdd_benchkit.Obs_export.chrome_trace_of_records
+           run.Hdd_runtime.Engine.records);
+      Printf.printf "wrote %s\n" file);
+    Format.printf "%d shards (%s), seed %d: %a@." shards
+      (if processes then "processes" else "deterministic")
+      seed D.pp_report report;
+    if not (D.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Run a seeded stress script on a multi-shard cluster and \
+             apply the cross-shard differential oracle: merge the \
+             per-shard traces on the global clock, MVSG-certify, replay \
+             the invariant monitors, and compare verdicts and \
+             Protocol-B read-from sets against the serial oracle")
+    Term.(
+      const run $ shards $ seed $ txns $ profile $ processes $ trace_out)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -807,4 +925,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
-                      explore_cmd; bench_cmd; trace_cmd; experiments_cmd ]))
+                      explore_cmd; bench_cmd; trace_cmd; shard_cmd;
+                      experiments_cmd ]))

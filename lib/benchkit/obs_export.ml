@@ -34,7 +34,7 @@ let slice ~name ~start ~finish ~tid args =
 
 let int_list l = Jsonlite.List (List.map num l)
 
-let chrome_trace trace =
+let chrome_trace_of_records records =
   (* transaction slices: Begin .. Commit/Abort, matched by id *)
   let begins : (int, int * Trace.txn_kind) Hashtbl.t = Hashtbl.create 64 in
   let events = ref [] in
@@ -136,7 +136,7 @@ let chrome_trace trace =
              [ ("seq", num seq);
                ("wall", int_list (Array.to_list components)) ])
       | Trace.Note s -> push (instant ~name:("note: " ^ s) ~at ~tid:0 []))
-    (Trace.records trace);
+    records;
   (* still-active transactions: zero-duration slices at their begin *)
   Hashtbl.iter
     (fun txn (init, kind) ->
@@ -149,6 +149,8 @@ let chrome_trace trace =
   Jsonlite.with_schema
     [ ("traceEvents", Jsonlite.List (List.rev !events));
       ("displayTimeUnit", Jsonlite.Str "ms") ]
+
+let chrome_trace trace = chrome_trace_of_records (Trace.records trace)
 
 let metrics_json metrics =
   Jsonlite.Obj

@@ -12,6 +12,10 @@
 val chrome_trace : Hdd_obs.Trace.t -> Jsonlite.t
 (** [{"traceEvents": [...]}] over the records currently retained. *)
 
+val chrome_trace_of_records : Hdd_obs.Trace.record list -> Jsonlite.t
+(** The same rendering over an already-drained record list — what the
+    sharded cluster's merged traces export through. *)
+
 val metrics_json : Hdd_obs.Metrics.t -> Jsonlite.t
 (** The {!Hdd_obs.Metrics.snapshot}, name-sorted: counters and gauges as
     numbers, histograms as [{count; sum; buckets: [[bound, n], ...]}]

@@ -323,11 +323,13 @@ let pp_event ppf ev = Format.pp_print_string ppf (event_to_string ev)
 let pp_record ppf r =
   Format.fprintf ppf "%d @%d %s" r.seq r.at (event_to_string r.ev)
 
-let to_text t =
+let text_of_records rs =
   let b = Buffer.create 4096 in
   List.iter
     (fun r ->
       Buffer.add_string b
         (Printf.sprintf "%d @%d %s\n" r.seq r.at (event_to_string r.ev)))
-    (records t);
+    rs;
   Buffer.contents b
+
+let to_text t = text_of_records (records t)

@@ -149,6 +149,10 @@ val clear : t -> unit
 val pp_event : Format.formatter -> event -> unit
 val pp_record : Format.formatter -> record -> unit
 
+val text_of_records : record list -> string
+(** The golden-trace serialization of an already-drained record list —
+    what {!to_text} uses, exposed for merged cross-shard traces. *)
+
 val to_text : t -> string
 (** One line per retained record, deterministic for a fixed event stream
     — the golden-trace serialization. *)

@@ -75,12 +75,22 @@ type report = {
   r_events : int;
 }
 
-let ok r =
-  r.r_serializable
-  && r.r_monitor_violations = []
-  && r.r_verdicts_agree && r.r_b_reads_agree
+(* The four checks by name, so an 8-worker stress failure says which
+   leg of the oracle broke instead of burying it in a dump. *)
+let failures r =
+  List.filter_map Fun.id
+    [ (if r.r_serializable then None else Some "mvsg-certification");
+      (if r.r_monitor_violations = [] then None else Some "monitor-replay");
+      (if r.r_verdicts_agree then None else Some "serial-oracle-agreement");
+      (if r.r_b_reads_agree then None else Some "read-from-equality") ]
+
+let ok r = failures r = []
 
 let pp_report ppf r =
+  (match failures r with
+  | [] -> ()
+  | names ->
+    Format.fprintf ppf "FAILED checks: %s@." (String.concat ", " names));
   Format.fprintf ppf
     "serializable=%b monitor=%d verdicts=%b b_reads=%b committed=%d \
      aborted=%d walls=%d events=%d"
@@ -202,8 +212,10 @@ let serial_replay ~partition ~init descs =
 
 (* --- the full differential check --- *)
 
-let check ~partition ~init ~config script =
-  let run = Engine.run_script ~partition ~init config ~script in
+(* The four checks over an already-completed run — any runner that can
+   produce an [Engine.run]-shaped result (the multicore engine, the
+   sharded cluster in any of its modes) feeds the same oracle. *)
+let check_run ~partition ~init ~script (run : Engine.run) =
   let committed =
     List.filter_map (fun (id, c) -> if c then Some id else None) run.outcomes
     |> List.fold_left (fun s id -> Hashtbl.replace s id (); s)
@@ -336,6 +348,10 @@ let check ~partition ~init ~config script =
     r_aborted = run.stats.Engine.aborted;
     r_wall_releases = run.stats.Engine.wall_releases;
     r_events = List.length run.records }
+
+let check ~partition ~init ~config script =
+  check_run ~partition ~init ~script
+    (Engine.run_script ~partition ~init config ~script)
 
 (* --- stress profiles --- *)
 

@@ -58,9 +58,26 @@ type report = {
   r_events : int;
 }
 
+val failures : report -> string list
+(** The names of the checks that failed, in the order listed above:
+    ["mvsg-certification"], ["monitor-replay"],
+    ["serial-oracle-agreement"], ["read-from-equality"].  Empty iff
+    {!ok}. *)
+
 val ok : report -> bool
 
 val pp_report : Format.formatter -> report -> unit
+(** Leads with [FAILED checks: <names>] when any check failed. *)
+
+val check_run :
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  script:script ->
+  Engine.run ->
+  report
+(** Apply all four checks to an already-executed run of [script] —
+    whatever produced it (the multicore engine, or a sharded cluster
+    whose merged trace has the same shape). *)
 
 val check :
   partition:Hdd_core.Partition.t ->
@@ -68,7 +85,7 @@ val check :
   config:Engine.config ->
   script ->
   report
-(** Run the script on the parallel engine, then apply all four checks. *)
+(** Run the script on the parallel engine, then {!check_run} it. *)
 
 (** {1 Stress profiles} *)
 

@@ -1,0 +1,315 @@
+module T = Hdd_obs.Trace
+module E = Hdd_runtime.Engine
+
+type script = E.desc array
+
+let assign ~shards (d : E.desc) =
+  match d.E.d_kind with
+  | `Update c -> c mod shards
+  | `Read_only -> d.E.d_id mod shards
+
+let merge_records rls =
+  List.sort
+    (fun (a : T.record) b ->
+      match compare a.T.at b.T.at with
+      | 0 -> (
+        match compare a.T.dom b.T.dom with
+        | 0 -> compare a.T.seq b.T.seq
+        | c -> c)
+      | c -> c)
+    (List.concat rls)
+
+let stats_of_counters ks =
+  List.fold_left
+    (fun (s : E.stats) (k : Wire.counters) ->
+      { E.committed = s.E.committed + k.Wire.k_committed;
+        aborted = s.E.aborted + k.Wire.k_aborted;
+        reads_a = s.E.reads_a + k.Wire.k_reads_a;
+        reads_b = s.E.reads_b + k.Wire.k_reads_b;
+        reads_c = s.E.reads_c + k.Wire.k_reads_c;
+        writes = s.E.writes + k.Wire.k_writes;
+        wall_releases = s.E.wall_releases + k.Wire.k_wall_releases;
+        wall_lag_sum = s.E.wall_lag_sum + k.Wire.k_wall_lag_sum;
+        wall_lag_max = Int.max s.E.wall_lag_max k.Wire.k_wall_lag_max })
+    { E.committed = 0; aborted = 0; reads_a = 0; reads_b = 0; reads_c = 0;
+      writes = 0; wall_releases = 0; wall_lag_sum = 0; wall_lag_max = 0 }
+    ks
+
+let collect nodes =
+  let outcomes =
+    Array.to_list nodes
+    |> List.concat_map Node.outcomes
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let records = merge_records (Array.to_list nodes |> List.map Node.records) in
+  { E.records;
+    outcomes;
+    stats =
+      stats_of_counters (Array.to_list nodes |> List.map Node.counters) }
+
+(* --- deterministic single-thread mode --- *)
+
+let run_script_det ?fault ?(config = Node.default_config) ~partition ~init
+    ~shards ~seed ~script () =
+  let nets = Transport.Loopback.create ?fault ~nodes:shards () in
+  let nodes =
+    Array.init shards (fun i ->
+        Node.create ~config ~partition ~init ~net:nets.(i) ())
+  in
+  Array.iteri
+    (fun i n ->
+      Node.set_on_wait n (fun () ->
+          Array.iteri
+            (fun j m ->
+              if j <> i then begin
+                Node.pump m;
+                Node.publish m
+              end)
+            nodes))
+    nodes;
+  let queues = Array.init shards (fun _ -> Queue.create ()) in
+  Array.iter (fun d -> Queue.add d queues.(assign ~shards d)) script;
+  let prng = Hdd_util.Prng.create seed in
+  let rec loop () =
+    let live =
+      Array.to_list queues
+      |> List.mapi (fun i q -> (i, q))
+      |> List.filter (fun (_, q) -> not (Queue.is_empty q))
+    in
+    match live with
+    | [] -> ()
+    | _ ->
+      let i, q = List.nth live (Hdd_util.Prng.int prng (List.length live)) in
+      Node.exec nodes.(i) (Queue.take q);
+      Array.iter Node.pump nodes;
+      loop ()
+  in
+  loop ();
+  Array.iter Node.publish_final nodes;
+  (* settle: deliver finals and let the coordinator release trailing
+     walls; a fixed round count keeps the trace deterministic *)
+  for _ = 1 to 3 do
+    Array.iter Node.pump nodes
+  done;
+  collect nodes
+
+(* --- one domain per shard --- *)
+
+let run_script_domains ?(config = Node.default_config) ~partition ~init
+    ~shards ~script () =
+  let nets = Transport.Loopback.create ~nodes:shards () in
+  let work = Array.init shards (fun _ -> Queue.create ()) in
+  Array.iter (fun d -> Queue.add d work.(assign ~shards d)) script;
+  let done_count = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let run i =
+    let node = Node.create ~config ~partition ~init ~net:nets.(i) () in
+    Node.set_on_wait node (fun () -> Unix.sleepf 2e-6);
+    let q = work.(i) in
+    let rec go () =
+      Node.pump node;
+      match Queue.take_opt q with
+      | Some d ->
+        Node.exec node d;
+        Node.publish node;
+        go ()
+      | None -> ()
+    in
+    go ();
+    Node.publish_final node;
+    Atomic.incr done_count;
+    (* keep serving publications and 2PC traffic until everyone is done *)
+    while not (Atomic.get stop) do
+      Node.pump node;
+      Node.publish_final node;
+      Unix.sleepf 10e-6
+    done;
+    Node.pump node;
+    node
+  in
+  let doms = Array.init shards (fun i -> Domain.spawn (fun () -> run i)) in
+  while Atomic.get done_count < shards do
+    Unix.sleepf 50e-6
+  done;
+  Atomic.set stop true;
+  let nodes = Array.map Domain.join doms in
+  collect nodes
+
+(* --- one process per shard --- *)
+
+let child_main ~config ~partition ~init ~net i =
+  let node = Node.create ~config ~partition ~init ~net () in
+  Node.set_on_wait node (fun () -> Unix.sleepf 20e-6);
+  let rec go () =
+    Node.pump node;
+    match Node.take_work node with
+    | Some d ->
+      Node.exec node d;
+      Node.publish node;
+      go ()
+    | None ->
+      if Node.drained node then ()
+      else begin
+        Node.publish node;
+        Unix.sleepf 20e-6;
+        go ()
+      end
+  in
+  go ();
+  Node.publish_final node;
+  let parent = Transport.Pipe.parent_addr ~nodes:net.Transport.nodes in
+  let home msg =
+    net.Transport.send
+      { Wire.src = i; dst = parent; stamp = Node.now node; msg }
+  in
+  home (Wire.Bye { shard = i });
+  (* Serve publications until the router says goodbye; the coordinator
+     keeps releasing walls for still-working siblings through here, so
+     outcomes, counters and the trace ship only after the Bye — a wall
+     released now must reach the merged trace. *)
+  while not (Node.bye_seen node) do
+    Node.pump node;
+    Node.publish_final node;
+    Unix.sleepf 200e-6
+  done;
+  home
+    (Wire.Outcome
+       { shard = i; outcomes = Node.outcomes node;
+         counters = Node.counters node });
+  home (Wire.Trace_slice { shard = i; records = Node.records node })
+
+let run_script_processes ?(config = Node.default_config) ~partition ~init
+    ~shards ~script () =
+  let parent = Transport.Pipe.parent_addr ~nodes:shards in
+  (* down.(i): parent -> child i; up.(i): child i -> parent *)
+  let down = Array.init shards (fun _ -> Unix.pipe ()) in
+  let up = Array.init shards (fun _ -> Unix.pipe ()) in
+  let pids =
+    Array.init shards (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          (* child i keeps read end of down.(i) and write end of up.(i) *)
+          Array.iteri
+            (fun j (r, w) ->
+              if j <> i then Unix.close r;
+              Unix.close w)
+            down;
+          Array.iteri
+            (fun j (r, w) ->
+              Unix.close r;
+              if j <> i then Unix.close w)
+            up;
+          let net =
+            Transport.Pipe.endpoint ~me:i ~nodes:shards
+              ~read_fd:(fst down.(i)) ~write_fd:(snd up.(i))
+          in
+          (try child_main ~config ~partition ~init ~net i
+           with e ->
+             prerr_endline
+               (Printf.sprintf "shard %d died: %s" i (Printexc.to_string e)));
+          exit 0
+        | pid -> pid)
+  in
+  (* parent keeps write ends of down and read ends of up *)
+  Array.iter (fun (r, _) -> Unix.close r) down;
+  Array.iter (fun (_, w) -> Unix.close w) up;
+  let sigpipe =
+    (* a child that exits while we still route must not kill the
+       parent (nor a sibling forward): surface EPIPE instead *)
+    Sys.signal Sys.sigpipe Sys.Signal_ignore
+  in
+  let send_down i (pkt : Wire.packet) =
+    try Transport.Pipe.write_all (snd down.(i)) (Wire.encode pkt)
+    with Unix.Unix_error (EPIPE, _, _) -> ()
+  in
+  let fbs = Array.init shards (fun _ -> Transport.Framebuf.create ()) in
+  let chunk = Bytes.create 65536 in
+  let outcomes = ref [] and slices = ref [] and counters = ref [] in
+  let byes = ref 0 in
+  let fd_of = Array.map fst up in
+  (* one routing round: forward child->child frames, keep the frames
+     addressed to us.  Draining while dispatching keeps the pipes from
+     filling up and deadlocking on large scripts. *)
+  let eof = Array.make shards false in
+  let service timeout =
+    let live =
+      Array.to_list fd_of
+      |> List.filteri (fun i _ -> not eof.(i))
+    in
+    if live = [] then false
+    else begin
+    let ready, _, _ = Unix.select live [] [] timeout in
+    let any = ready <> [] in
+    List.iter
+      (fun fd ->
+        let i = ref 0 in
+        Array.iteri (fun j f -> if f = fd then i := j) fd_of;
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> eof.(!i) <- true
+        | n ->
+          Transport.Framebuf.feed fbs.(!i) chunk ~len:n;
+          let rec route () =
+            match Transport.Framebuf.next fbs.(!i) with
+            | None -> ()
+            | Some pkt ->
+              (if pkt.Wire.dst = parent then
+                 match pkt.Wire.msg with
+                 | Wire.Outcome { outcomes = o; counters = k; _ } ->
+                   outcomes := o :: !outcomes;
+                   counters := k :: !counters
+                 | Wire.Trace_slice { records; _ } ->
+                   slices := records :: !slices
+                 | Wire.Bye _ -> incr byes
+                 | _ -> ()
+               else send_down pkt.Wire.dst pkt);
+              route ()
+          in
+          route ())
+      ready;
+    any
+    end
+  in
+  Array.iter
+    (fun d ->
+      let i = assign ~shards d in
+      send_down i { Wire.src = parent; dst = i; stamp = 0; msg = Wire.Exec d };
+      ignore (service 0.))
+    script;
+  Array.iteri
+    (fun i _ ->
+      send_down i { Wire.src = parent; dst = i; stamp = 0; msg = Wire.Drain })
+    pids;
+  let wait_for what cond =
+    let idle = ref 0 in
+    while not (cond ()) do
+      if service 1.0 then idle := 0
+      else begin
+        incr idle;
+        if !idle > 30 then
+          failwith
+            (Printf.sprintf
+               "Cluster: shard process unresponsive waiting for %s (30s \
+                without traffic)"
+               what)
+      end
+    done
+  in
+  wait_for "drain acknowledgements" (fun () -> !byes >= shards);
+  (* goodbyes; only now do the children ship outcomes and traces, so a
+     wall the coordinator released while serving stragglers is on
+     record before the trace crosses the pipe *)
+  Array.iteri
+    (fun i _ ->
+      send_down i
+        { Wire.src = parent; dst = i; stamp = 0; msg = Wire.Bye { shard = -1 } })
+    pids;
+  wait_for "traces and outcomes" (fun () ->
+      List.length !slices >= shards && List.length !outcomes >= shards);
+  Array.iter (fun (_, w) -> Unix.close w) down;
+  Array.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  Array.iter (fun (r, _) -> Unix.close r) up;
+  ignore (Sys.signal Sys.sigpipe sigpipe);
+  { E.records = merge_records !slices;
+    outcomes =
+      List.concat !outcomes |> List.sort (fun (a, _) (b, _) -> compare a b);
+    stats = stats_of_counters !counters }

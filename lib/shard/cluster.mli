@@ -1,0 +1,60 @@
+(** Drive a fleet of {!Node}s over a script and hand back an
+    {!Hdd_runtime.Engine.run} — the same shape the multicore engine
+    returns, so {!Hdd_runtime.Differential.check_run} certifies a
+    sharded history with the identical four-check oracle.
+
+    Three ways to run the same node code:
+
+    - {!run_script_det}: every node on one thread, descriptors
+      interleaved by a seeded round-robin, each node's wait hook
+      pumping the others.  Fully deterministic — same seed, same
+      merged trace, byte for byte — which is what the golden traces
+      and the netfault suite want.
+    - {!run_script_domains}: one domain per shard over the mutexed
+      loopback hub; real parallelism, still one process.
+    - {!run_script_processes}: one forked OS process per shard, pipes
+      to a star router in the parent, traces and outcomes shipped home
+      as {!Wire.Trace_slice}/{!Wire.Outcome} messages.  What
+      [hdd_cli shard --processes] runs. *)
+
+type script = Hdd_runtime.Engine.desc array
+
+val assign : shards:int -> Hdd_runtime.Engine.desc -> int
+(** Update classes go to their owner ([class mod shards]); read-only
+    descriptors round-robin by id. *)
+
+val run_script_det :
+  ?fault:Netfault.plan ->
+  ?config:Node.config ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  shards:int ->
+  seed:int ->
+  script:script ->
+  unit ->
+  Hdd_runtime.Engine.run
+
+val run_script_domains :
+  ?config:Node.config ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  shards:int ->
+  script:script ->
+  unit ->
+  Hdd_runtime.Engine.run
+
+val run_script_processes :
+  ?config:Node.config ->
+  partition:Hdd_core.Partition.t ->
+  init:(Granule.t -> int) ->
+  shards:int ->
+  script:script ->
+  unit ->
+  Hdd_runtime.Engine.run
+
+val merge_records :
+  Hdd_obs.Trace.record list list -> Hdd_obs.Trace.record list
+(** Gclock-merge: sort by (at, dom, seq) — the same order
+    {!Hdd_obs.Trace.merged} uses, for slices that crossed the wire. *)
+
+val stats_of_counters : Wire.counters list -> Hdd_runtime.Engine.stats

@@ -1,0 +1,18 @@
+type t = { shards : int; me : int; mutable last : Time.t }
+
+let create ~shards ~me =
+  if shards <= 0 || me < 0 || me >= shards then
+    invalid_arg "Sclock.create: need 0 <= me < shards";
+  { shards; me; last = Time.zero }
+
+let tick t =
+  (* smallest n > last with n mod shards = me *)
+  let r = t.last mod t.shards in
+  let n = t.last + ((t.me - r + t.shards) mod t.shards) in
+  let n = if n <= t.last then n + t.shards else n in
+  t.last <- n;
+  n
+
+let now t = t.last
+
+let catch_up t stamp = if stamp > t.last then t.last <- stamp

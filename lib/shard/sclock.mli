@@ -1,0 +1,38 @@
+(** Strided Lamport clocks — the sharded engine's substitute for the
+    multicore runtime's shared {!Hdd_runtime.Gclock}.
+
+    Across processes there is no [Atomic] to tick, so each shard draws
+    its timestamps from its own residue class: shard [me] of [shards]
+    only ever emits times congruent to [me] modulo [shards].  Ticks are
+    therefore {e globally unique} without coordination.  Receiving any
+    message first {!catch_up}s the clock to the sender's stamp, so a
+    tick taken after a receipt is strictly larger than every time the
+    sender had handed out — the happens-before edge all the
+    activity-link soundness arguments lean on (a registration on shard
+    [s] with initiation below a remote reader's threshold must have
+    been visible in the publication the threshold was computed from).
+
+    Unlike a wall clock, ticks advance by at least [shards] each — the
+    activity machinery only ever compares times, never differences, so
+    the stride is harmless. *)
+
+type t
+
+val create : shards:int -> me:int -> t
+(** @raise Invalid_argument unless [0 <= me < shards]. *)
+
+val tick : t -> Time.t
+(** The smallest unused time in this shard's residue class above
+    everything seen so far: unique across all shards, monotone, and
+    larger than any stamp previously passed to {!catch_up}. *)
+
+val now : t -> Time.t
+(** The largest time handed out or observed so far.  Every later
+    {!tick} on this shard exceeds it, which is what makes a
+    publication's [upto] bound sound: nothing of this shard's can
+    initiate at or below [now] anymore. *)
+
+val catch_up : t -> Time.t -> unit
+(** Fold a received stamp into the clock ([now] becomes at least the
+    stamp).  Call on every message receipt, before any tick that must
+    order after the send. *)

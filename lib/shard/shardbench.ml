@@ -1,0 +1,142 @@
+module D = Hdd_runtime.Differential
+module E = Hdd_runtime.Engine
+module J = Hdd_benchkit.Jsonlite
+
+type side = {
+  s_txns : int;
+  s_cross_reads : int;
+  s_txns_per_sec : float;
+  s_cross_reads_per_sec : float;
+}
+
+type result = {
+  r_shards : int;
+  r_seconds : float;
+  r_cross_per_txn : int;
+  r_hdd : side;
+  r_tpc : side;
+  r_speedup : float;
+}
+
+(* One closed loop per shard domain, every transaction one own-segment
+   write plus [cross] reads of the next segment up the chain — which a
+   different shard owns, so every read crosses the interconnect.  The
+   HDD side ships the whole transaction through {!Node.exec} (Protocol
+   A/B over publications: zero read-time round trips); the 2PC side
+   pays the lock / read / unlock conversation per read and commits
+   locally without any replication or registry work, which is the
+   kindest possible baseline. *)
+let bench_side ~mode ~shards ~seconds ~cross ~keys () =
+  let partition = D.chain_partition (shards + 1) in
+  let nets = Transport.Loopback.create ~nodes:shards () in
+  let stop = Atomic.make false in
+  let done_count = Atomic.make 0 in
+  let config = { Node.default_config with traced = false } in
+  let run me =
+    let node =
+      Node.create ~config ~partition ~init:D.default_init ~net:nets.(me) ()
+    in
+    Node.set_on_wait node (fun () -> Unix.sleepf 1e-6);
+    let deadline = Unix.gettimeofday () +. seconds in
+    let next_id = ref (me + 1) in
+    let n = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      let key = !n mod keys in
+      (match mode with
+      | `Hdd ->
+        let ops =
+          E.Write (Granule.make ~segment:me ~key, !n)
+          :: List.init cross (fun k ->
+                 E.Read
+                   (Granule.make ~segment:(me + 1) ~key:((key + k) mod keys)))
+        in
+        Node.exec node
+          { E.d_id = !next_id; d_kind = `Update me; d_ops = ops;
+            d_abort = false }
+      | `Tpc ->
+        for k = 0 to cross - 1 do
+          ignore
+            (Node.read_2pc node ~segment:(me + 1) ~key:((key + k) mod keys))
+        done;
+        Node.commit_local node ~segment:me ~key ~value:!n);
+      next_id := !next_id + shards;
+      incr n;
+      Node.publish node;
+      Node.pump node
+    done;
+    Atomic.incr done_count;
+    (* keep serving peers (publications, lock and read requests) until
+       every loop is past its deadline *)
+    while not (Atomic.get stop) do
+      Node.pump node;
+      Node.publish_final node;
+      Unix.sleepf 2e-6
+    done;
+    Node.pump node;
+    node
+  in
+  let doms = Array.init shards (fun i -> Domain.spawn (fun () -> run i)) in
+  while Atomic.get done_count < shards do
+    Unix.sleepf 100e-6
+  done;
+  Atomic.set stop true;
+  let nodes = Array.map Domain.join doms in
+  let sum f = Array.fold_left (fun a n -> a + f (Node.counters n)) 0 nodes in
+  let txns = sum (fun k -> k.Wire.k_committed) in
+  let reads = sum (fun k -> k.Wire.k_reads_a) in
+  { s_txns = txns;
+    s_cross_reads = reads;
+    s_txns_per_sec = float_of_int txns /. seconds;
+    s_cross_reads_per_sec = float_of_int reads /. seconds }
+
+let run ?(shards = 4) ?(seconds = 1.0) ?(cross = 4) ?(keys = 64) () =
+  let hdd = bench_side ~mode:`Hdd ~shards ~seconds ~cross ~keys () in
+  let tpc = bench_side ~mode:`Tpc ~shards ~seconds ~cross ~keys () in
+  { r_shards = shards;
+    r_seconds = seconds;
+    r_cross_per_txn = cross;
+    r_hdd = hdd;
+    r_tpc = tpc;
+    r_speedup =
+      (if tpc.s_cross_reads_per_sec > 0. then
+         hdd.s_cross_reads_per_sec /. tpc.s_cross_reads_per_sec
+       else infinity) }
+
+let side_json s =
+  J.Obj
+    [ ("txns", J.num_of_int s.s_txns);
+      ("cross_reads", J.num_of_int s.s_cross_reads);
+      ("txns_per_sec", J.Num s.s_txns_per_sec);
+      ("cross_reads_per_sec", J.Num s.s_cross_reads_per_sec) ]
+
+let to_json r =
+  J.with_schema
+    [ ("shards", J.num_of_int r.r_shards);
+      ("seconds", J.Num r.r_seconds);
+      ("cross_reads_per_txn", J.num_of_int r.r_cross_per_txn);
+      ("hdd", side_json r.r_hdd);
+      ("twopc", side_json r.r_tpc);
+      ("speedup", J.Num r.r_speedup) ]
+
+let gates r =
+  let problems = ref [] in
+  if r.r_hdd.s_txns = 0 then
+    problems := "HDD side committed nothing" :: !problems;
+  if r.r_tpc.s_txns = 0 then
+    problems := "2PC side committed nothing" :: !problems;
+  if r.r_speedup <= 1.0 then
+    problems :=
+      Printf.sprintf
+        "HDD cross-shard reads no faster than the 2PC baseline \
+         (speedup %.2fx)"
+        r.r_speedup
+      :: !problems;
+  List.rev !problems
+
+let pp ppf r =
+  Format.fprintf ppf
+    "shards=%d cross=%d: HDD %.0f cross-reads/sec (%.0f txns/sec), 2PC \
+     %.0f cross-reads/sec (%.0f txns/sec), speedup %.2fx@."
+    r.r_shards r.r_cross_per_txn r.r_hdd.s_cross_reads_per_sec
+    r.r_hdd.s_txns_per_sec r.r_tpc.s_cross_reads_per_sec
+    r.r_tpc.s_txns_per_sec r.r_speedup

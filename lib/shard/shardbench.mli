@@ -1,0 +1,42 @@
+(** Cross-shard read throughput: HDD's publication-composed thresholds
+    against an in-tree 2PC-read baseline ([BENCH_shard.json]).
+
+    Both sides run the same closed loop — one domain per shard over the
+    loopback hub, each transaction writing its own segment and reading
+    [cross] keys of the next segment up the chain, which a different
+    shard owns.  The HDD side serves those reads passively off received
+    publications and deltas (Protocol A: no read-time round trip); the
+    2PC side pays lock / read / unlock — three round trips per read —
+    and in exchange gets the cheapest possible write path
+    ({!Node.commit_local}: no registry, no replication, no
+    publications).  The gate is simply that shipping CC state beats
+    asking permission: [speedup > 1]. *)
+
+type side = {
+  s_txns : int;
+  s_cross_reads : int;
+  s_txns_per_sec : float;
+  s_cross_reads_per_sec : float;
+}
+
+type result = {
+  r_shards : int;
+  r_seconds : float;
+  r_cross_per_txn : int;
+  r_hdd : side;
+  r_tpc : side;
+  r_speedup : float;  (** HDD cross-reads/sec over 2PC's *)
+}
+
+val run :
+  ?shards:int -> ?seconds:float -> ?cross:int -> ?keys:int -> unit -> result
+(** Defaults: 4 shards, 1s per side, 4 cross-shard reads per
+    transaction, 64 keys per segment.  Spawns domains; do not call from
+    a process that intends to fork afterwards. *)
+
+val to_json : result -> Hdd_benchkit.Jsonlite.t
+val gates : result -> string list
+(** Structural failures ([] when sound): either side idle, or HDD not
+    ahead of the baseline. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,69 @@
+(** Shard interconnect: who carries the {!Wire} frames.
+
+    A transport value is one shard's endpoint — a [send] that ships an
+    encoded packet toward its [dst] and a non-blocking [poll] that
+    yields the next arrived packet, FIFO per channel.  Two carriers:
+
+    - {!Loopback}: an in-memory hub.  Frames still round-trip through
+      the real {!Wire} codec (so the bytes exercised are the bytes a
+      socket would carry), delivery is FIFO per destination, and a
+      {!Netfault.plan} can drop/duplicate/delay/reorder {e publication}
+      frames only — the fault suite's contract.  Safe both from a
+      single thread (the deterministic cluster) and across domains
+      (one hub mutex).
+    - {!Pipe}: a real [Unix] pipe endpoint for the forked process mode,
+      star topology: every child speaks to the parent router, which
+      forwards frames by [dst].  {!Framebuf} reassembles frames from
+      the byte stream. *)
+
+type t = {
+  me : int;
+  nodes : int;
+  send : Wire.packet -> unit;
+  poll : unit -> Wire.packet option;
+}
+
+val send_to : t -> dst:int -> stamp:Time.t -> Wire.msg -> unit
+
+val broadcast : t -> stamp:Time.t -> Wire.msg -> unit
+(** [send_to] every other node, ascending ids. *)
+
+module Loopback : sig
+  val create : ?fault:Netfault.plan -> nodes:int -> unit -> t array
+  (** One endpoint per node.  With [fault], every [Wire.Pub] send
+      consumes one {!Netfault.on_pub} ordinal; held frames that never
+      age out are dropped at the end of the run (a delay is allowed to
+      degenerate into a drop — both are mere staleness). *)
+end
+
+module Framebuf : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> bytes -> len:int -> unit
+
+  val next : t -> Wire.packet option
+  (** The next complete frame, if any.
+      @raise Failure on a corrupt frame (pipes do not corrupt;
+      anything else is a bug). *)
+end
+
+module Pipe : sig
+  val endpoint :
+    me:int ->
+    nodes:int ->
+    read_fd:Unix.file_descr ->
+    write_fd:Unix.file_descr ->
+    t
+  (** An endpoint over two fds.  [poll] reads whatever is available
+      without blocking; [send] writes the whole frame.  [dst] rides in
+      the packet, so a router on the peer end can forward.  In the star
+      topology the parent is address [nodes] (see {!parent_addr}). *)
+
+  val parent_addr : nodes:int -> int
+  (** The router's own address: control messages ([Outcome],
+      [Trace_slice], [Bye]) are sent to it rather than to a shard. *)
+
+  val write_all : Unix.file_descr -> bytes -> unit
+  (** Loop until the whole buffer is written (the router's send). *)
+end

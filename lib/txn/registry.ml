@@ -321,6 +321,47 @@ let snap_c_late snap ~class_id ~at =
     let i = v_first_init_at_or_above v at in
     if i > 0 && v.v_w_end.(i - 1) > at then Ok v.v_w_end.(i - 1) else Ok at
 
+let snap_parts snap =
+  Array.map
+    (fun v ->
+      ( v.v_actives,
+        Array.init (Array.length v.v_w_init) (fun i ->
+            (v.v_w_init.(i), v.v_w_end.(i))),
+        v.v_gen ))
+    snap.views
+
+let snapshot_of_parts parts =
+  let views =
+    Array.map
+      (fun (actives, windows, gen) ->
+        let rec check_actives = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+            if a >= b then
+              invalid_arg "Registry.snapshot_of_parts: actives not ascending"
+            else check_actives rest
+          | _ -> ()
+        in
+        check_actives actives;
+        Array.iteri
+          (fun i (init, endt) ->
+            if init >= endt then
+              invalid_arg "Registry.snapshot_of_parts: empty window";
+            if
+              i > 0
+              && (fst windows.(i - 1) >= init || snd windows.(i - 1) >= endt)
+            then
+              invalid_arg "Registry.snapshot_of_parts: windows not ascending")
+          windows;
+        { v_actives = actives;
+          v_w_init = Array.map fst windows;
+          v_w_end = Array.map snd windows;
+          v_gen = gen })
+      parts
+  in
+  if Array.length views = 0 then
+    invalid_arg "Registry.snapshot_of_parts: no classes";
+  { views }
+
 let prune t ~upto =
   let records_dropped = ref 0 and windows_dropped = ref 0 in
   Array.iter

@@ -124,6 +124,23 @@ val snap_c_late :
   snapshot -> class_id:int -> at:Time.t -> (Time.t, Txn.id) result
 (** {!c_late} against the frozen view. *)
 
+val snap_parts :
+  snapshot -> ((Txn.id * Time.t) list * (Time.t * Time.t) array * int) array
+(** The frozen state, one triple per class: the ordered actives
+    (id, initiation; oldest first), the dominance-pruned finished
+    windows as [(init, end)] pairs (both columns ascending), and the
+    generation — everything a wire codec needs to rebuild the snapshot
+    on another machine.  Fresh arrays; mutating them is safe. *)
+
+val snapshot_of_parts :
+  ((Txn.id * Time.t) list * (Time.t * Time.t) array * int) array -> snapshot
+(** Rebuild a snapshot from decoded parts.  Validates the shape
+    {!snap_parts} guarantees — actives ascending by initiation, window
+    columns strictly ascending, each window's init below its end — so a
+    decoder feeding it corrupted bytes gets a clean failure, not a
+    snapshot that answers nonsense.
+    @raise Invalid_argument on malformed parts. *)
+
 val prune : t -> upto:Time.t -> unit
 (** Forget prefix records that finished at or before [upto].  Queries with
     [at < upto] become unreliable after pruning; callers pass the oldest

@@ -1,0 +1,158 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+
+(* zigzag: sign bit into bit 0, so small magnitudes of either sign stay
+   short.  [lsr 62] rather than 63: zigzag doubles, so the top bit of the
+   doubled value is bit 62 of the magnitude. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let w_int b n =
+  let v = ref (zigzag n) in
+  (* OCaml ints are 63-bit; as an unsigned quantity [!v] needs at most
+     9 LEB128 digits *)
+  let continue = ref true in
+  while !continue do
+    let digit = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_uint8 b digit;
+      continue := false
+    end
+    else Buffer.add_uint8 b (digit lor 0x80)
+  done
+
+let w_bool b v = Buffer.add_uint8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f l =
+  w_int b (List.length l);
+  List.iter (f b) l
+
+let w_array b f a =
+  w_int b (Array.length a);
+  Array.iter (f b) a
+
+let w_option b f = function
+  | None -> w_bool b false
+  | Some v ->
+    w_bool b true;
+    f b v
+
+let payload b = Buffer.to_bytes b
+
+(* CRC-32 (IEEE), the same polynomial the WAL frames use. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 bytes =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  Bytes.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    bytes;
+  !c lxor 0xFFFFFFFF
+
+let frame b =
+  let p = payload b in
+  let out = Bytes.create (8 + Bytes.length p) in
+  Bytes.set_int32_le out 0 (Int32.of_int (Bytes.length p));
+  Bytes.set_int32_le out 4 (Int32.of_int (crc32 p));
+  Bytes.blit p 0 out 8 (Bytes.length p);
+  out
+
+(* --- reading --- *)
+
+type reader = { buf : bytes; mutable pos : int }
+
+exception Error of string
+
+let reader buf = { buf; pos = 0 }
+
+let need r n =
+  if r.pos + n > Bytes.length r.buf then raise (Error "truncated")
+
+let r_byte r =
+  need r 1;
+  let v = Bytes.get_uint8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let r_int r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 63 then raise (Error "varint overflow");
+    let d = r_byte r in
+    v := !v lor ((d land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if d land 0x80 = 0 then continue := false
+  done;
+  unzigzag !v
+
+let r_bool r =
+  match r_byte r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Error (Printf.sprintf "bad bool byte %d" n))
+
+let r_string r =
+  let n = r_int r in
+  if n < 0 then raise (Error "negative string length");
+  need r n;
+  let s = Bytes.sub_string r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_count r =
+  let n = r_int r in
+  (* an element costs at least one byte, so a count beyond the remaining
+     bytes is corrupt — refuse before allocating *)
+  if n < 0 || n > Bytes.length r.buf - r.pos then
+    raise (Error (Printf.sprintf "bad count %d" n));
+  n
+
+let r_list r f = List.init (r_count r) (fun _ -> f r)
+let r_array r f = Array.init (r_count r) (fun _ -> f r)
+
+let r_option r f = if r_bool r then Some (f r) else None
+
+let at_end r = r.pos = Bytes.length r.buf
+
+(* --- frames --- *)
+
+let unframe buf ~pos =
+  let len = Bytes.length buf in
+  if pos < 0 || pos + 8 > len then Result.Error "truncated frame header"
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le buf pos) in
+    let crc = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) land 0xFFFFFFFF in
+    if plen < 0 || plen > 1 lsl 26 then Result.Error "implausible frame length"
+    else if pos + 8 + plen > len then Result.Error "truncated frame body"
+    else
+      let p = Bytes.sub buf (pos + 8) plen in
+      if crc32 p <> crc then Result.Error "frame CRC mismatch"
+      else Result.Ok (p, pos + 8 + plen)
+
+let decode buf ~pos ~f =
+  match unframe buf ~pos with
+  | Result.Error _ as e -> e
+  | Result.Ok (p, next) -> (
+    let r = reader p in
+    match f r with
+    | v ->
+      if at_end r then Result.Ok (v, next)
+      else Result.Error "trailing payload bytes"
+    | exception Error e -> Result.Error e
+    | exception Invalid_argument e -> Result.Error ("invalid: " ^ e))

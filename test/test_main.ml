@@ -16,4 +16,5 @@ let () =
       ("storage", Test_storage.suite);
       ("obs", Test_obs.suite);
       ("benchkit", Test_benchkit.suite);
-      ("runtime", Test_runtime.suite) ]
+      ("runtime", Test_runtime.suite);
+      ("shard", Test_shard.suite) ]

@@ -1,0 +1,33 @@
+(* Process-mode shard runs in their own executable: OCaml 5 refuses
+   Unix.fork in a process that has ever spawned domains, and the main
+   test binary's multicore suites do.  Everything here forks before any
+   domain exists. *)
+
+module Sh = Hdd_shard
+module D = Hdd_runtime.Differential
+
+let ok_or_fail what (r : D.report) =
+  if not (D.ok r) then
+    Alcotest.failf "%s: oracle rejected the run:@.%a" what D.pp_report r
+
+let test_processes_smoke () =
+  let r =
+    Sh.Shard_diff.stress_one ~mode:`Processes ~seed:5 ~shards:2 ~txns:20
+      ~profile:D.Mixed ()
+  in
+  ok_or_fail "process mode seed 5" r;
+  Alcotest.(check bool) "made progress" true (r.D.r_committed > 0)
+
+let test_processes_four_shards () =
+  let r =
+    Sh.Shard_diff.stress_one ~mode:`Processes ~seed:8 ~shards:4 ~txns:24
+      ~profile:D.Adhoc_read ()
+  in
+  ok_or_fail "process mode seed 8 @ 4 shards" r
+
+let () =
+  Alcotest.run "hdd-shard-proc"
+    [ ( "processes",
+        [ Alcotest.test_case "2-shard fork smoke" `Slow test_processes_smoke;
+          Alcotest.test_case "4-shard fork run" `Slow
+            test_processes_four_shards ] ) ]
