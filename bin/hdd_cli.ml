@@ -558,6 +558,22 @@ let bench_cmd =
            ~doc:"Fail when a gated throughput metric falls this fraction \
                  below the baseline.")
   in
+  let workers =
+    Arg.(value & opt (some (list int)) None & info [ "workers" ]
+           ~docv:"W,W,..."
+           ~doc:"With $(b,--parallel): the worker-domain counts to \
+                 measure (default 1,2,4,8, extended with all-cores when \
+                 that exceeds 8).  The nightly 16-domain job passes \
+                 1,2,4,8,16.")
+  in
+  let publish_every =
+    Arg.(value & opt (some int) None & info [ "publish-every" ] ~docv:"K"
+           ~doc:"Publication batch: publish activity once per K finished \
+                 transactions.  With $(b,--parallel) it sets the batch \
+                 of the scaling points (the K-sweep still runs); with \
+                 $(b,--shard) it sets the batched HDD side compared \
+                 against per-commit publication.")
+  in
   let obs_gate =
     Arg.(value & opt (some float) None & info [ "obs-gate" ] ~docv:"FRAC"
            ~doc:"Instead of the full report, measure the closed-loop \
@@ -575,12 +591,13 @@ let bench_cmd =
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression obs_gate parallel durable shard =
+  let run quick out baseline max_regression obs_gate parallel durable shard
+      workers publish_every =
     if shard then begin
       let module Sb = Hdd_shard.Shardbench in
       let out = Option.value out ~default:"BENCH_shard.json" in
       let seconds = if quick then 0.25 else 1.0 in
-      let r = Sb.run ~seconds () in
+      let r = Sb.run ~seconds ?publish_every () in
       J.to_file out (Sb.to_json r);
       Printf.printf "wrote %s\n" out;
       Format.printf "%a@?" Sb.pp r;
@@ -690,12 +707,79 @@ let bench_cmd =
           exit 1)
     end
     else if parallel then begin
+      let module Pb = Hdd_runtime.Parbench in
       let out = Option.value out ~default:"BENCH_parallel.json" in
       let seconds = if quick then 0.2 else 1.0 in
-      let r = Hdd_runtime.Parbench.run ~seconds () in
-      J.to_file out (Hdd_runtime.Parbench.to_json r);
+      let ksweep = if quick then [ 1; 16 ] else [ 1; 4; 16; 64 ] in
+      let r =
+        Pb.run ?workers_list:workers ?publish_every ~ksweep ~seconds ()
+      in
+      J.to_file out (Pb.to_json r);
       Printf.printf "wrote %s\n" out;
-      Format.printf "%a@?" Hdd_runtime.Parbench.pp r
+      Format.printf "%a@?" Pb.pp r;
+      (match Pb.gates r with
+      | [] -> ()
+      | problems ->
+        List.iter
+          (fun p -> Printf.printf "PARALLEL GATE FAILED: %s\n" p)
+          problems;
+        exit 1);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base = J.of_file path in
+        let fail = ref false in
+        let gate name was now =
+          if was > 0. && now < was *. (1. -. max_regression) then begin
+            Printf.printf "REGRESSION %s: %.0f -> %.0f (-%.0f%%)\n" name
+              was now
+              (100. *. (1. -. (now /. was)));
+            fail := true
+          end
+        in
+        (* per-worker-count A-read rates, matched by workers *)
+        let base_rate w =
+          match J.path [ "points" ] base with
+          | Some (J.List pts) ->
+            List.find_map
+              (fun p ->
+                match
+                  (Option.bind (J.path [ "workers" ] p) J.number,
+                   Option.bind (J.path [ "reads_a_per_s" ] p) J.number)
+                with
+                | Some bw, Some rate when int_of_float bw = w -> Some rate
+                | _ -> None)
+              pts
+          | _ -> None
+        in
+        List.iter
+          (fun pt ->
+            match base_rate pt.Pb.b_workers with
+            | Some was ->
+              gate
+                (Printf.sprintf "reads_a_per_s at %d workers"
+                   pt.Pb.b_workers)
+                was pt.Pb.b_reads_a_per_s
+            | None -> ())
+          r.Pb.r_points;
+        (match
+           ( Option.bind
+               (J.path [ "cross_read_scaling_1_to_8" ] base)
+               J.number,
+             r.Pb.r_scaling_1_to_8 )
+         with
+        | Some was, Some now ->
+          if was > 0. && now < was *. (1. -. max_regression) then begin
+            Printf.printf
+              "REGRESSION cross_read_scaling_1_to_8: %.2fx -> %.2fx\n" was
+              now;
+            fail := true
+          end
+        | _ -> ());
+        if !fail then exit 1
+        else
+          Printf.printf "no parallel regression beyond %.0f%% against %s\n"
+            (100. *. max_regression) path
     end
     else
     let out = Option.value out ~default:"BENCH_hot_paths.json" in
@@ -765,7 +849,7 @@ let bench_cmd =
              and optionally gate against a committed baseline")
     Term.(
       const run $ quick $ out $ baseline $ max_regression $ obs_gate
-      $ parallel $ durable $ shard)
+      $ parallel $ durable $ shard $ workers $ publish_every)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in

@@ -1,0 +1,76 @@
+(** Packed-int multi-version store for the multicore runtime's hot path.
+
+    {!Snapshot} is a persistent map of boxed version lists — pleasant to
+    publish, but every commit allocates map spine and list cells, and
+    every read chases pointers.  [Pstore] flattens each granule's
+    version chain into a packed [int array] of [ts; value] pairs in
+    ascending-ts order — the same layout trick that took trace events
+    116→12 ns (DESIGN.md §9) — and splits the store into two faces:
+
+    - the {e owner face} ({!t}): mutable, touched only by the owning
+      worker domain.  {!add_commit} appends in place and allocates
+      nothing once buffers reach steady-state capacity (in-place
+      compaction below the {!set_watermark} point reclaims space
+      instead of growing);
+    - the {e reader face} ({!view}): an immutable frozen copy cut by
+      {!publish} once per batch, swapped into an [Atomic.t] by the
+      engine.  Views are never mutated, so cross-domain readers need no
+      synchronization beyond the view swap itself.
+
+    Reads return the version timestamp directly ([Time.zero] = the
+    bootstrap value predating every commit) — no option, no tuple — so
+    the Protocol A/B/C read paths allocate nothing.  The [_pair]
+    variants are allocating conveniences for tests and tools. *)
+
+type t
+(** Owner face: one per segment, single-domain mutable. *)
+
+type view
+(** Reader face: immutable frozen copy, safe to share across domains. *)
+
+val create : unit -> t
+val empty_view : view
+
+val add_commit : t -> key:int -> ts:Time.t -> value:int -> unit
+(** Append a version; [ts] must exceed the key's newest version.
+    Amortized zero-allocation: appends in place, compacting versions
+    below the watermark out of the buffer before growing it. *)
+
+val set_watermark : t -> Time.t -> unit
+(** Advance the oldest timestamp future reads may name (a released wall
+    component).  Versions below it — except the newest such version,
+    which a read exactly at the watermark still serves — become
+    reclaimable by in-place compaction.  Monotone; lower values are
+    ignored. *)
+
+val latest_before : t -> key:int -> ts:Time.t -> Time.t
+(** Timestamp of the newest version strictly below [ts], or [Time.zero]
+    when the read predates every version (bootstrap). *)
+
+val value_of : t -> key:int -> ts:Time.t -> fallback:int -> int
+(** Value of the exact version [ts], or [fallback] if absent. *)
+
+val publish : t -> view
+(** Freeze the keys dirtied since the last publish (one copy of each
+    dirty key's live range) and return a view of the whole segment.
+    Clean keys share their previous frozen buffer. *)
+
+val view_latest_before : view -> key:int -> ts:Time.t -> Time.t
+val view_value_of : view -> key:int -> ts:Time.t -> fallback:int -> int
+
+val latest_before_pair : t -> key:int -> ts:Time.t -> (Time.t * int) option
+(** Allocating convenience mirroring {!Snapshot.latest_before}. *)
+
+val view_latest_before_pair :
+  view -> key:int -> ts:Time.t -> (Time.t * int) option
+
+val dirty_count : t -> int
+(** Keys with versions the last published view does not hold — zero
+    means {!publish} would return a view equivalent to the last one, so
+    the caller can skip the swap entirely. *)
+
+val version_count : t -> int
+(** Live (uncompacted) versions across all keys. *)
+
+val key_count : t -> int
+val view_version_count : view -> int

@@ -1,0 +1,123 @@
+(* Per-class activity board: the owner domain of a class publishes its
+   activity state through a seqlocked fixed layout, and cross-class
+   readers compute I_old from it without waiting for a registry
+   publication.  One writer per class (the owning domain), any number
+   of readers.
+
+   Layout per class, stride [stride] ints in [recs] (the stride keeps
+   each class's record on its own cache line):
+
+     [state; a_init; i1; e1; i2; e2; _; _]
+
+   where (i1, e1) is the most recently finished activity window and
+   (i2, e2) the one before it — Protocol B runs a class one
+   transaction at a time, so windows are disjoint and two of them are
+   enough to answer I_old at any argument above i2 (older arguments
+   fall back to the snapshot path).
+
+   The [starting]/[ending] transition states exist for exactness, not
+   convenience.  A reader that ticked its own initiation [at] and then
+   observes [busy a_init] knows the running transaction's end tick has
+   not happened yet — the owner writes [ending] *before* ticking the
+   end, so in the SC order: reader-tick < record-read < ending-write <
+   end-tick, hence end > at and the window spans [at].  Symmetrically,
+   observing [idle] proves any not-yet-visible transaction's init tick
+   is still in the future (the owner writes [starting] before ticking
+   the init), hence init > at.  Observing a transition state proves
+   nothing either way, and the reader must fall back to an awaited
+   publication; the transition windows are a handful of instructions
+   wide, so that path is rare. *)
+
+type t = { seqs : int Atomic.t array; recs : int array }
+
+let stride = 8
+let idle = 0
+let starting = 1
+let busy = 2
+let ending = 3
+
+let create ~classes =
+  if classes <= 0 then invalid_arg "Actboard.create: classes must be > 0";
+  { seqs = Array.init classes (fun _ -> Atomic.make 0);
+    recs = Array.make (classes * stride) 0 }
+
+(* Writer side: a classic seqlock cycle.  Odd sequence = record in
+   flux.  Only the owning domain writes a class's record, so plain
+   increments are race-free on the writer side; the [Atomic.set] pairs
+   order the plain field writes for readers. *)
+
+let set_state t c st =
+  let s = Atomic.get t.seqs.(c) in
+  Atomic.set t.seqs.(c) (s + 1);
+  Array.unsafe_set t.recs (c * stride) st;
+  Atomic.set t.seqs.(c) (s + 2)
+
+let begin_txn t c = set_state t c starting
+
+let set_busy t c ~init =
+  let s = Atomic.get t.seqs.(c) in
+  Atomic.set t.seqs.(c) (s + 1);
+  let base = c * stride in
+  Array.unsafe_set t.recs base busy;
+  Array.unsafe_set t.recs (base + 1) init;
+  Atomic.set t.seqs.(c) (s + 2)
+
+let set_ending t c = set_state t c ending
+
+let set_idle t c ~init ~endt =
+  let s = Atomic.get t.seqs.(c) in
+  Atomic.set t.seqs.(c) (s + 1);
+  let base = c * stride in
+  Array.unsafe_set t.recs base idle;
+  (* shift the window history: (i1, e1) -> (i2, e2) *)
+  Array.unsafe_set t.recs (base + 4) (Array.unsafe_get t.recs (base + 2));
+  Array.unsafe_set t.recs (base + 5) (Array.unsafe_get t.recs (base + 3));
+  Array.unsafe_set t.recs (base + 2) init;
+  Array.unsafe_set t.recs (base + 3) endt;
+  Atomic.set t.seqs.(c) (s + 2)
+
+(* Reader side: copy the six fields into a caller-provided scratch
+   buffer under a stable sequence.  Racy plain reads of a record mid
+   write may return stale values; they are discarded when the sequence
+   check fails.  Bounded retries — a writer preempted mid-cycle must
+   not wedge readers — after which the caller takes the snapshot
+   fallback. *)
+
+let rec read_into t c ~(out : int array) ~retries =
+  let seq = t.seqs.(c) in
+  let s1 = Atomic.get seq in
+  if s1 land 1 = 1 then
+    if retries = 0 then false
+    else begin
+      Domain.cpu_relax ();
+      read_into t c ~out ~retries:(retries - 1)
+    end
+  else begin
+    let base = c * stride in
+    out.(0) <- Array.unsafe_get t.recs base;
+    out.(1) <- Array.unsafe_get t.recs (base + 1);
+    out.(2) <- Array.unsafe_get t.recs (base + 2);
+    out.(3) <- Array.unsafe_get t.recs (base + 3);
+    out.(4) <- Array.unsafe_get t.recs (base + 4);
+    out.(5) <- Array.unsafe_get t.recs (base + 5);
+    if Atomic.get seq = s1 then true
+    else if retries = 0 then false
+    else read_into t c ~out ~retries:(retries - 1)
+  end
+
+(* I_old over a consistently-read record, matching
+   {!Registry.i_old} on the single-active histories the engine
+   produces.  Returns [-1] when the answer sits below the two retained
+   windows and the caller must consult a snapshot. *)
+let i_old_of_record (r : int array) ~at =
+  let st = r.(0) in
+  if st = busy && r.(1) < at then r.(1)
+  else if st = busy || st = idle then begin
+    let i1 = r.(2) and e1 = r.(3) in
+    if e1 <= at then at
+    else if i1 < at then i1
+    else
+      let i2 = r.(4) and e2 = r.(5) in
+      if e2 <= at then at else if i2 < at then i2 else -1
+  end
+  else -1

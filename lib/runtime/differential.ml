@@ -380,7 +380,7 @@ let tree_partition branches =
   in
   P.build_exn (Spec.make ~segments ~types)
 
-let stress_one ~seed ~workers ~txns ~profile =
+let stress_one ?(publish_every = 8) ~seed ~workers ~txns ~profile () =
   let prng = Prng.create (seed * 2 + 1) in
   let partition =
     if seed land 1 = 0 then chain_partition (4 + Prng.int prng 5)
@@ -395,5 +395,5 @@ let stress_one ~seed ~workers ~txns ~profile =
   let script =
     gen_script ~partition ~seed ~txns ~ro_frac ~abort_frac ()
   in
-  let config = Engine.default_config ~workers in
+  let config = { (Engine.default_config ~workers) with publish_every } in
   check ~partition ~init:default_init ~config script

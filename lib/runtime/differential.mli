@@ -100,9 +100,12 @@ val tree_partition : int -> Hdd_core.Partition.t
 type profile = Abort_heavy | Adhoc_read | Mixed
 
 val stress_one :
-  seed:int -> workers:int -> txns:int -> profile:profile -> report
+  ?publish_every:int ->
+  seed:int -> workers:int -> txns:int -> profile:profile -> unit -> report
 (** One randomized stress run: the seed picks a chain or tree hierarchy
     (trees exercise the wall coordinator's [C_late] down-steps), the
     profile sets the mix — [Abort_heavy] ~40% aborts, [Adhoc_read] ~50%
     read-only transactions over arbitrary segments, [Mixed] in
-    between. *)
+    between.  [publish_every] is the engine's publication batch K
+    (default 8): outcomes must be identical at every value, which is
+    exactly what the batching property in the test suite asserts. *)

@@ -7,30 +7,38 @@
     locks, never blocks and never rejects — intra-class concurrency is
     the coordination the paper's decomposition removes, and giving it up
     buys lock-freedom; the parallelism that remains, cross-class, is
-    exactly what the paper makes free.  On commit an owner extends an
-    immutable {!Hdd_mvstore.Snapshot} per root segment and publishes it
-    with one [Atomic.set]; it then publishes its {!Registry.snapshot}
-    together with an [upto] bound (the global clock value at capture:
-    the snapshot answers [I_old]/[C_late] exactly for arguments at or
-    below it — store before activity, so any reader that derives a
-    threshold from the activity publication finds every version below
-    that threshold already in the store it fetches afterwards).
+    exactly what the paper makes free.  On commit an owner appends committed
+    versions to a packed-int {!Hdd_mvstore.Pstore} per root segment —
+    the zero-allocation commit path, gated by {!alloc_probe} — and once
+    per [publish_every] finished transactions (or on request) publishes
+    frozen store views with one [Atomic.set] each, followed by its
+    {!Registry.snapshot} together with an [upto] bound (the global
+    clock value at capture: the snapshot answers [I_old]/[C_late]
+    exactly for arguments at or below it — store before activity, so
+    any reader that derives a threshold from the activity publication
+    finds every version below that threshold already in the view it
+    fetches afterwards) and its quiescence summary (DESIGN.md §16).
 
     A Protocol A read by class [i] of segment [j] composes
     [I_old] along the critical path over published snapshots — waiting,
     if a snapshot's [upto] lags the argument, for the owner's next
-    republication (owners republish when idle and whenever they finish a
-    transaction, and a waiting worker republishes its own activity so
-    two waiters always unblock each other) — then loads the segment's
-    store snapshot and serves the latest committed version below the
-    threshold: the same historical fact the serial scheduler computes,
+    republication (the waiter posts a republication request the owner
+    serves between transactions, and keeps serving requests aimed at
+    itself, so two waiters always unblock each other; classes the
+    reading worker itself owns are answered from its live registry with
+    no wait at all) — then loads the segment's published view and
+    serves the latest committed version below the threshold: the same historical fact the serial scheduler computes,
     because [I_old(m)] is fixed once the clock passes [m].
 
     A wall-coordinator domain anchors Protocol C walls at
     [m = min_i q_i] where [q_i = I_old^i(upto_i)] — below [q_i] class
-    [i] is quiescent and fully published — evaluates [E_s^i(m)] over the
-    same snapshots, re-checks every component against [q], and releases
-    through a {!Seqwall}.  Read-only transactions load the wall before
+    [i] is quiescent and fully published.  Each worker precomputes its
+    classes' [q] at publication time, so a release attempt folds
+    O(workers) summaries instead of rescanning every class's history;
+    the coordinator evaluates [E_s^i(m)] over the same snapshots,
+    re-checks every component against [q], and releases through a
+    wait-free {!Epochwall} (the {!Seqwall} seqlock stays as the
+    ablation partner).  Read-only transactions load the wall before
     ticking their initiation, so a released wall always satisfies
     [released_at < init].
 
@@ -58,6 +66,13 @@ type config = {
   trace_capacity : int;
   mailbox_capacity : int;
   wall_poll_s : float;  (** coordinator poll between release attempts *)
+  publish_every : int;
+      (** batched publication: workers publish registry/store snapshots
+          once per [publish_every] finished transactions, plus on
+          republication requests from waiters and a stuck coordinator.
+          1 restores PR 5's publish-per-commit behaviour; outcomes are
+          identical at every value (the batching equivalence property in
+          [test_runtime.ml]) *)
 }
 
 val default_config : workers:int -> config
@@ -69,6 +84,7 @@ type stats = {
   reads_b : int;
   reads_c : int;
   writes : int;
+  publications : int;  (** activity/store publications across workers *)
   wall_releases : int;
   wall_lag_sum : int;  (** sum of [released_at - m] in clock ticks *)
   wall_lag_max : int;
@@ -116,10 +132,21 @@ val run_timed :
   workers:int ->
   seconds:float ->
   ?wall_poll_s:float ->
+  ?publish_every:int ->
   mix:mix ->
   seed:int ->
   unit ->
   timed
 (** Untraced closed-loop run: each worker generates and executes its own
     transactions until the deadline.  Used by [hdd_cli bench --parallel]
-    for the scaling curves. *)
+    for the scaling curves.  [publish_every] defaults to 8. *)
+
+val alloc_probe : ?commits:int -> unit -> float
+(** Marginal heap bytes allocated per committed transaction on the
+    steady-state Protocol B commit path: a single-domain loop (one
+    write + one own-segment read per transaction, publication deferred,
+    trace and outcome recording off) measured via [Gc.allocated_bytes]
+    deltas, with periodic watermark/prune maintenance inside the
+    measured window so in-place compaction absorbs all growth.  The
+    zero-allocation gate in [test_runtime.ml] asserts this is exactly
+    [0.]. *)

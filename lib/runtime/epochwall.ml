@@ -1,0 +1,17 @@
+type t = {
+  epoch : int Atomic.t;
+  slots : Hdd_core.Timewall.wall array;  (* two slots, index [epoch land 1] *)
+}
+
+let create wall = { epoch = Atomic.make 0; slots = [| wall; wall |] }
+
+let publish t wall =
+  let e = Atomic.get t.epoch in
+  t.slots.((e + 1) land 1) <- wall;
+  Atomic.set t.epoch (e + 1)
+
+let read t = t.slots.(Atomic.get t.epoch land 1)
+
+let epoch t = Atomic.get t.epoch
+
+let read_slot t e = t.slots.(e land 1)

@@ -1,0 +1,46 @@
+(** Wait-free two-slot publication of the current time wall.
+
+    Replaces {!Seqwall}'s seqlock on the runtime's hot read path
+    (DESIGN.md §16).  Two wall slots alternate: the single writer stores
+    the new wall into slot [(epoch + 1) land 1] — the slot no new reader
+    can be directed to — then advances the epoch.  A reader performs
+    exactly two loads and never retries:
+
+    {v  let e = Atomic.get epoch in  slots.(e land 1)  v}
+
+    Safety: the slot a reader is directed to was last written {e before}
+    the epoch advance that made it current, and is not touched again
+    until the epoch has advanced once more.  A reader suspended between
+    its two loads for a full writer cycle observes the wall of epoch
+    [e + 2k] instead — a {e later complete} wall, never a torn one: the
+    wall record itself is immutable, OCaml atomics are SC (the epoch
+    load synchronizes with the store that followed the slot write), and
+    walls are published in release order so any observable value is
+    monotone in the components.  The remaining race — writer laps the
+    reader mid-cycle and rewrites the very slot being read — requires
+    the reader to sleep across an entire epoch, in which case it reads
+    either the old or the new immutable record, both complete.
+
+    {!Seqwall} stays in-tree as the ablation partner; the equivalence
+    property in [test_runtime.ml] drives both with 1000 random release
+    schedules and asserts identical reads. *)
+
+type t
+
+val create : Hdd_core.Timewall.wall -> t
+
+val publish : t -> Hdd_core.Timewall.wall -> unit
+(** Single writer only (the wall coordinator). *)
+
+val read : t -> Hdd_core.Timewall.wall
+(** Wait-free: one epoch load, one slot load, no retry loop.  A reader
+    that loads the wall {e before} ticking its initiation time is
+    guaranteed [released_at < init], as with {!Seqwall.read}. *)
+
+val epoch : t -> int
+(** Current epoch — telemetry, and the pinned-reader stress test. *)
+
+val read_slot : t -> int -> Hdd_core.Timewall.wall
+(** [read_slot t e] reads the slot a reader holding epoch [e] would
+    read — the two halves of {!read} split apart so the torn-read
+    stress test can pin a reader mid-read while the writer advances. *)

@@ -49,6 +49,20 @@ let try_pop t =
   Mutex.unlock t.lock;
   r
 
+let pop_into t out ~max =
+  Mutex.lock t.lock;
+  let n = Int.min max (Int.min t.len (Array.length out)) in
+  for i = 0 to n - 1 do
+    (match t.buf.(t.head) with
+    | Some x -> out.(i) <- x
+    | None -> assert false);
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1
+  done;
+  Mutex.unlock t.lock;
+  n
+
 let close t =
   Mutex.lock t.lock;
   t.closed <- true;

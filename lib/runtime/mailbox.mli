@@ -20,6 +20,13 @@ val push : 'a t -> 'a -> bool
 
 val try_pop : 'a t -> 'a option
 
+val pop_into : 'a t -> 'a array -> max:int -> int
+(** Batched drain: pop up to [max] items (bounded by [Array.length out])
+    into [out.(0 .. n-1)] under one lock acquisition and return [n].
+    Zero on an empty box.  The engine drains one publication batch per
+    acquisition so mailbox locking amortizes with everything else
+    (DESIGN.md §16). *)
+
 val close : 'a t -> unit
 (** No further pushes succeed; queued items remain poppable. *)
 

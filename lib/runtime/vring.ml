@@ -1,0 +1,76 @@
+(* Per-segment version ring: the out-of-band channel that lets a
+   Protocol A reader see versions committed since the owner's last
+   store publication, without waiting for the next one.
+
+   A fixed ring of [ts; key; value] triples in one int array, written
+   only by the segment's owner domain, plus a monotone head counter =
+   total entries ever appended.  The owner stages a whole
+   transaction's writes with plain stores and then publishes them with
+   a single [Atomic.set] on the head — all-or-nothing per transaction,
+   and the atomic store orders the plain ones for readers.
+
+   Readers scan backward from the head.  Entry timestamps ascend with
+   the index (per-class inits are monotone), so the first key match
+   below the threshold is the newest one, and the first timestamp at
+   or below the reader's floor (the upto of a store view it holds)
+   marks the point where that view takes over.  Overwrites are caught
+   after the fact: entry [j] is destroyed by append [j + cap], so a
+   result stands only if [head - j <= cap] still holds at return. *)
+
+type t = { buf : int array; head : int Atomic.t; cap : int }
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Vring.create: entries must be > 0";
+  { buf = Array.make (entries * 3) 0; head = Atomic.make 0; cap = entries }
+
+let capacity t = t.cap
+let head t = Atomic.get t.head
+
+let stage t i ~ts ~key ~value =
+  let s = i mod t.cap * 3 in
+  Array.unsafe_set t.buf s ts;
+  Array.unsafe_set t.buf (s + 1) key;
+  Array.unsafe_set t.buf (s + 2) value
+
+let advance t h = Atomic.set t.head h
+
+(* Backward scan.  [stop_ts < 0] until the first entry at or below the
+   floor; after that, only entries of that same transaction (equal ts)
+   are still examined — a multi-key transaction straddling the floor
+   must be searched completely, anything older is covered by the view.
+   Each terminal re-validates its own index against the live head:
+   everything examined sits at or above it, so one check covers the
+   whole scan. *)
+let rec scan t ~key ~th ~floor h j stop_ts =
+  if j < 0 then if Atomic.get t.head <= t.cap then 0 else -1
+  else if j <= h - t.cap then -1
+  else begin
+    let s = j mod t.cap * 3 in
+    let ts = Array.unsafe_get t.buf s in
+    if stop_ts >= 0 && ts <> stop_ts then
+      if Atomic.get t.head - j <= t.cap then 0 else -1
+    else if ts < th && Array.unsafe_get t.buf (s + 1) = key then
+      if Atomic.get t.head - j <= t.cap then ts else -1
+    else
+      let stop_ts = if stop_ts < 0 && ts <= floor then ts else stop_ts in
+      scan t ~key ~th ~floor h (j - 1) stop_ts
+  end
+
+let latest_below t ~key ~ts ~floor =
+  let h = Atomic.get t.head in
+  scan t ~key ~th:ts ~floor h (h - 1) (-1)
+
+let value_at t ~key ~ts =
+  let h = Atomic.get t.head in
+  let rec go j =
+    if j < 0 || j <= h - t.cap then None
+    else
+      let s = j mod t.cap * 3 in
+      if Array.unsafe_get t.buf s = ts && Array.unsafe_get t.buf (s + 1) = key
+      then begin
+        let v = Array.unsafe_get t.buf (s + 2) in
+        if Atomic.get t.head - j <= t.cap then Some v else None
+      end
+      else go (j - 1)
+  in
+  go (h - 1)

@@ -1,0 +1,43 @@
+(** Per-segment version rings — committed versions visible before the
+    next store publication.
+
+    Batched publication leaves up to K transactions' versions sitting
+    unpublished in the owner's local store; a reader whose composed
+    threshold reaches above the published view's upto would otherwise
+    wait a scheduling round-trip.  The ring carries exactly that tail:
+    the owner appends every committed [ts; key; value] and publishes a
+    transaction's entries with one atomic head store; readers scan
+    backward and splice the result over the view (DESIGN.md §16).
+
+    Single writer per ring (the segment's owner domain), any number of
+    readers, zero allocation on both sides of the hot path. *)
+
+type t
+
+val create : entries:int -> t
+val capacity : t -> int
+
+val head : t -> int
+(** Total entries ever appended (monotone). *)
+
+val stage : t -> int -> ts:int -> key:int -> value:int -> unit
+(** Owner only: write entry [i] without publishing it.  Entries must
+    be staged at [head t], [head t + 1], ... and then released with
+    {!advance} — one atomic store covering the whole transaction. *)
+
+val advance : t -> int -> unit
+(** Owner only: publish all staged entries below the new head. *)
+
+val latest_below : t -> key:int -> ts:int -> floor:int -> int
+(** Timestamp of the newest entry of [key] strictly below [ts], given
+    a store view covering everything at or below [floor]:
+
+    - [> 0]: found in the ring — newer than anything the view holds;
+    - [0]: the ring proves nothing newer than [floor] matches, so the
+      view's answer is complete;
+    - [-1]: the ring wrapped past the floor mid-scan — fall back to an
+      awaited publication. *)
+
+val value_at : t -> key:int -> ts:int -> int option
+(** Value of the exact version [ts] of [key], if the ring still holds
+    it.  Test/tool convenience; allocates. *)

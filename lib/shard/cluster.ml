@@ -28,11 +28,14 @@ let stats_of_counters ks =
         reads_b = s.E.reads_b + k.Wire.k_reads_b;
         reads_c = s.E.reads_c + k.Wire.k_reads_c;
         writes = s.E.writes + k.Wire.k_writes;
+        (* node publication counts do not travel on the wire *)
+        publications = s.E.publications;
         wall_releases = s.E.wall_releases + k.Wire.k_wall_releases;
         wall_lag_sum = s.E.wall_lag_sum + k.Wire.k_wall_lag_sum;
         wall_lag_max = Int.max s.E.wall_lag_max k.Wire.k_wall_lag_max })
     { E.committed = 0; aborted = 0; reads_a = 0; reads_b = 0; reads_c = 0;
-      writes = 0; wall_releases = 0; wall_lag_sum = 0; wall_lag_max = 0 }
+      writes = 0; publications = 0; wall_releases = 0; wall_lag_sum = 0;
+      wall_lag_max = 0 }
     ks
 
 let collect nodes =
@@ -111,7 +114,6 @@ let run_script_domains ?(config = Node.default_config) ~partition ~init
       match Queue.take_opt q with
       | Some d ->
         Node.exec node d;
-        Node.publish node;
         go ()
       | None -> ()
     in
@@ -145,7 +147,6 @@ let child_main ~config ~partition ~init ~net i =
     match Node.take_work node with
     | Some d ->
       Node.exec node d;
-      Node.publish node;
       go ()
     | None ->
       if Node.drained node then ()

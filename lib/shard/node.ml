@@ -4,10 +4,16 @@ module TW = Hdd_core.Timewall
 module Snap = Hdd_mvstore.Snapshot
 module E = Hdd_runtime.Engine
 
-type config = { traced : bool; trace_capacity : int; stall_limit : int }
+type config = {
+  traced : bool;
+  trace_capacity : int;
+  stall_limit : int;
+  publish_every : int;
+}
 
 let default_config =
-  { traced = true; trace_capacity = 1 lsl 16; stall_limit = 2_000_000 }
+  { traced = true; trace_capacity = 1 lsl 16; stall_limit = 2_000_000;
+    publish_every = 1 }
 
 (* The latest accepted publication of a remote shard. *)
 type rpub = {
@@ -59,6 +65,8 @@ type t = {
   mutable outcomes : (Txn.id * bool) list;
   mutable on_wait : unit -> unit;
   stall_limit : int;
+  publish_every : int;
+  mutable since_pub : int;  (** commits since the last publication *)
   coord : coord option;
   (* process-mode work dispatch *)
   work : E.desc Queue.t;
@@ -105,6 +113,7 @@ let op_at t =
 (* --- publications --- *)
 
 let publish_upto t upto =
+  t.since_pub <- 0;
   t.pub_seq <- t.pub_seq + 1;
   Transport.broadcast t.net ~stamp:(Sclock.now t.clock)
     (Wire.Pub
@@ -449,7 +458,14 @@ let exec_update t (d : E.desc) cls =
     t.c.n_committed <- t.c.n_committed + 1;
     t.outcomes <- (d.E.d_id, true) :: t.outcomes
   end;
-  publish t
+  (* batched publication: amortize the snapshot + broadcast over K
+     transactions.  Deltas (the versions themselves) already shipped
+     above regardless of K; what batching delays is only how soon peers
+     see this shard's refreshed activity intervals, and [await]'s
+     unconditional republication bounds that delay whenever anyone is
+     actually waiting on us. *)
+  t.since_pub <- t.since_pub + 1;
+  if t.since_pub >= t.publish_every then publish t
 
 let exec_ro t (d : E.desc) =
   (* wall first, initiation tick second: released_at < init, always *)
@@ -581,6 +597,8 @@ let create ?(config = default_config) ~partition ~init ~net () =
       outcomes = [];
       on_wait = (fun () -> ());
       stall_limit = config.stall_limit;
+      publish_every = Int.max 1 config.publish_every;
+      since_pub = 0;
       coord;
       work = Queue.create ();
       drain_seen = false;

@@ -31,6 +31,13 @@ type config = {
   stall_limit : int;
       (** wait iterations before a wait is declared a stall (a bug —
           the protocol is deadlock-free) and the node raises *)
+  publish_every : int;
+      (** publish activity once per this many finished update
+          transactions (clamped to >= 1; default 1 = per commit).
+          Version deltas still ship at every commit, and any wait
+          republishes unconditionally, so batching delays only how
+          soon idle peers see refreshed activity intervals — outcomes
+          are identical at every value. *)
 }
 
 val default_config : config

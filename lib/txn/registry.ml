@@ -13,6 +13,14 @@ type class_log = {
      end among windows initiated before [m].  This turns [i_old]/[c_late]
      into O(|active| + log windows) instead of a scan of the class log. *)
   mutable pending : Txn.t list;
+  (* --- packed single-active fast path ---
+     The multicore engine runs at most one update transaction per class
+     at a time, so its commit path registers activity as two ints
+     instead of allocating a [Txn.t] and threading it through [pending]:
+     [a_init = max_int] means no packed active.  Queries account for
+     both faces; the packed active is always the newest activity. *)
+  mutable a_id : Txn.id;
+  mutable a_init : Time.t;
   mutable w_end : int array;
   mutable w_init : int array;
   mutable w_base : int;
@@ -24,7 +32,8 @@ type t = { logs : class_log array; trace : Hdd_obs.Trace.t option }
 
 let fresh_log () =
   { records = Array.make 8 Txn.bootstrap; base = 0; len = 0;
-    pending = []; w_end = [||]; w_init = [||]; w_base = 0; w_len = 0;
+    pending = []; a_id = -1; a_init = max_int;
+    w_end = [||]; w_init = [||]; w_base = 0; w_len = 0;
     gen = 0 }
 
 let create ?trace ~classes () =
@@ -41,35 +50,64 @@ let log_of t class_id =
 (* --- finished-window index maintenance --- *)
 
 let ensure_window_capacity log =
-  let live = log.w_len - log.w_base in
   if log.w_len >= Array.length log.w_end then begin
-    let cap = Int.max 8 (2 * (live + 1)) in
-    let ends = Array.make cap 0 and inits = Array.make cap 0 in
-    Array.blit log.w_end log.w_base ends 0 live;
-    Array.blit log.w_init log.w_base inits 0 live;
-    log.w_end <- ends;
-    log.w_init <- inits;
-    log.w_base <- 0;
-    log.w_len <- live
+    let live = log.w_len - log.w_base in
+    let cap = Array.length log.w_end in
+    if cap > 0 && live + 1 <= cap - Int.max 1 (cap / 4) then begin
+      (* at least a quarter of the buffer was pruned away: reclaim it in
+         place (same-array blit) instead of allocating — this is what
+         keeps the steady-state commit path at zero bytes once a wall
+         keeps pruning behind it *)
+      Array.blit log.w_end log.w_base log.w_end 0 live;
+      Array.blit log.w_init log.w_base log.w_init 0 live;
+      log.w_base <- 0;
+      log.w_len <- live
+    end
+    else begin
+      let cap = Int.max 8 (2 * (live + 1)) in
+      let ends = Array.make cap 0 and inits = Array.make cap 0 in
+      Array.blit log.w_end log.w_base ends 0 live;
+      Array.blit log.w_init log.w_base inits 0 live;
+      log.w_end <- ends;
+      log.w_init <- inits;
+      log.w_base <- 0;
+      log.w_len <- live
+    end
   end
 
+(* The binary searches are top-level and tail-recursive on ints: a [ref]
+   accumulator would allocate a minor-heap cell per query, and these sit
+   on the zero-allocation commit path (DESIGN.md §16). *)
+
+(* First index in [[lo, hi)] of [arr] whose value is > [m] (= hi if none). *)
+let rec bs_above arr lo hi m =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if Array.unsafe_get arr mid > m then bs_above arr lo mid m
+    else bs_above arr (mid + 1) hi m
+
+(* First index in [[lo, hi)] of [arr] whose value is >= [m] (= hi if none). *)
+let rec bs_at_or_above arr lo hi m =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if Array.unsafe_get arr mid >= m then bs_at_or_above arr lo mid m
+    else bs_at_or_above arr (mid + 1) hi m
+
 (* First index in [[w_base, w_len)] whose end is > [m] (= w_len if none). *)
-let first_end_above log m =
-  let lo = ref log.w_base and hi = ref log.w_len in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if log.w_end.(mid) > m then hi := mid else lo := mid + 1
-  done;
-  !lo
+let first_end_above log m = bs_above log.w_end log.w_base log.w_len m
 
 (* First index in [[w_base, w_len)] whose init is >= [m] (= w_len if none). *)
 let first_init_at_or_above log m =
-  let lo = ref log.w_base and hi = ref log.w_len in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if log.w_init.(mid) < m then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  bs_at_or_above log.w_init log.w_base log.w_len m
+
+(* Start of the contiguous run of windows just below [pos] that a new
+   window initiated at [init] dominates. *)
+let rec dominated_run_start w_init base pos init =
+  if pos > base && Array.unsafe_get w_init (pos - 1) >= init then
+    dominated_run_start w_init base (pos - 1) init
+  else pos
 
 let add_window log ~endt ~init =
   ensure_window_capacity log;
@@ -77,9 +115,7 @@ let add_window log ~endt ~init =
   (* dominated: some retained window ends no earlier and started no later *)
   if not (pos < log.w_len && log.w_init.(pos) <= init) then begin
     (* windows this one dominates sit in a contiguous run just below [pos] *)
-    let j = ref pos in
-    while !j > log.w_base && log.w_init.(!j - 1) >= init do decr j done;
-    let j = !j in
+    let j = dominated_run_start log.w_init log.w_base pos init in
     let tail = log.w_len - pos in
     Array.blit log.w_end pos log.w_end (j + 1) tail;
     Array.blit log.w_init pos log.w_init (j + 1) tail;
@@ -139,6 +175,31 @@ let register t (txn : Txn.t) =
   | Txn.Read_only -> invalid_arg "Registry.register: read-only transaction"
   | Txn.Update class_id -> register_in t ~class_id txn
 
+(* --- packed single-active fast path --- *)
+
+let register_active t ~class_id ~id ~init =
+  let log = log_of t class_id in
+  if log.a_init <> max_int then
+    invalid_arg "Registry.register_active: class already has a packed active";
+  if log.w_len > log.w_base && log.w_init.(log.w_len - 1) >= init then
+    invalid_arg "Registry.register_active: initiation times must be increasing";
+  log.a_id <- id;
+  log.a_init <- init;
+  log.gen <- log.gen + 1
+
+let finish_active t ~class_id ~endt =
+  let log = log_of t class_id in
+  if log.a_init = max_int then
+    invalid_arg "Registry.finish_active: no packed active";
+  if endt <= log.a_init then
+    invalid_arg "Registry.finish_active: end time not after initiation";
+  add_window log ~endt ~init:log.a_init;
+  log.a_id <- -1;
+  log.a_init <- max_int;
+  log.gen <- log.gen + 1
+
+let active_init t ~class_id = (log_of t class_id).a_init
+
 (* Iterate the records of a class with init <= m, oldest first; [f] returns
    [true] to keep going. *)
 let iter_upto log m f =
@@ -156,16 +217,20 @@ let iter_upto log m f =
 let i_old t ~class_id ~at =
   let log = log_of t class_id in
   sync log;
-  let best = ref at in
-  (* oldest currently-active transaction (pending is ordered by init) *)
-  (match log.pending with
-  | r :: _ when r.Txn.init < at -> best := r.Txn.init
-  | _ -> ());
-  (* oldest finished window still spanning [at] *)
+  (* oldest currently-active transaction (pending is ordered by init,
+     the packed active is always the newest activity) *)
+  let best =
+    match log.pending with
+    | r :: _ when r.Txn.init < at -> r.Txn.init
+    | _ -> at
+  in
+  let best = if log.a_init < best then log.a_init else best in
+  (* oldest finished window still spanning [at]; its init is < at
+     whenever it is < best, since best <= at *)
   let i = first_end_above log at in
-  if i < log.w_len && log.w_init.(i) < at && log.w_init.(i) < !best then
-    best := log.w_init.(i);
-  !best
+  if i < log.w_len && Array.unsafe_get log.w_init i < best then
+    Array.unsafe_get log.w_init i
+  else best
 
 let c_late t ~class_id ~at =
   let log = log_of t class_id in
@@ -175,11 +240,13 @@ let c_late t ~class_id ~at =
      initiated exactly at [at] play no role in C_late(at) *)
   | r :: _ when r.Txn.init < at -> Error r.Txn.id
   | _ ->
-    (* windows are ascending in both columns, so the latest end among
-       windows initiated before [at] sits on the last such window *)
-    let i = first_init_at_or_above log at in
-    if i > log.w_base && log.w_end.(i - 1) > at then Ok log.w_end.(i - 1)
-    else Ok at
+    if log.a_init < at then Error log.a_id
+    else
+      (* windows are ascending in both columns, so the latest end among
+         windows initiated before [at] sits on the last such window *)
+      let i = first_init_at_or_above log at in
+      if i > log.w_base && log.w_end.(i - 1) > at then Ok log.w_end.(i - 1)
+      else Ok at
 
 (* Reference implementations: the original linear scans over the class
    log, kept as the ablation partner for the benchmarks and as the oracle
@@ -230,7 +297,7 @@ let generation t ~class_id =
 let active_count t ~class_id =
   let log = log_of t class_id in
   sync log;
-  List.length log.pending
+  List.length log.pending + (if log.a_init <> max_int then 1 else 0)
 
 let oldest_active t ~class_id =
   let log = log_of t class_id in
@@ -267,8 +334,16 @@ let snapshot t =
         (fun log ->
           sync log;
           let live = log.w_len - log.w_base in
-          { v_actives =
-              List.map (fun (r : Txn.t) -> (r.Txn.id, r.Txn.init)) log.pending;
+          let actives =
+            List.map (fun (r : Txn.t) -> (r.Txn.id, r.Txn.init)) log.pending
+          in
+          let actives =
+            (* the packed active is the newest activity: append last to
+               keep [v_actives] ascending in init *)
+            if log.a_init = max_int then actives
+            else actives @ [ (log.a_id, log.a_init) ]
+          in
+          { v_actives = actives;
             v_w_init = Array.sub log.w_init log.w_base live;
             v_w_end = Array.sub log.w_end log.w_base live;
             v_gen = log.gen })
@@ -286,32 +361,22 @@ let snap_generation snap ~class_id = (view_of snap class_id).v_gen
 
 (* The binary searches from the live index, over a view's plain arrays
    (the view has no [w_base]; its arrays start at 0). *)
-let v_first_end_above v m =
-  let lo = ref 0 and hi = ref (Array.length v.v_w_end) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if v.v_w_end.(mid) > m then hi := mid else lo := mid + 1
-  done;
-  !lo
+let v_first_end_above v m = bs_above v.v_w_end 0 (Array.length v.v_w_end) m
 
 let v_first_init_at_or_above v m =
-  let lo = ref 0 and hi = ref (Array.length v.v_w_init) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if v.v_w_init.(mid) < m then lo := mid + 1 else hi := mid
-  done;
-  !lo
+  bs_at_or_above v.v_w_init 0 (Array.length v.v_w_init) m
 
 let snap_i_old snap ~class_id ~at =
   let v = view_of snap class_id in
-  let best = ref at in
-  (match v.v_actives with
-  | (_, init) :: _ when init < at -> best := init
-  | _ -> ());
+  let best =
+    match v.v_actives with
+    | (_, init) :: _ when init < at -> init
+    | _ -> at
+  in
   let i = v_first_end_above v at in
-  if i < Array.length v.v_w_end && v.v_w_init.(i) < at && v.v_w_init.(i) < !best
-  then best := v.v_w_init.(i);
-  !best
+  if i < Array.length v.v_w_end && Array.unsafe_get v.v_w_init i < best then
+    Array.unsafe_get v.v_w_init i
+  else best
 
 let snap_c_late snap ~class_id ~at =
   let v = view_of snap class_id in
@@ -362,29 +427,49 @@ let snapshot_of_parts parts =
     invalid_arg "Registry.snapshot_of_parts: no classes";
   { views }
 
+(* First record index at or after [i] that has not finished by [upto].
+   Top-level recursion: [prune] runs on the engine's steady-state commit
+   path (every K commits), which must stay allocation-free. *)
+let rec prune_records records len i upto =
+  if
+    i < len
+    &&
+    match (Array.unsafe_get records i).Txn.status with
+    | Txn.Committed e | Txn.Aborted e -> e <= upto
+    | Txn.Active -> false
+  then prune_records records len (i + 1) upto
+  else i
+
+let prune_log log upto =
+  sync log;
+  let i = prune_records log.records log.len log.base upto in
+  let dropped_records = i - log.base in
+  log.base <- i;
+  (* windows closed at or before [upto] can serve no query at >= upto *)
+  let w = first_end_above log upto in
+  let dropped = dropped_records + (w - log.w_base) in
+  log.w_base <- w;
+  dropped
+
 let prune t ~upto =
-  let records_dropped = ref 0 and windows_dropped = ref 0 in
-  Array.iter
-    (fun log ->
-      sync log;
-      let i = ref log.base in
-      let continue = ref true in
-      while !continue && !i < log.len do
-        let r = log.records.(!i) in
-        match Txn.end_time r with
-        | Some e when e <= upto -> incr i
-        | _ -> continue := false
-      done;
-      records_dropped := !records_dropped + (!i - log.base);
-      log.base <- !i;
-      (* windows closed at or before [upto] can serve no query at >= upto *)
-      let w = first_end_above log upto in
-      windows_dropped := !windows_dropped + (w - log.w_base);
-      log.w_base <- w)
-    t.logs;
   match t.trace with
-  | None -> ()
+  | None ->
+    let logs = t.logs in
+    for c = 0 to Array.length logs - 1 do
+      ignore (prune_log logs.(c) upto)
+    done
   | Some tr ->
+    let records_dropped = ref 0 and windows_dropped = ref 0 in
+    Array.iter
+      (fun log ->
+        sync log;
+        let i = prune_records log.records log.len log.base upto in
+        records_dropped := !records_dropped + (i - log.base);
+        log.base <- i;
+        let w = first_end_above log upto in
+        windows_dropped := !windows_dropped + (w - log.w_base);
+        log.w_base <- w)
+      t.logs;
     Hdd_obs.Trace.emit_here tr
       (Hdd_obs.Trace.Registry_prune
          { upto;

@@ -49,6 +49,25 @@ val register_in : t -> class_id:int -> Txn.t -> unit
     class whose segment they access so all activity-link thresholds
     account for them.  Same monotonicity requirement per class. *)
 
+val register_active : t -> class_id:int -> id:Txn.id -> init:Time.t -> unit
+(** Packed single-active fast path for the multicore engine, which runs
+    at most one update transaction per class at a time: record activity
+    as two ints, with no [Txn.t] allocated.  Queries account for the
+    packed active exactly as for a registered transaction.
+    @raise Invalid_argument if the class already has a packed active or
+    [init] does not exceed the last finished window's initiation. *)
+
+val finish_active : t -> class_id:int -> endt:Time.t -> unit
+(** Close the packed active's activity window at [endt] (commit {e or}
+    abort instant — aborted windows count, as with {!register}).
+    Allocation-free at steady state: the window index compacts in place
+    once {!prune} keeps up.
+    @raise Invalid_argument if no packed active or [endt <= init]. *)
+
+val active_init : t -> class_id:int -> Time.t
+(** Initiation time of the class's packed active, or [max_int] when
+    none — the engine's coordinator-free quiescence probe. *)
+
 val i_old : t -> class_id:int -> at:Time.t -> Time.t
 (** The paper's [I_old^{class}(m)]. *)
 
