@@ -538,6 +538,18 @@ let bench_cmd =
                  reduction, recovery flatness) always apply; \
                  $(b,--baseline) additionally gates throughput.")
   in
+  let adapt =
+    Arg.(value & flag & info [ "adapt" ]
+           ~doc:"Run the live-repartition benchmark instead: the same \
+                 chain workload measured steady, with the coordinator \
+                 applying whole-map ownership rotations behind park \
+                 barriers (live), and with a stop-the-world teardown and \
+                 rebuild at every would-be barrier (BENCH_adapt.json).  \
+                 Structural gates always apply (the live run \
+                 repartitioned, every mode committed, live retention at \
+                 or above the floor); $(b,--baseline) additionally gates \
+                 live throughput retention against the committed report.")
+  in
   let shard =
     Arg.(value & flag & info [ "shard" ]
            ~doc:"Run the cross-shard read benchmark instead: one domain \
@@ -591,9 +603,45 @@ let bench_cmd =
     | Some f -> f
     | None -> nan
   in
-  let run quick out baseline max_regression obs_gate parallel durable shard
-      workers publish_every =
-    if shard then begin
+  let run quick out baseline max_regression obs_gate parallel durable adapt
+      shard workers publish_every =
+    if adapt then begin
+      let module Ab = Hdd_adapt.Adaptbench in
+      let out = Option.value out ~default:"BENCH_adapt.json" in
+      let seconds = if quick then 0.25 else 1.0 in
+      let rotate_every_s = if quick then 0.05 else 0.125 in
+      let r = Ab.run ~seconds ~rotate_every_s () in
+      J.to_file out (Ab.to_json r);
+      Printf.printf "wrote %s\n" out;
+      Format.printf "%a@?" Ab.pp r;
+      (match Ab.gates r with
+      | [] -> ()
+      | problems ->
+        List.iter
+          (fun p -> Printf.printf "ADAPT GATE FAILED: %s\n" p)
+          problems;
+        exit 1);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base = J.of_file path in
+        let was =
+          match Option.bind (J.path [ "retention_live" ] base) J.number with
+          | Some f -> f
+          | None -> nan
+        in
+        let now = r.Ab.a_retention_live in
+        if was > 0. && now < was *. (1. -. max_regression) then begin
+          Printf.printf
+            "REGRESSION retention_live: %.2f -> %.2f (-%.0f%%)\n" was now
+            (100. *. (1. -. (now /. was)));
+          exit 1
+        end
+        else
+          Printf.printf "no adapt regression beyond %.0f%% against %s\n"
+            (100. *. max_regression) path
+    end
+    else if shard then begin
       let module Sb = Hdd_shard.Shardbench in
       let out = Option.value out ~default:"BENCH_shard.json" in
       let seconds = if quick then 0.25 else 1.0 in
@@ -849,7 +897,7 @@ let bench_cmd =
              and optionally gate against a committed baseline")
     Term.(
       const run $ quick $ out $ baseline $ max_regression $ obs_gate
-      $ parallel $ durable $ shard $ workers $ publish_every)
+      $ parallel $ durable $ adapt $ shard $ workers $ publish_every)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in
@@ -980,6 +1028,113 @@ let shard_cmd =
     Term.(
       const run $ shards $ seed $ txns $ profile $ processes $ trace_out)
 
+let adapt_cmd =
+  let module D = Hdd_runtime.Differential in
+  let module Drift = Hdd_adapt.Drift in
+  let module Advise = Hdd_adapt.Advise in
+  let module Scenario = Hdd_adapt.Scenario in
+  let module Monitor = Hdd_obs.Monitor in
+  let module Trace = Hdd_obs.Trace in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED"
+           ~doc:"Draws the hierarchy, the script and the interleaving.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains for the live-migration oracle run.")
+  in
+  let txns =
+    Arg.(value & opt int 80 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions in the generated script.")
+  in
+  let repartitions =
+    Arg.(value & opt int 3 & info [ "repartitions" ] ~docv:"N"
+           ~doc:"Live whole-map ownership rotations injected while the \
+                 run is in flight, each behind a park barrier.")
+  in
+  let profile =
+    Arg.(value
+         & opt
+             (enum
+                [ ("mixed", D.Mixed); ("abort-heavy", D.Abort_heavy);
+                  ("adhoc-read", D.Adhoc_read) ])
+             D.Mixed
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Workload mix of the generated script.")
+  in
+  let scenario =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Instead of the oracle run, drive a curated drift \
+                 scenario through the detect/advise/execute pipeline \
+                 ($(b,hotspot_migration), $(b,class_split), or \
+                 $(b,all)) and replay its trace through the invariant \
+                 monitors.")
+  in
+  let run_scenarios which =
+    let picked =
+      if which = "all" then Scenario.goldens
+      else
+        match
+          List.find_opt
+            (fun gl -> gl.Scenario.g_name = which)
+            Scenario.goldens
+        with
+        | Some gl -> [ gl ]
+        | None ->
+          failwith
+            ("unknown scenario: " ^ which
+           ^ " (try hotspot_migration, class_split, all)")
+    in
+    let failed = ref false in
+    List.iter
+      (fun gl ->
+        let records = Scenario.golden_records gl in
+        Printf.printf "%s: %s\n" gl.Scenario.g_name gl.Scenario.g_what;
+        List.iter
+          (fun (r : Trace.record) ->
+            match r.Trace.ev with
+            | Trace.Repartition _ ->
+              Format.printf "  %a@." Trace.pp_event r.Trace.ev
+            | _ -> ())
+          records;
+        let m =
+          Monitor.create ~raise_on_violation:false ~wall_rule:`Any_released ()
+        in
+        List.iter (Monitor.feed m) records;
+        (match Monitor.violations m with
+        | [] ->
+          Printf.printf "  monitors: ok (%d records, epoch %d)\n"
+            (List.length records) (Monitor.last_epoch m)
+        | vs ->
+          failed := true;
+          List.iter (fun v -> Printf.printf "  MONITOR VIOLATION: %s\n" v) vs))
+      picked;
+    if !failed then exit 1
+  in
+  let run seed workers txns repartitions profile scenario =
+    match scenario with
+    | Some which -> run_scenarios which
+    | None ->
+      let r = D.stress_one ~repartitions ~seed ~workers ~txns ~profile () in
+      Format.printf "%d workers, seed %d, %d planned rotations: %a@." workers
+        seed repartitions D.pp_report r;
+      if not (D.ok r) then exit 1;
+      if repartitions > 0 && r.D.r_repartitions = 0 then begin
+        Printf.printf
+          "no rotation was applied (script too short for a barrier)\n";
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:"Exercise online dynamic decomposition: run a seeded script \
+             on the multicore engine with live ownership rotations \
+             behind park barriers and apply the four-check differential \
+             oracle, or drive the curated drift scenarios through the \
+             detect/advise/execute pipeline (DESIGN.md §17)")
+    Term.(
+      const run $ seed $ workers $ txns $ repartitions $ profile $ scenario)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -1010,4 +1165,4 @@ let () =
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
                       explore_cmd; bench_cmd; trace_cmd; shard_cmd;
-                      experiments_cmd ]))
+                      adapt_cmd; experiments_cmd ]))

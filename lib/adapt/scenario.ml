@@ -1,0 +1,95 @@
+module Spec = Hdd_core.Spec
+module Sched = Hdd_core.Scheduler
+module T = Hdd_obs.Trace
+
+type golden = { g_name : string; g_what : string }
+
+let hotspot_migration =
+  { g_name = "hotspot_migration";
+    g_what =
+      "one class takes over the window; detector flags it, advisor picks a \
+       migration, executor bumps the epoch live" }
+
+let class_split =
+  { g_name = "class_split";
+    g_what =
+      "the hot segment is split at the advisor's pivot into a fresh child \
+       class; state carried into the fresh store" }
+
+let goldens = [ hotspot_migration; class_split ]
+
+let chain_spec depth =
+  Spec.make
+    ~segments:(List.init depth (fun i -> Printf.sprintf "D%d" i))
+    ~types:
+      (List.init depth (fun i ->
+           Spec.txn_type
+             ~name:(Printf.sprintf "t%d" i)
+             ~writes:[ i ]
+             ~reads:(if i < depth - 1 then [ i; i + 1 ] else [ i ])))
+
+let g segment key = Granule.make ~segment ~key
+
+(* One update transaction: write [own] granules in the root segment,
+   read one cross-class granule when the chain continues. *)
+let update x ~cls ~key ~v ~cross =
+  let s = Exec.scheduler x in
+  let t = Sched.begin_update s ~class_id:cls in
+  ignore (Sched.read s t (g cls key));
+  ignore (Sched.write s t (g cls key) v);
+  if cross then ignore (Sched.read s t (g (cls + 1) key));
+  Sched.commit s t
+
+let detector_config =
+  { Drift.default_config with window = 64; min_commits = 16 }
+
+(* The deterministic drift loop shared by both scenarios: a skewed
+   phase makes class 1 hot, the detector reads the trace so far, the
+   advisor ranks repairs, and [pick] selects which one the executor
+   applies before a balanced closing phase. *)
+let run_scenario ~pick =
+  let depth = 4 in
+  let trace = T.create ~capacity:8192 () in
+  let x = Exec.create ~trace ~spec:(chain_spec depth) ~init:(fun _ -> 0) () in
+  (* skewed phase: class 1 dominates *)
+  for i = 1 to 24 do
+    update x ~cls:1 ~key:(i mod 8) ~v:(100 + i) ~cross:true;
+    if i mod 6 = 0 then update x ~cls:0 ~key:(i mod 8) ~v:i ~cross:true
+  done;
+  let d = Drift.create ~config:detector_config ~spec:(Exec.spec x) () in
+  Drift.observe d (T.records trace);
+  let repairs =
+    Advise.propose ~workers:2 ~keys_per_segment:8 d
+  in
+  (match pick repairs with
+  | None -> failwith "scenario: advisor proposed no applicable repair"
+  | Some (r : Advise.repair) ->
+    (match Exec.apply x r.Advise.move with
+    | Ok () -> ()
+    | Error e -> failwith ("scenario: repair failed: " ^ e)));
+  (* balanced closing phase against the repaired decomposition *)
+  let classes = Spec.segment_count (Exec.spec x) in
+  for i = 1 to 8 do
+    let cls = i mod classes in
+    let cross =
+      cls + 1 < classes
+      && Hdd_core.Partition.may_read (Exec.partition x) ~class_id:cls
+           ~segment:(cls + 1)
+    in
+    update x ~cls ~key:(i mod 8) ~v:(200 + i) ~cross
+  done;
+  T.records trace
+
+let golden_records gl =
+  if gl.g_name = hotspot_migration.g_name then
+    run_scenario ~pick:(fun repairs ->
+        List.find_opt
+          (fun r ->
+            match r.Advise.move with Advise.Migrate _ -> true | _ -> false)
+          repairs)
+  else
+    run_scenario ~pick:(fun repairs ->
+        List.find_opt
+          (fun r ->
+            match r.Advise.move with Advise.Split _ -> true | _ -> false)
+          repairs)

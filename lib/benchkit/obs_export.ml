@@ -135,6 +135,14 @@ let chrome_trace_of_records records =
           (instant ~name:"checkpoint cut" ~at ~tid:0
              [ ("seq", num seq);
                ("wall", int_list (Array.to_list components)) ])
+      | Trace.Repartition { epoch; kind; moved; fresh_store } ->
+        push
+          (instant
+             ~name:(Printf.sprintf "repartition %s" kind)
+             ~at ~tid:0
+             [ ("epoch", num epoch);
+               ("moved", int_list moved);
+               ("fresh_store", num (if fresh_store then 1 else 0)) ])
       | Trace.Note s -> push (instant ~name:("note: " ^ s) ~at ~tid:0 []))
     records;
   (* still-active transactions: zero-duration slices at their begin *)

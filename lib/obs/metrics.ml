@@ -126,7 +126,8 @@ let attach t trace =
   and durable_acks = counter t "durable.acks"
   and durable_recovered = counter t "durable.recovered"
   and recoveries = counter t "durable.recoveries"
-  and checkpoint_cuts = counter t "checkpoint.cuts" in
+  and checkpoint_cuts = counter t "checkpoint.cuts"
+  and repartitions = counter t "adapt.repartitions" in
   Trace.subscribe trace (fun (r : Trace.record) ->
       match r.Trace.ev with
       | Trace.Begin _ -> incr begins
@@ -156,4 +157,5 @@ let attach t trace =
       | Trace.Durable_recovered _ -> incr durable_recovered
       | Trace.Recovery_complete _ -> incr recoveries
       | Trace.Checkpoint_cut _ -> incr checkpoint_cuts
+      | Trace.Repartition _ -> incr repartitions
       | Trace.Note _ -> ())

@@ -26,6 +26,8 @@ type t = {
       (** (txn, at) replayed by the recovery in progress *)
   mutable last_cut : (int * int array) option;
       (** newest checkpoint cut: (seq, wall components) *)
+  mutable last_epoch : int;
+      (** newest partition epoch entered; 0 before any {!Trace.event.Repartition} *)
   mutable events_seen : int;
 }
 
@@ -41,11 +43,13 @@ let create ?(raise_on_violation = true) ?(wall_rule = `Latest)
     acked = Hashtbl.create 64;
     recovered_now = Hashtbl.create 64;
     last_cut = None;
+    last_epoch = 0;
     events_seen = 0 }
 
 let violations t = List.rev t.violations
 let events_seen t = t.events_seen
 let active_count t = Hashtbl.length t.active
+let last_epoch t = t.last_epoch
 
 let violate t fmt =
   Printf.ksprintf
@@ -236,6 +240,32 @@ let handle_durability t (r : Trace.record) =
     t.last_cut <- Some (seq, Array.copy components)
   | _ -> ()
 
+(* Invariant 6, partition epochs: a repartition is only legal behind a
+   quiescent barrier — strictly increasing epoch numbers and no
+   transaction in flight when the swap lands.  A repair that rebuilt the
+   physical store changes what segment ids mean, so the committed-version
+   shadow and the released walls of the old epoch are retired with it;
+   a pure ownership migration leaves both meanings intact. *)
+let check_repartition t (r : Trace.record) ~epoch ~fresh_store =
+  if epoch <= t.last_epoch then
+    violate t "event %d: partition epoch moved backwards: %d after %d \
+               (epochs are strictly increasing)"
+      r.Trace.seq epoch t.last_epoch;
+  if Hashtbl.length t.active > 0 then begin
+    let ids =
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.active []
+      |> List.sort compare |> List.map string_of_int |> String.concat ","
+    in
+    violate t "event %d: repartition to epoch %d with transactions [%s] \
+               still in flight — the wall barrier must drain them first"
+      r.Trace.seq epoch ids
+  end;
+  t.last_epoch <- epoch;
+  if fresh_store then begin
+    Hashtbl.reset t.committed;
+    t.walls <- []
+  end
+
 let handle t (r : Trace.record) =
   t.events_seen <- t.events_seen + 1;
   match r.Trace.ev with
@@ -323,6 +353,8 @@ let handle t (r : Trace.record) =
   | Trace.Gc { vector; _ } ->
     check_gc t r ~vector;
     prune_shadow t ~vector
+  | Trace.Repartition { epoch; fresh_store; _ } ->
+    check_repartition t r ~epoch ~fresh_store
   | Trace.Wall_blocked _ | Trace.Seg_gc _ | Trace.Registry_prune _
   | Trace.Sim _ | Trace.Note _ ->
     ()

@@ -36,6 +36,13 @@
       readers, and the current wall for readers yet to begin.  The
       shadow store is pruned with the same vector, so a collection that
       overreaches also surfaces as a stale or rejected read.
+    + {b Partition epoch safety} (dynamic decomposition, DESIGN.md §17):
+      {!Trace.event.Repartition} events carry strictly increasing epoch
+      numbers and never land while a transaction is in flight — the wall
+      barrier must have drained every worker first.  A repair with
+      [fresh_store = true] retires the committed-version shadow and the
+      released walls of the old epoch (segment ids changed meaning); a
+      pure ownership migration keeps both.
 
     The monitor is an oracle over the event stream only: it never touches
     scheduler or store internals, so it runs identically under the
@@ -85,3 +92,7 @@ val events_seen : t -> int
 
 val active_count : t -> int
 (** Transactions the shadow currently considers active. *)
+
+val last_epoch : t -> int
+(** Newest partition epoch a {!Trace.event.Repartition} entered; 0 when
+    none has been seen. *)

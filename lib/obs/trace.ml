@@ -50,6 +50,12 @@ type event =
   | Durable_recovered of { txn : int; at : int }
   | Recovery_complete of { last_time : int }
   | Checkpoint_cut of { seq : int; components : int array }
+  | Repartition of {
+      epoch : int;
+      kind : string;
+      moved : int list;
+      fresh_store : bool;
+    }
 
 type record = { seq : int; at : int; dom : int; ev : event }
 
@@ -173,7 +179,7 @@ let emit t ~at ev =
       set 4 windows_dropped
     | Begin _ | Block _ | Reject _ | Wall_release _ | Gc _ | Sim _ | Note _
     | Durable_ack _ | Durable_recovered _ | Recovery_complete _
-    | Checkpoint_cut _ ->
+    | Checkpoint_cut _ | Repartition _ ->
       (* durability events are per-batch or per-recovery, not per-op:
          boxing them is off the hot path *)
       set 0 tag_boxed;
@@ -317,6 +323,9 @@ let event_to_string = function
   | Checkpoint_cut { seq; components } ->
     Printf.sprintf "checkpoint_cut seq=%d wall=[%s]" seq
       (ints (Array.to_list components))
+  | Repartition { epoch; kind; moved; fresh_store } ->
+    Printf.sprintf "repartition epoch=%d kind=%s moved=[%s] fresh_store=%b"
+      epoch kind (ints moved) fresh_store
 
 let pp_event ppf ev = Format.pp_print_string ppf (event_to_string ev)
 

@@ -90,6 +90,19 @@ type event =
   | Checkpoint_cut of { seq : int; components : int array }
       (** checkpoint [seq] cut the store at this wall vector; successive
           cuts must be componentwise monotone *)
+  | Repartition of {
+      epoch : int;  (** the partition epoch entered — strictly increasing *)
+      kind : string;  (** "migrate", "split", "merge", … *)
+      moved : int list;
+          (** the classes (migration) or segments (split/merge) touched *)
+      fresh_store : bool;
+          (** true when the repair rebuilt the physical store (segment
+              identities changed), false for a pure ownership migration —
+              drives the monitor's shadow reset *)
+    }
+      (** a dynamic-decomposition repair was applied behind a wall
+          barrier: every transaction begun before this event ran under
+          the old partition, every one after under the new *)
 
 type record = { seq : int; at : int; dom : int; ev : event }
 (** [dom] is the emitting trace's {!domain} tag — 0 for the serial stack,

@@ -72,6 +72,7 @@ type report = {
   r_committed : int;
   r_aborted : int;
   r_wall_releases : int;
+  r_repartitions : int;
   r_events : int;
 }
 
@@ -93,11 +94,11 @@ let pp_report ppf r =
     Format.fprintf ppf "FAILED checks: %s@." (String.concat ", " names));
   Format.fprintf ppf
     "serializable=%b monitor=%d verdicts=%b b_reads=%b committed=%d \
-     aborted=%d walls=%d events=%d"
+     aborted=%d walls=%d repartitions=%d events=%d"
     r.r_serializable
     (List.length r.r_monitor_violations)
     r.r_verdicts_agree r.r_b_reads_agree r.r_committed r.r_aborted
-    r.r_wall_releases r.r_events;
+    r.r_wall_releases r.r_repartitions r.r_events;
   List.iter (fun m -> Format.fprintf ppf "@.  %s" m) r.r_mismatches;
   List.iter
     (fun v -> Format.fprintf ppf "@.  monitor: %s" v)
@@ -347,11 +348,12 @@ let check_run ~partition ~init ~script (run : Engine.run) =
     r_committed = run.stats.Engine.committed;
     r_aborted = run.stats.Engine.aborted;
     r_wall_releases = run.stats.Engine.wall_releases;
+    r_repartitions = run.stats.Engine.repartitions;
     r_events = List.length run.records }
 
-let check ~partition ~init ~config script =
+let check ?(plan = []) ~partition ~init ~config script =
   check_run ~partition ~init ~script
-    (Engine.run_script ~partition ~init config ~script)
+    (Engine.run_script ~partition ~init ~plan config ~script)
 
 (* --- stress profiles --- *)
 
@@ -380,7 +382,17 @@ let tree_partition branches =
   in
   P.build_exn (Spec.make ~segments ~types)
 
-let stress_one ?(publish_every = 8) ~seed ~workers ~txns ~profile () =
+let rotation_plan ~segments ~workers n =
+  let rec go acc map i =
+    if i = 0 then List.rev acc
+    else
+      let next = Engine.rotated_map map workers in
+      go ((next, "migrate") :: acc) next (i - 1)
+  in
+  go [] (Engine.default_owner_map ~segments ~workers) n
+
+let stress_one ?(publish_every = 8) ?(repartitions = 0) ~seed ~workers ~txns
+    ~profile () =
   let prng = Prng.create (seed * 2 + 1) in
   let partition =
     if seed land 1 = 0 then chain_partition (4 + Prng.int prng 5)
@@ -396,4 +408,7 @@ let stress_one ?(publish_every = 8) ~seed ~workers ~txns ~profile () =
     gen_script ~partition ~seed ~txns ~ro_frac ~abort_frac ()
   in
   let config = { (Engine.default_config ~workers) with publish_every } in
-  check ~partition ~init:default_init ~config script
+  let plan =
+    rotation_plan ~segments:(P.segment_count partition) ~workers repartitions
+  in
+  check ~plan ~partition ~init:default_init ~config script

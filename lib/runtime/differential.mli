@@ -55,6 +55,7 @@ type report = {
   r_committed : int;
   r_aborted : int;
   r_wall_releases : int;
+  r_repartitions : int;  (** live ownership migrations during the run *)
   r_events : int;
 }
 
@@ -80,12 +81,23 @@ val check_run :
     whose merged trace has the same shape). *)
 
 val check :
+  ?plan:(int array * string) list ->
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
   config:Engine.config ->
   script ->
   report
-(** Run the script on the parallel engine, then {!check_run} it. *)
+(** Run the script on the parallel engine, then {!check_run} it.
+    [plan] is forwarded to {!Engine.run_script}: live repartitions the
+    coordinator applies mid-run, which the four checks must not be able
+    to distinguish from a plan-free run (the repartition-equivalence
+    property in the test suite). *)
+
+val rotation_plan :
+  segments:int -> workers:int -> int -> (int array * string) list
+(** [rotation_plan ~segments ~workers n]: [n] successive whole-map
+    ownership rotations starting from {!Engine.default_owner_map} —
+    every class changes owner at every step when [workers > 1]. *)
 
 (** {1 Stress profiles} *)
 
@@ -101,6 +113,7 @@ type profile = Abort_heavy | Adhoc_read | Mixed
 
 val stress_one :
   ?publish_every:int ->
+  ?repartitions:int ->
   seed:int -> workers:int -> txns:int -> profile:profile -> unit -> report
 (** One randomized stress run: the seed picks a chain or tree hierarchy
     (trees exercise the wall coordinator's [C_late] down-steps), the
@@ -108,4 +121,7 @@ val stress_one :
     read-only transactions over arbitrary segments, [Mixed] in
     between.  [publish_every] is the engine's publication batch K
     (default 8): outcomes must be identical at every value, which is
-    exactly what the batching property in the test suite asserts. *)
+    exactly what the batching property in the test suite asserts.
+    [repartitions] (default 0) injects that many live whole-map
+    ownership rotations ({!rotation_plan}) while the run is in flight;
+    the report must stay identical to the plan-free run. *)

@@ -40,6 +40,7 @@ type stats = {
   wall_releases : int;
   wall_lag_sum : int;
   wall_lag_max : int;
+  repartitions : int;
 }
 
 type run = {
@@ -57,11 +58,16 @@ type run = {
    smaller initiation was ticked, registered and (if finished)
    finalized on the owner's own thread before the capture.
 
-   [p_q.(k)] is I_old^c(upto) for the owner's k-th class (the class
-   [me + k * workers]) and [p_qmin] their minimum: the per-worker
+   [p_q] is a full per-class vector: [p_q.(c)] is I_old^c(upto) for
+   classes the publisher owned at capture and [max_int] elsewhere, and
+   [p_qmin] is the minimum over owned classes — the per-worker
    quiescence summary the coordinator folds in O(workers) instead of
-   rescanning every class's history per release attempt
-   (DESIGN.md §16). *)
+   rescanning every class's history per release attempt (DESIGN.md
+   §16).  A claim [p_q.(c) = v] means every class-c transaction with a
+   smaller initiation has finished; after an ownership migration the
+   coordinator folds the minimum over all workers, so a past owner's
+   stale-but-true claim only tightens the bound and the current
+   owner's barrier republication caps it correctly. *)
 type pub = {
   p_snap : Registry.snapshot;
   p_upto : Time.t;
@@ -82,14 +88,28 @@ type shared = {
      publication-freshness-hungry Protocol A reads (DESIGN.md §16) *)
   acts : Actboard.t;
   rings : Vring.t array;  (* per segment, appended by its owner *)
+  (* owner faces of the per-segment packed stores.  Only the current
+     owner of a segment's class touches its entry, and ownership only
+     changes at a repartition barrier with every worker parked, so the
+     handoff is ordered by the park/ack atomics — migrating a class
+     transfers the live store without copying a byte. *)
+  seg_stores : Pstore.t array;
   pubs : pub Atomic.t array;  (* per worker *)
   repub : bool Atomic.t array;  (* per worker: republication requests *)
   wall : Epochwall.t;
+  (* --- dynamic decomposition (DESIGN.md §17) --- *)
+  owner_map : int array Atomic.t;  (* class -> owning worker *)
+  epoch : int Atomic.t;  (* partition epoch; bumped per repartition *)
+  park : bool Atomic.t;  (* barrier request: quiesce between txns *)
+  parked : bool Atomic.t array;  (* per worker: quiescent and published *)
+  gone : bool Atomic.t array;  (* per worker: exited (counts as parked) *)
+  gen : int Atomic.t;  (* barrier generation, bumped at each map swap *)
+  acked : int Atomic.t array;  (* last gen each worker republished under *)
   stop : bool Atomic.t;  (* coordinator shutdown *)
   halt : bool Atomic.t;  (* timed mode: worker deadline *)
 }
 
-let owner sh class_id = class_id mod sh.workers
+let owner sh class_id = Array.unsafe_get (Atomic.get sh.owner_map) class_id
 
 type counters = {
   mutable n_committed : int;
@@ -109,8 +129,8 @@ type wctx = {
   sh : shared;
   me : int;
   registry : Registry.t;
-  locals : Pstore.t array;  (* per segment; only own segments maintained *)
-  own_classes : int array;
+  mutable own_classes : int array;  (* refreshed at repartition barriers *)
+  mutable my_gen : int;  (* last barrier generation observed *)
   trace : T.t option;
   c : counters;
   mutable outcomes : (Txn.id * bool) list;
@@ -147,13 +167,14 @@ let publish_upto w upto =
   let own = w.own_classes in
   for i = 0 to Array.length own - 1 do
     let seg = Array.unsafe_get own i in
-    if Pstore.dirty_count w.locals.(seg) > 0 then
-      Atomic.set sh.stores.(seg) (Pstore.publish w.locals.(seg))
+    if Pstore.dirty_count sh.seg_stores.(seg) > 0 then
+      Atomic.set sh.stores.(seg) (Pstore.publish sh.seg_stores.(seg))
   done;
-  let q =
-    Array.init (Array.length own) (fun i ->
-        Registry.i_old w.registry ~class_id:own.(i) ~at:upto)
-  in
+  let q = Array.make sh.nseg max_int in
+  for i = 0 to Array.length own - 1 do
+    let c = Array.unsafe_get own i in
+    q.(c) <- Registry.i_old w.registry ~class_id:c ~at:upto
+  done;
   let qmin = Array.fold_left Time.min max_int q in
   Atomic.set sh.pubs.(w.me)
     { p_snap = Registry.snapshot w.registry; p_upto = upto; p_q = q;
@@ -175,6 +196,60 @@ let publish_final w = publish_upto w max_int
    per-commit liveness of PR 5's publish-per-commit scheme. *)
 let service_repub w =
   if Atomic.get w.sh.repub.(w.me) then publish_pub w
+
+let own_classes_of_map map me =
+  let n = ref 0 in
+  Array.iter (fun o -> if o = me then incr n) map;
+  let own = Array.make !n 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun c o ->
+      if o = me then begin
+        own.(!j) <- c;
+        incr j
+      end)
+    map;
+  own
+
+let refresh_own w =
+  w.own_classes <- own_classes_of_map (Atomic.get w.sh.owner_map) w.me
+
+(* Catch up with a repartition: recompute owned classes from the swapped
+   map, republish under the new assignment (clearing any claim about a
+   class that just migrated away and establishing the baseline claim for
+   one that migrated in), and acknowledge the generation.  The
+   coordinator holds every worker parked until all live workers have
+   acknowledged, so no publication made under the old map can outlive
+   the barrier. *)
+let observe_gen w =
+  let g = Atomic.get w.sh.gen in
+  if g <> w.my_gen then begin
+    refresh_own w;
+    publish_pub w;
+    w.my_gen <- g;
+    Atomic.set w.sh.acked.(w.me) g
+  end
+
+(* The repartition barrier, worker side.  Called between transactions
+   only: a parked worker is quiescent with everything published.  While
+   parked it keeps serving republication requests (a waiter mid-cross-
+   read on another worker must not deadlock against the barrier).  The
+   parked flag is owned by this worker alone — set on entry, cleared on
+   exit — and the coordinator waits for every flag to drop before it
+   considers a barrier finished, so a flag it reads as set always means
+   "currently quiescent", never a leftover from the previous barrier. *)
+let check_park w =
+  if Atomic.get w.sh.park then begin
+    publish_pub w;
+    Atomic.set w.sh.parked.(w.me) true;
+    while Atomic.get w.sh.park do
+      observe_gen w;
+      service_repub w;
+      Domain.cpu_relax ()
+    done;
+    Atomic.set w.sh.parked.(w.me) false
+  end;
+  observe_gen w
 
 (* Wait for the owner of a class to have published activity covering
    argument [m].  The waiter posts a republication request to the owner
@@ -325,7 +400,10 @@ let rec run_update_ops w d cls init ops =
            block on, no younger readers to reject for.  Own writes of
            this transaction are in the write buffer, not the store, and
            carry ts = init, which a read at [init] excludes anyway. *)
-        let vts = Pstore.latest_before w.locals.(seg) ~key:g.Granule.key ~ts:init in
+        let vts =
+          Pstore.latest_before w.sh.seg_stores.(seg) ~key:g.Granule.key
+            ~ts:init
+        in
         w.c.n_reads_b <- w.c.n_reads_b + 1;
         match w.trace with
         | Some tr ->
@@ -345,7 +423,8 @@ let rec run_update_ops w d cls init ops =
            with the owner's version ring *)
         let vts =
           if owner w.sh seg = w.me then
-            Pstore.latest_before w.locals.(seg) ~key:g.Granule.key ~ts:th
+            Pstore.latest_before w.sh.seg_stores.(seg) ~key:g.Granule.key
+              ~ts:th
           else read_remote_a w seg g.Granule.key th 0
         in
         w.c.n_reads_a <- w.c.n_reads_a + 1;
@@ -390,7 +469,7 @@ let exec_update w d cls =
        segment's version ring — the ring entries become visible in one
        atomic head store, and strictly before the closing window does:
        any reader that can name these versions can also find them *)
-    let store = w.locals.(cls) in
+    let store = sh.seg_stores.(cls) in
     let ring = sh.rings.(cls) in
     let h0 = Vring.head ring in
     for i = 0 to w.wb_len - 1 do
@@ -471,23 +550,105 @@ let exec w d =
 exception Wall_stale
 exception Wall_not_computable
 
-let coordinator sh ~primary ~starts ~initial_m trace =
+(* The repartition barrier, coordinator side (DESIGN.md §17).  Three
+   phases, all between transactions of every worker:
+
+   1. Park: raise the park flag and wait until every live worker is
+      quiescent and published (exited workers count — their final
+      publication covers everything they will ever do).
+   2. Swap: install the new owner map, bump the epoch and the barrier
+      generation, then wait until every live worker has republished
+      under the new map — this clears the old owner's claims about a
+      migrated class and establishes the new owner's baseline before
+      anyone runs again.
+   3. Release: emit the {!Trace.event.Repartition} record at a fresh
+      tick (every pre-barrier event is below it, every post-barrier
+      event above — the monitor's no-active-in-flight rule) and drop
+      the park flag, waiting for every parked flag to clear so a flag
+      read as set always means "currently quiescent".
+
+   Transactions never span a barrier, so every mid-transaction
+   invariant (single-writer stores and rings, stable ownership for a
+   composed threshold) holds without further synchronization. *)
+let run_barrier sh ~target ~kind trace =
+  Atomic.set sh.park true;
+  let quiet i = Atomic.get sh.parked.(i) || Atomic.get sh.gone.(i) in
+  let rec wait p =
+    if not (p ()) then begin
+      Unix.sleepf 5e-6;
+      wait p
+    end
+  in
+  let all p =
+    let rec go i = i >= sh.workers || (p i && go (i + 1)) in
+    fun () -> go 0
+  in
+  wait (all quiet);
+  let old_map = Atomic.get sh.owner_map in
+  let moved = ref [] in
+  for c = sh.nseg - 1 downto 0 do
+    if target.(c) <> old_map.(c) then moved := c :: !moved
+  done;
+  Atomic.set sh.owner_map (Array.copy target);
+  let ep = 1 + Atomic.fetch_and_add sh.epoch 1 in
+  let g = 1 + Atomic.fetch_and_add sh.gen 1 in
+  wait (all (fun i -> Atomic.get sh.gone.(i) || Atomic.get sh.acked.(i) >= g));
+  let at = Gclock.tick sh.clock in
+  (match trace with
+  | Some tr ->
+    T.emit tr ~at
+      (T.Repartition { epoch = ep; kind; moved = !moved; fresh_store = false })
+  | None -> ());
+  Atomic.set sh.park false;
+  wait (all (fun i -> not (Atomic.get sh.parked.(i))))
+
+let rotated_map map workers =
+  Array.map (fun o -> (o + 1) mod workers) map
+
+let coordinator sh ~primary ~starts ~initial_m ?(plan = [])
+    ?(rotate_every_s = 0.) trace =
   let nseg = sh.nseg in
   let reduction = sh.partition.P.reduction in
   let last_m = ref initial_m in
   let releases = ref 0 and lag_sum = ref 0 and lag_max = ref 0 in
+  let repartitions = ref 0 in
+  let plan = ref plan in
+  let next_rotate =
+    ref
+      (if rotate_every_s > 0. then Unix.gettimeofday () +. rotate_every_s
+       else infinity)
+  in
   let stuck = ref 0 in
   while not (Atomic.get sh.stop) do
+    (* repartition requests travel this path: one scripted plan step per
+       poll iteration, or a periodic whole-map rotation in timed mode *)
+    (match !plan with
+    | (target, kind) :: rest ->
+      plan := rest;
+      run_barrier sh ~target ~kind trace;
+      incr repartitions
+    | [] ->
+      if Unix.gettimeofday () >= !next_rotate then begin
+        next_rotate := Unix.gettimeofday () +. rotate_every_s;
+        let target = rotated_map (Atomic.get sh.owner_map) sh.workers in
+        run_barrier sh ~target ~kind:"migrate" trace;
+        incr repartitions
+      end);
     (* one release attempt over a single fetch of every publication;
        the stability fold is O(workers) over worker-precomputed
        quiescence summaries, not O(classes x history) *)
     let advanced =
       try
+        let omap = Atomic.get sh.owner_map in
         let pubs = Array.map Atomic.get sh.pubs in
-        let pub_of c = pubs.(c mod sh.workers) in
+        let pub_of c = pubs.(omap.(c)) in
         (* below q(i), class i is quiescent — every member with a
-           smaller initiation has finished and its versions published *)
-        let q_of i = (pub_of i).p_q.(i / sh.workers) in
+           smaller initiation has finished and its versions published.
+           The fold over every worker keeps a past owner's stale-but-
+           true claim in play only to tighten the bound. *)
+        let q_of i =
+          Array.fold_left (fun acc p -> Time.min acc p.p_q.(i)) max_int pubs
+        in
         let m =
           Array.fold_left (fun acc p -> Time.min acc p.p_qmin) max_int pubs
         in
@@ -564,7 +725,7 @@ let coordinator sh ~primary ~starts ~initial_m trace =
     end;
     Unix.sleepf (if sh.workers = 0 then 1e-3 else 1e-4)
   done;
-  (!releases, !lag_sum, !lag_max)
+  (!releases, !lag_sum, !lag_max, !repartitions)
 
 (* --- engine setup shared by both modes --- *)
 
@@ -577,10 +738,8 @@ type setup = {
   s_coord_trace : T.t option;
 }
 
-let own_classes_of ~nseg ~workers w =
-  List.init nseg Fun.id
-  |> List.filter (fun c -> c mod workers = w)
-  |> Array.of_list
+let default_owner_map ~segments ~workers =
+  Array.init segments (fun c -> c mod workers)
 
 let setup ~partition ~init ~workers ~traced ~trace_capacity ~publish_every =
   if workers <= 0 then invalid_arg "Engine: workers must be > 0";
@@ -603,6 +762,7 @@ let setup ~partition ~init ~workers ~traced ~trace_capacity ~publish_every =
     TW.make ~s:primary ~m:m0 ~components:(Array.make nseg m0)
       ~released_at:released0
   in
+  let omap0 = default_owner_map ~segments:nseg ~workers in
   let sh =
     { clock;
       partition;
@@ -612,19 +772,34 @@ let setup ~partition ~init ~workers ~traced ~trace_capacity ~publish_every =
       stores = Array.init nseg (fun _ -> Atomic.make Pstore.empty_view);
       acts = Actboard.create ~classes:nseg;
       rings = Array.init nseg (fun _ -> Vring.create ~entries:1024);
+      seg_stores = Array.init nseg (fun _ -> Pstore.create ());
       pubs =
         Array.init workers (fun w ->
             let upto = Gclock.now clock in
-            let own = own_classes_of ~nseg ~workers w in
             (* empty registries: I_old(c, upto) = upto for every class *)
-            let q = Array.map (fun _ -> upto) own in
+            let q = Array.make nseg max_int in
+            let owns = ref false in
+            Array.iteri
+              (fun c o ->
+                if o = w then begin
+                  q.(c) <- upto;
+                  owns := true
+                end)
+              omap0;
             Atomic.make
               { p_snap = Registry.snapshot regs.(w);
                 p_upto = upto;
                 p_q = q;
-                p_qmin = (if Array.length q = 0 then max_int else upto) });
+                p_qmin = (if !owns then upto else max_int) });
       repub = Array.init workers (fun _ -> Atomic.make false);
       wall = Epochwall.create wall0;
+      owner_map = Atomic.make omap0;
+      epoch = Atomic.make 0;
+      park = Atomic.make false;
+      parked = Array.init workers (fun _ -> Atomic.make false);
+      gone = Array.init workers (fun _ -> Atomic.make false);
+      gen = Atomic.make 0;
+      acked = Array.init workers (fun _ -> Atomic.make 0);
       stop = Atomic.make false;
       halt = Atomic.make false }
   in
@@ -646,8 +821,8 @@ let fresh_wctx sh ~me ~registry ~trace ~keep_outcomes ~timed =
   { sh;
     me;
     registry;
-    locals = Array.init sh.nseg (fun _ -> Pstore.create ());
-    own_classes = own_classes_of ~nseg:sh.nseg ~workers:sh.workers me;
+    own_classes = own_classes_of_map (Atomic.get sh.owner_map) me;
+    my_gen = Atomic.get sh.gen;
     trace;
     c = fresh_counters ();
     outcomes = [];
@@ -662,7 +837,7 @@ let fresh_wctx sh ~me ~registry ~trace ~keep_outcomes ~timed =
     lat_n = 0;
     timed }
 
-let stats_of counters ~wall:(releases, lag_sum, lag_max) =
+let stats_of counters ~wall:(releases, lag_sum, lag_max, repartitions) =
   let committed = ref 0 and aborted = ref 0 and pubs = ref 0 in
   let ra = ref 0 and rb = ref 0 and rc = ref 0 and wr = ref 0 in
   Array.iter
@@ -684,13 +859,14 @@ let stats_of counters ~wall:(releases, lag_sum, lag_max) =
     publications = !pubs;
     wall_releases = releases;
     wall_lag_sum = lag_sum;
-    wall_lag_max = lag_max }
+    wall_lag_max = lag_max;
+    repartitions }
 
 (* --- script mode --- *)
 
 let dummy_desc = { d_id = -1; d_kind = `Read_only; d_ops = []; d_abort = false }
 
-let run_script ~partition ~init (config : config) ~script =
+let run_script ~partition ~init ?(plan = []) (config : config) ~script =
   let s =
     setup ~partition ~init ~workers:config.workers ~traced:config.traced
       ~trace_capacity:config.trace_capacity
@@ -703,7 +879,17 @@ let run_script ~partition ~init (config : config) ~script =
           Some (T.create ~capacity:config.trace_capacity ~domain:(w + 1) ())
         else None)
   in
-  let mboxes =
+  (* Update descriptors are routed per class, not per worker: a live
+     migration re-owns the class queue wholesale (its new owner simply
+     starts draining it), so no in-flight descriptor is ever stranded
+     in a mailbox whose worker no longer runs the class.  Read-only
+     descriptors stay round-robin per worker — any worker can serve
+     them. *)
+  let cboxes =
+    Array.init sh.nseg (fun _ ->
+        Mailbox.create ~capacity:config.mailbox_capacity)
+  in
+  let roboxes =
     Array.init config.workers (fun _ ->
         Mailbox.create ~capacity:config.mailbox_capacity)
   in
@@ -717,15 +903,32 @@ let run_script ~partition ~init (config : config) ~script =
       Int.max 1 (Int.min config.publish_every config.mailbox_capacity)
     in
     let buf = Array.make batch dummy_desc in
+    (* a worker exits only when every queue in the system is drained:
+       class ownership may still migrate to it while any queue holds
+       work, and every class queue always has a live owner until then *)
+    let drained_all () =
+      Mailbox.is_drained roboxes.(w)
+      && Array.for_all Mailbox.is_drained cboxes
+    in
     let rec loop () =
-      let n = Mailbox.pop_into mboxes.(w) buf ~max:batch in
-      if n > 0 then begin
-        for i = 0 to n - 1 do
-          exec ctx buf.(i)
-        done;
-        loop ()
-      end
-      else if Mailbox.is_drained mboxes.(w) then ()
+      check_park ctx;
+      let did = ref false in
+      let drain box =
+        let n = Mailbox.pop_into box buf ~max:batch in
+        if n > 0 then begin
+          did := true;
+          for i = 0 to n - 1 do
+            exec ctx buf.(i)
+          done
+        end
+      in
+      drain roboxes.(w);
+      let own = ctx.own_classes in
+      for i = 0 to Array.length own - 1 do
+        drain cboxes.(own.(i))
+      done;
+      if !did then loop ()
+      else if drained_all () then ()
       else begin
         (* idle: a fresh publication costs nothing we need and keeps
            waiters and the coordinator moving *)
@@ -736,6 +939,7 @@ let run_script ~partition ~init (config : config) ~script =
     in
     loop ();
     publish_final ctx;
+    Atomic.set sh.gone.(w) true;
     (ctx.outcomes, ctx.c)
   in
   let domains =
@@ -744,19 +948,22 @@ let run_script ~partition ~init (config : config) ~script =
   let coord =
     Domain.spawn (fun () ->
         coordinator sh ~primary:s.s_primary ~starts:s.s_starts
-          ~initial_m:s.s_initial_m s.s_coord_trace)
+          ~initial_m:s.s_initial_m ~plan s.s_coord_trace)
   in
   Array.iter
     (fun d ->
-      let o =
-        match d.d_kind with
-        | `Update c -> owner sh c
-        | `Read_only -> ((d.d_id mod config.workers) + config.workers)
-                        mod config.workers
-      in
-      ignore (Mailbox.push mboxes.(o) d))
+      ignore
+        (match d.d_kind with
+        | `Update c -> Mailbox.push cboxes.(c) d
+        | `Read_only ->
+          let o =
+            ((d.d_id mod config.workers) + config.workers)
+            mod config.workers
+          in
+          Mailbox.push roboxes.(o) d))
     script;
-  Array.iter Mailbox.close mboxes;
+  Array.iter Mailbox.close cboxes;
+  Array.iter Mailbox.close roboxes;
   let results = Array.map Domain.join domains in
   Atomic.set sh.stop true;
   let wall_stats = Domain.join coord in
@@ -829,7 +1036,7 @@ let gen_desc sh mix prng ~id ~classes_mine ~readable =
   end
 
 let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
-    ?(publish_every = 8) ~mix ~seed () =
+    ?(publish_every = 8) ?(rotate_every_s = 0.) ~mix ~seed () =
   ignore wall_poll_s;
   let s =
     setup ~partition ~init ~workers ~traced:false ~trace_capacity:1024
@@ -850,10 +1057,15 @@ let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
       fresh_wctx sh ~me:w ~registry:s.s_regs.(w) ~trace:None
         ~keep_outcomes:false ~timed:true
     in
-    let classes_mine = ctx.own_classes in
     let next = ref (w + 1) in
     while not (Atomic.get sh.halt) do
-      let d = gen_desc sh mix prng ~id:!next ~classes_mine ~readable in
+      (* a live migration lands here: park, re-own, resume — the owned
+         class set may have changed, so it is re-read every iteration *)
+      check_park ctx;
+      let d =
+        gen_desc sh mix prng ~id:!next ~classes_mine:ctx.own_classes
+          ~readable
+      in
       next := !next + workers;
       exec ctx d;
       (* read-only streaks publish nothing on their own; requests from
@@ -862,13 +1074,14 @@ let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
       service_repub ctx
     done;
     publish_final ctx;
+    Atomic.set sh.gone.(w) true;
     (ctx.c, ctx.lat, ctx.lat_n)
   in
   let domains = Array.init workers (fun w -> Domain.spawn (fun () -> worker w)) in
   let coord =
     Domain.spawn (fun () ->
         coordinator sh ~primary:s.s_primary ~starts:s.s_starts
-          ~initial_m:s.s_initial_m None)
+          ~initial_m:s.s_initial_m ~rotate_every_s None)
   in
   let t0 = Unix.gettimeofday () in
   Unix.sleepf seconds;
@@ -904,7 +1117,7 @@ let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
 
 let probe_maintain ctx =
   let now = Gclock.now ctx.sh.clock in
-  Pstore.set_watermark ctx.locals.(0) now;
+  Pstore.set_watermark ctx.sh.seg_stores.(0) now;
   Registry.prune ctx.registry ~upto:(now - 1)
 
 let rec probe_run ctx descs i n =

@@ -88,6 +88,8 @@ type stats = {
   wall_releases : int;
   wall_lag_sum : int;  (** sum of [released_at - m] in clock ticks *)
   wall_lag_max : int;
+  repartitions : int;
+      (** live ownership migrations applied behind a park barrier *)
 }
 
 type run = {
@@ -96,16 +98,34 @@ type run = {
   stats : stats;
 }
 
+val default_owner_map : segments:int -> workers:int -> int array
+(** The initial class-to-worker assignment: class [c] is owned by
+    worker [c mod workers]. *)
+
+val rotated_map : int array -> int -> int array
+(** [rotated_map map workers] moves every class to the next worker
+    modulo [workers] — the canonical repartition plan step. *)
+
 val run_script :
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
+  ?plan:(int array * string) list ->
   config ->
   script:desc array ->
   run
-(** Execute the script: descriptors are pushed in order into the owning
-    worker's bounded mailbox (backpressure when full), read-only ones
-    round-robin by id.  Returns when every descriptor has finished and
-    the coordinator has stopped.
+(** Execute the script: update descriptors are pushed in order into a
+    bounded per-class mailbox drained by the class's current owner,
+    read-only ones round-robin by id into per-worker mailboxes
+    (backpressure when full).  Returns when every descriptor has
+    finished and the coordinator has stopped.
+
+    [plan] is a list of live repartitions: each entry [(target, kind)]
+    is a class-to-worker owner map (length = segment count, entries in
+    [0, workers)) the coordinator installs behind a park barrier while
+    the run is in flight, one per coordinator poll, in order — see
+    DESIGN.md §17.  Every repartition emits a
+    {!Hdd_obs.Trace.event.Repartition} record and counts in
+    [stats.repartitions].  The default is no repartitions.
     @raise Invalid_argument on an update descriptor writing outside its
     root segment or reading a segment its class may not read. *)
 
@@ -133,13 +153,19 @@ val run_timed :
   seconds:float ->
   ?wall_poll_s:float ->
   ?publish_every:int ->
+  ?rotate_every_s:float ->
   mix:mix ->
   seed:int ->
   unit ->
   timed
 (** Untraced closed-loop run: each worker generates and executes its own
     transactions until the deadline.  Used by [hdd_cli bench --parallel]
-    for the scaling curves.  [publish_every] defaults to 8. *)
+    for the scaling curves.  [publish_every] defaults to 8.
+
+    [rotate_every_s] > 0 makes the coordinator apply a live whole-map
+    ownership rotation ({!rotated_map}) behind a park barrier every
+    that many seconds — the [bench --adapt] live-repartition load.
+    0 (the default) disables it. *)
 
 val alloc_probe : ?commits:int -> unit -> float
 (** Marginal heap bytes allocated per committed transaction on the

@@ -203,6 +203,12 @@ let w_event b = function
     B.w_int b 17;
     B.w_int b seq;
     B.w_array b B.w_int components
+  | T.Repartition { epoch; kind; moved; fresh_store } ->
+    B.w_int b 18;
+    B.w_int b epoch;
+    B.w_string b kind;
+    B.w_list b B.w_int moved;
+    B.w_int b (if fresh_store then 1 else 0)
 
 let w_record b (r : T.record) =
   B.w_int b r.T.seq;
@@ -460,6 +466,12 @@ let r_event r =
     let seq = B.r_int r in
     let components = B.r_array r B.r_int in
     T.Checkpoint_cut { seq; components }
+  | 18 ->
+    let epoch = B.r_int r in
+    let kind = B.r_string r in
+    let moved = B.r_list r B.r_int in
+    let fresh_store = B.r_int r <> 0 in
+    T.Repartition { epoch; kind; moved; fresh_store }
   | n -> bad "event" n
 
 let r_record r =

@@ -17,4 +17,5 @@ let () =
       ("obs", Test_obs.suite);
       ("benchkit", Test_benchkit.suite);
       ("runtime", Test_runtime.suite);
-      ("shard", Test_shard.suite) ]
+      ("shard", Test_shard.suite);
+      ("adapt", Test_adapt.suite) ]

@@ -53,6 +53,10 @@ let one_of_each =
     Trace.Registry_prune
       { upto = 12; records_dropped = 4; windows_dropped = 2 };
     Trace.Sim { label = "restart"; txn = 3 };
+    Trace.Repartition
+      { epoch = 1; kind = "migrate"; moved = [ 2; 0 ]; fresh_store = false };
+    Trace.Repartition
+      { epoch = 2; kind = "split"; moved = [ 1; 3 ]; fresh_store = true };
     Trace.Note "checkpoint" ]
 
 let test_ring_roundtrip () =
@@ -164,6 +168,7 @@ let test_metrics_bridge () =
   checki "gc collections" 1 (count "gc.collections");
   checki "gc versions dropped" 5 (count "gc.versions_dropped");
   checki "registry pruned records" 4 (count "registry.pruned_records");
+  checki "repartitions" 2 (count "adapt.repartitions");
   checki "sim label becomes a counter" 1 (count "sim.restart")
 
 (* --- the monitors: every invariant shown to fire --- *)

@@ -75,7 +75,7 @@ let rand_int prng =
 
 let rand_event prng =
   let i = Prng.int prng 100 and j = Prng.int prng 100 in
-  match Prng.int prng 18 with
+  match Prng.int prng 19 with
   | 0 ->
     let kind =
       match Prng.int prng 4 with
@@ -119,9 +119,15 @@ let rand_event prng =
   | 14 -> T.Durable_ack { txn = i; at = j }
   | 15 -> T.Durable_recovered { txn = i; at = j }
   | 16 -> T.Recovery_complete { last_time = i }
-  | _ ->
+  | 17 ->
     T.Checkpoint_cut
       { seq = i; components = Array.init (1 + (j mod 4)) (fun k -> k * j) }
+  | _ ->
+    T.Repartition
+      { epoch = 1 + i;
+        kind = (if j land 1 = 0 then "migrate" else "split");
+        moved = [ i mod 7; j mod 7 ];
+        fresh_store = j land 2 = 0 }
 
 let rand_records prng =
   List.init (Prng.int prng 6) (fun k ->
@@ -404,7 +410,7 @@ let test_golden_traces () =
 let stats_zero =
   { E.committed = 0; aborted = 0; reads_a = 0; reads_b = 0; reads_c = 0;
     writes = 0; publications = 0; wall_releases = 0; wall_lag_sum = 0;
-    wall_lag_max = 0 }
+    wall_lag_max = 0; repartitions = 0 }
 
 let rcd seq at ev = { T.seq; at; dom = 1; ev }
 
