@@ -114,6 +114,7 @@ let spec_of_name = function
   | "MVTO" | "mvto" -> Harness.Mvto
   | "MV2PL" | "mv2pl" -> Harness.Mv2pl
   | "SDD-1" | "sdd1" -> Harness.Sdd1
+  | "PRUDENT" | "prudent" -> Harness.Prudent
   | "NoCC" | "nocc" -> Harness.Nocc
   | name -> failwith ("unknown protocol: " ^ name)
 
@@ -561,6 +562,19 @@ let bench_cmd =
                  (both sides commit, speedup > 1); $(b,--baseline) \
                  additionally gates the speedup.")
   in
+  let hybrid =
+    Arg.(value & flag & info [ "hybrid" ]
+           ~doc:"Run the hybrid-CC workload benchmark instead: the \
+                 TPC-C-shaped suite at low and high contention, closed \
+                 loop, across pure HDD, the adaptive hybrid and MV2PL, \
+                 plus an open-loop million-user SLO section \
+                 (BENCH_hybrid.json).  Structural gates always apply \
+                 (every cell committed, the hybrid escalated at the \
+                 high-contention point, hybrid/HDD throughput at or \
+                 above 0.9x low and 1.3x high, SLO quantiles finite and \
+                 ordered); $(b,--baseline) additionally gates the \
+                 high-contention ratio.")
+  in
   let baseline =
     Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE"
            ~doc:"Committed baseline report to gate against.")
@@ -604,8 +618,42 @@ let bench_cmd =
     | None -> nan
   in
   let run quick out baseline max_regression obs_gate parallel durable adapt
-      shard workers publish_every =
-    if adapt then begin
+      shard workers publish_every hybrid =
+    if hybrid then begin
+      let module Wb = Hdd_workload.Wbench in
+      let out = Option.value out ~default:"BENCH_hybrid.json" in
+      let r = Wb.run ~quick () in
+      J.to_file out (Wb.to_json r);
+      Printf.printf "wrote %s\n" out;
+      Format.printf "%a@?" Wb.pp r;
+      (match Wb.gates r with
+      | [] -> ()
+      | problems ->
+        List.iter
+          (fun p -> Printf.printf "HYBRID GATE FAILED: %s\n" p)
+          problems;
+        exit 1);
+      match baseline with
+      | None -> ()
+      | Some path ->
+        let base = J.of_file path in
+        let was =
+          match Option.bind (J.path [ "ratio_high" ] base) J.number with
+          | Some f -> f
+          | None -> nan
+        in
+        let now = r.Wb.w_ratio_high in
+        if was > 0. && now < was *. (1. -. max_regression) then begin
+          Printf.printf "REGRESSION ratio_high: %.2f -> %.2f (-%.0f%%)\n"
+            was now
+            (100. *. (1. -. (now /. was)));
+          exit 1
+        end
+        else
+          Printf.printf "no hybrid regression beyond %.0f%% against %s\n"
+            (100. *. max_regression) path
+    end
+    else if adapt then begin
       let module Ab = Hdd_adapt.Adaptbench in
       let out = Option.value out ~default:"BENCH_adapt.json" in
       let seconds = if quick then 0.25 else 1.0 in
@@ -897,7 +945,8 @@ let bench_cmd =
              and optionally gate against a committed baseline")
     Term.(
       const run $ quick $ out $ baseline $ max_regression $ obs_gate
-      $ parallel $ durable $ adapt $ shard $ workers $ publish_every)
+      $ parallel $ durable $ adapt $ shard $ workers $ publish_every
+      $ hybrid)
 
 let trace_cmd =
   let module Obs_export = Hdd_benchkit.Obs_export in
@@ -1135,6 +1184,77 @@ let adapt_cmd =
     Term.(
       const run $ seed $ workers $ txns $ repartitions $ profile $ scenario)
 
+let hybrid_cmd =
+  let module D = Hdd_runtime.Differential in
+  let seed =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED"
+           ~doc:"Draws the hierarchy, the script and the interleaving; \
+                 with $(b,--seeds) it is the first of the range.")
+  in
+  let seeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Consecutive seeds to run (the nightly deep loop passes \
+                 hundreds).")
+  in
+  let workers =
+    Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "workers" ]
+           ~docv:"W,W,..."
+           ~doc:"Worker-domain counts; the oracle runs once per count.")
+  in
+  let txns =
+    Arg.(value & opt int 80 & info [ "txns" ] ~docv:"N"
+           ~doc:"Transactions in the generated script.")
+  in
+  let escalations =
+    Arg.(value & opt int 3 & info [ "escalations" ] ~docv:"N"
+           ~doc:"Live CC mode flips injected while the run is in \
+                 flight, each behind a park barrier; the last flip \
+                 returns every class to plain mode.")
+  in
+  let profile =
+    Arg.(value
+         & opt
+             (enum
+                [ ("mixed", D.Mixed); ("abort-heavy", D.Abort_heavy);
+                  ("adhoc-read", D.Adhoc_read) ])
+             D.Mixed
+         & info [ "profile" ] ~docv:"PROFILE"
+             ~doc:"Workload mix of the generated script.")
+  in
+  let run seed seeds workers txns escalations profile =
+    let failed = ref 0 in
+    let flips_applied = ref 0 in
+    for s = seed to seed + seeds - 1 do
+      List.iter
+        (fun w ->
+          let r =
+            D.stress_one ~escalations ~seed:s ~workers:w ~txns ~profile ()
+          in
+          flips_applied := !flips_applied + r.D.r_escalations;
+          if not (D.ok r) then begin
+            incr failed;
+            Format.printf "FAIL seed %d workers %d: %a@." s w D.pp_report r
+          end)
+        workers
+    done;
+    Printf.printf "%d seeds x %d worker counts: %d failures, %d flips \
+                   applied\n"
+      seeds (List.length workers) !failed !flips_applied;
+    if !failed > 0 then exit 1;
+    if escalations > 0 && !flips_applied = 0 then begin
+      Printf.printf "no mode flip was ever applied\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "hybrid"
+       ~doc:"Exercise adaptive hybrid CC on the multicore engine: seeded \
+             scripts with live per-class mode flips (plain HDD <-> \
+             commit-stamped) behind park barriers, each run checked by \
+             the four-check differential oracle (DESIGN.md §18)")
+    Term.(
+      const run $ seed $ seeds $ workers $ txns $ escalations $ profile)
+
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
@@ -1165,4 +1285,4 @@ let () =
                     [ validate_cmd; legalize_cmd; decompose_cmd; dot_cmd;
                       simulate_cmd; compare_cmd; recover_cmd; torture_cmd;
                       explore_cmd; bench_cmd; trace_cmd; shard_cmd;
-                      adapt_cmd; experiments_cmd ]))
+                      adapt_cmd; hybrid_cmd; experiments_cmd ]))

@@ -1,0 +1,123 @@
+type config = {
+  window_min : int;
+  hot_share : float;
+  hold : int;
+  cooldown_s : float;
+  max_moves : int;
+}
+
+let default_config =
+  { window_min = 64;
+    hot_share = 0.5;
+    hold = 2;
+    cooldown_s = 0.05;
+    max_moves = 64 }
+
+type t = {
+  cfg : config;
+  workers : int;
+  mutable owner_map : int array;
+  mutable last : int array;  (* cumulative counts at the last window cut *)
+  mutable streak_class : int;  (* hot class of the current streak, -1 none *)
+  mutable streak : int;  (* consecutive windows flagging [streak_class] *)
+  mutable last_move_at : float;
+  mutable moves : int;
+  mutable windows : int;
+}
+
+let create ?(config = default_config) ~workers ~owner_map () =
+  if workers <= 0 then invalid_arg "Control: workers must be > 0";
+  { cfg = config;
+    workers;
+    owner_map = Array.copy owner_map;
+    last = [||];
+    streak_class = -1;
+    streak = 0;
+    last_move_at = neg_infinity;
+    moves = 0;
+    windows = 0 }
+
+let moves t = t.moves
+let windows t = t.windows
+let owner_map t = Array.copy t.owner_map
+
+(* One observation of the cumulative per-class commit counters.  The
+   fold works in windows: deltas accumulate until [window_min] commits
+   have happened since the last cut, then the window is judged.  A
+   class is hot when it carries at least [hot_share] of the window;
+   only after [hold] consecutive windows flag the {e same} class (the
+   hysteresis) and [cooldown_s] has passed since the last move (the
+   rate limit) does the controller emit a repair: the advisor's
+   top-ranked move for a hotspot, migrating the hot class to the
+   least-loaded other worker. *)
+let decide t counts =
+  t.windows <- t.windows + 1;
+  if Array.length t.last <> Array.length counts then begin
+    (* first observation (or segment count changed): cut here *)
+    t.last <- Array.copy counts;
+    None
+  end
+  else begin
+    let n = Array.length counts in
+    let total = ref 0 in
+    for c = 0 to n - 1 do
+      total := !total + counts.(c) - t.last.(c)
+    done;
+    if !total < t.cfg.window_min then None
+    else begin
+      let hot = ref 0 and hot_delta = ref min_int in
+      let load = Array.make t.workers 0 in
+      for c = 0 to n - 1 do
+        let d = counts.(c) - t.last.(c) in
+        if d > !hot_delta then begin
+          hot := c;
+          hot_delta := d
+        end;
+        let o = t.owner_map.(c) in
+        if o >= 0 && o < t.workers then load.(o) <- load.(o) + d
+      done;
+      t.last <- Array.copy counts;
+      let share = float_of_int !hot_delta /. float_of_int !total in
+      if share < t.cfg.hot_share || t.workers < 2 then begin
+        t.streak_class <- -1;
+        t.streak <- 0;
+        None
+      end
+      else begin
+        if !hot = t.streak_class then t.streak <- t.streak + 1
+        else begin
+          t.streak_class <- !hot;
+          t.streak <- 1
+        end;
+        let now = Unix.gettimeofday () in
+        if
+          t.streak < t.cfg.hold
+          || t.moves >= t.cfg.max_moves
+          || now -. t.last_move_at < t.cfg.cooldown_s
+        then None
+        else begin
+          (* least-loaded worker other than the hot class's owner *)
+          let owner = t.owner_map.(!hot) in
+          let dest = ref (-1) in
+          for w = 0 to t.workers - 1 do
+            if w <> owner && (!dest < 0 || load.(w) < load.(!dest)) then
+              dest := w
+          done;
+          match
+            Advise.target_map ~owner_map:t.owner_map
+              (Advise.Migrate { class_id = !hot; to_worker = !dest })
+          with
+          | None -> None
+          | Some target ->
+            t.owner_map <- Array.copy target;
+            t.last_move_at <- now;
+            t.moves <- t.moves + 1;
+            t.streak <- 0;
+            t.streak_class <- -1;
+            Some target
+        end
+      end
+    end
+  end
+
+let hook t = decide t

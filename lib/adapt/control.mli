@@ -1,0 +1,58 @@
+(** The closed-loop placement controller (DESIGN.md §18): the piece
+    that closes the observe-advise-apply loop PR 8 left open.  The
+    engine's coordinator feeds it a racy snapshot of cumulative
+    per-class commit counts once per poll; the controller folds them
+    into commit-count windows, flags a hotspot exactly like
+    {!Drift.signal.Hotspot} (one class carrying at least [hot_share] of
+    a window), and — after [hold] consecutive windows agree on the same
+    class (hysteresis) and at most once per [cooldown_s] (rate limit) —
+    returns the advisor's top-ranked live repair for it:
+    {!Advise.move.Migrate} of the hot class to the least-loaded other
+    worker, materialized through {!Advise.target_map}.  The engine
+    installs whatever map the controller returns behind a park barrier
+    (kind ["auto"]), so the differential oracle cannot distinguish a
+    controlled run from a static one — the auto-repartition equivalence
+    property in the test suite.
+
+    The controller tracks the owner map it has asked for; it must be
+    the only source of repartitions in a controlled run (do not combine
+    with [rotate_every_s]). *)
+
+type config = {
+  window_min : int;  (** commits per judged window *)
+  hot_share : float;  (** window share above which a class is hot *)
+  hold : int;
+      (** consecutive windows that must flag the same class before a
+          move — the hysteresis that keeps a transient spike from
+          triggering a migration *)
+  cooldown_s : float;  (** minimum wall-clock seconds between moves *)
+  max_moves : int;  (** hard cap on moves per run *)
+}
+
+val default_config : config
+(** window 64, hot_share 0.5, hold 2, cooldown 50ms, max 64 moves. *)
+
+type t
+
+val create : ?config:config -> workers:int -> owner_map:int array -> unit -> t
+(** [owner_map] is the engine's initial class-to-worker assignment
+    (normally {!Hdd_runtime.Engine.default_owner_map}).
+    @raise Invalid_argument when [workers <= 0]. *)
+
+val decide : t -> int array -> int array option
+(** One observation of the cumulative per-class commit counters;
+    [Some target] asks the engine for a live repartition to [target].
+    Exactly the signature of {!Hdd_runtime.Engine.run_timed}'s
+    [control] argument. *)
+
+val hook : t -> int array -> int array option
+(** [decide], partially applied — pass [hook t] as [?control]. *)
+
+val moves : t -> int
+(** Migrations requested so far. *)
+
+val windows : t -> int
+(** Observations folded so far (coordinator polls, not judged windows). *)
+
+val owner_map : t -> int array
+(** The owner map after every move requested so far (a copy). *)

@@ -1,0 +1,204 @@
+module Store = Hdd_mvstore.Store
+module Chain = Hdd_mvstore.Chain
+open Hdd_core.Outcome
+
+(* Prudent precedence: reads never lock and never wait — they return the
+   latest committed version and record the precedence edge
+   [reader ≺ pending overwriter] instead.  Writes take an exclusive slot
+   per granule with deferred installation, collecting the symmetric edge
+   from every registered reader.  The price is paid at the commit point:
+   a transaction may only commit once every recorded predecessor has
+   finished, which the driver enforces through [try_commit] — a
+   commit-wait cycle surfaces as a driver-level deadlock and restarts
+   one participant. *)
+
+type gstate = {
+  mutable writer : Txn.id option;  (** pending exclusive writer *)
+  mutable readers : Txn.id list;  (** active readers of the latest version *)
+}
+
+type 'a txn_state = {
+  txn : Txn.t;
+  read_only : bool;
+  mutable reads : Granule.t list;  (** granules registered as reader *)
+  mutable writes : Granule.t list;  (** granules whose writer slot we hold *)
+  mutable buffer : (Granule.t * 'a) list;  (** deferred writes, newest first *)
+  mutable preds : Txn.id list;  (** must finish before our commit *)
+}
+
+type 'a t = {
+  clock : Time.Clock.clock;
+  store : 'a Store.t;
+  granules : gstate Granule.Tbl.t;
+  states : (Txn.id, 'a txn_state) Hashtbl.t;
+  log : Sched_log.t option;
+  m : Cc_metrics.t;
+  mutable next_id : int;
+}
+
+let create ?log ~clock ~segments ~init () =
+  { clock; store = Store.create ~segments ~init;
+    granules = Granule.Tbl.create 256; states = Hashtbl.create 64; log;
+    m = Cc_metrics.create (); next_id = 1 }
+
+let metrics t = t.m
+let store t = t.store
+
+let gstate_of t g =
+  match Granule.Tbl.find_opt t.granules g with
+  | Some s -> s
+  | None ->
+    let s = { writer = None; readers = [] } in
+    Granule.Tbl.add t.granules g s;
+    s
+
+let state_of t (txn : Txn.t) =
+  match Hashtbl.find_opt t.states txn.Txn.id with
+  | Some s -> s
+  | None ->
+    invalid_arg (Printf.sprintf "Prudent: unknown transaction %d" txn.Txn.id)
+
+let begin_txn t ~read_only =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let kind = if read_only then Txn.Read_only else Txn.Update 0 in
+  let txn = Txn.make ~id ~kind ~init:(Time.Clock.tick t.clock) in
+  Hashtbl.replace t.states id
+    { txn; read_only; reads = []; writes = []; buffer = []; preds = [] };
+  t.m.begins <- t.m.begins + 1;
+  txn
+
+let log_read t ~txn ~granule ~version =
+  match t.log with
+  | None -> ()
+  | Some log -> Sched_log.log_read log ~txn ~granule ~version
+
+let log_write t ~txn ~granule ~version =
+  match t.log with
+  | None -> ()
+  | Some log -> Sched_log.log_write log ~txn ~granule ~version
+
+let buffered st g =
+  List.find_map
+    (fun (g', v) -> if Granule.equal g g' then Some v else None)
+    st.buffer
+
+let add_pred st id = if not (List.mem id st.preds) then st.preds <- id :: st.preds
+
+let snapshot_read t (txn : Txn.t) g =
+  match Store.committed_before t.store g ~ts:txn.Txn.init with
+  | Some v ->
+    log_read t ~txn:txn.Txn.id ~granule:g ~version:v.Chain.ts;
+    Granted v.Chain.value
+  | None ->
+    t.m.rejects <- t.m.rejects + 1;
+    Rejected "snapshot version collected"
+
+let current_read t (txn : Txn.t) g =
+  match Store.latest_committed t.store g with
+  | Some v ->
+    log_read t ~txn:txn.Txn.id ~granule:g ~version:v.Chain.ts;
+    Granted v.Chain.value
+  | None ->
+    t.m.rejects <- t.m.rejects + 1;
+    Rejected "no committed version"
+
+let read t txn g =
+  let st = state_of t txn in
+  let id = txn.Txn.id in
+  t.m.reads <- t.m.reads + 1;
+  if st.read_only then snapshot_read t txn g
+  else
+    match buffered st g with
+    | Some v -> Granted v (* own deferred write *)
+    | None ->
+      let gs = gstate_of t g in
+      (* we read over the head of a pending write: the writer now
+         commit-waits for us *)
+      (match gs.writer with
+      | Some w when w <> id -> (
+        match Hashtbl.find_opt t.states w with
+        | Some wst -> add_pred wst id
+        | None -> ())
+      | _ -> ());
+      if not (List.mem id gs.readers) then begin
+        gs.readers <- id :: gs.readers;
+        st.reads <- g :: st.reads;
+        t.m.read_registrations <- t.m.read_registrations + 1
+      end;
+      current_read t txn g
+
+let write t txn g value =
+  let st = state_of t txn in
+  let id = txn.Txn.id in
+  t.m.writes <- t.m.writes + 1;
+  if st.read_only then begin
+    t.m.rejects <- t.m.rejects + 1;
+    Rejected "read-only transaction may not write"
+  end
+  else
+    let gs = gstate_of t g in
+    match gs.writer with
+    | Some w when w <> id ->
+      t.m.blocks <- t.m.blocks + 1;
+      Blocked [ w ]
+    | Some _ ->
+      st.buffer <- (g, value) :: List.remove_assoc g st.buffer;
+      Granted ()
+    | None ->
+      gs.writer <- Some id;
+      st.writes <- g :: st.writes;
+      (* every current reader of the version we overwrite precedes us *)
+      List.iter (fun r -> if r <> id then add_pred st r) gs.readers;
+      st.buffer <- (g, value) :: List.remove_assoc g st.buffer;
+      Granted ()
+
+let try_commit t txn =
+  let st = state_of t txn in
+  if st.read_only then Granted ()
+  else
+    let live = List.filter (Hashtbl.mem t.states) st.preds in
+    if live = [] then Granted ()
+    else begin
+      t.m.blocks <- t.m.blocks + 1;
+      Blocked live
+    end
+
+let release t st =
+  List.iter
+    (fun g ->
+      let gs = gstate_of t g in
+      gs.readers <- List.filter (fun r -> r <> st.txn.Txn.id) gs.readers)
+    st.reads;
+  List.iter
+    (fun g ->
+      let gs = gstate_of t g in
+      match gs.writer with
+      | Some w when w = st.txn.Txn.id -> gs.writer <- None
+      | _ -> ())
+    st.writes;
+  Hashtbl.remove t.states st.txn.Txn.id
+
+let commit t txn =
+  let st = state_of t txn in
+  let at = Time.Clock.tick t.clock in
+  (* version order per granule = commit order, which the writer slots
+     plus commit-waits serialise *)
+  List.iter
+    (fun (g, value) ->
+      ignore (Store.install t.store g ~ts:at ~writer:txn.Txn.id ~value);
+      Store.commit_version t.store g ~ts:at;
+      log_write t ~txn:txn.Txn.id ~granule:g ~version:at)
+    (List.rev st.buffer);
+  Txn.commit txn ~at;
+  release t st;
+  t.m.commits <- t.m.commits + 1
+
+let abort t txn =
+  let st = state_of t txn in
+  (match t.log with
+  | Some log -> Sched_log.drop_txn log txn.Txn.id
+  | None -> ());
+  Txn.abort txn ~at:(Time.Clock.tick t.clock);
+  release t st;
+  t.m.aborts <- t.m.aborts + 1

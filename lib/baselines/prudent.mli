@@ -1,0 +1,41 @@
+(** Prudent-precedence ordering (PAPERS.md): the high-contention
+    escalation target of the hybrid CC layer, also usable standalone.
+
+    Reads never lock and never wait — each returns the latest committed
+    version and records the precedence edge [reader ≺ pending
+    overwriter].  Writes take an exclusive per-granule slot with
+    deferred installation and collect the symmetric edge from every
+    registered reader.  Serialization is enforced at the commit point:
+    {!try_commit} answers [Blocked preds] while any recorded predecessor
+    is still active, so the driver parks the transaction instead of
+    aborting it — a read-over-pending-write race that MVTO resolves with
+    a late-write reject becomes a short commit-wait here.  Mutual
+    read-over races form commit-wait cycles, which surface as
+    driver-level deadlocks and restart one participant.
+
+    Read-only transactions read a snapshot at their initiation time with
+    no registrations, as in {!Mv2pl}. *)
+
+type 'a t
+
+val create :
+  ?log:Sched_log.t ->
+  clock:Time.Clock.clock ->
+  segments:int ->
+  init:(Granule.t -> 'a) ->
+  unit ->
+  'a t
+
+val metrics : 'a t -> Cc_metrics.t
+val begin_txn : 'a t -> read_only:bool -> Txn.t
+val read : 'a t -> Txn.t -> Granule.t -> 'a Hdd_core.Outcome.t
+val write : 'a t -> Txn.t -> Granule.t -> 'a -> unit Hdd_core.Outcome.t
+
+val try_commit : 'a t -> Txn.t -> unit Hdd_core.Outcome.t
+(** Commit admission: [Granted ()] when every recorded predecessor has
+    finished, [Blocked live_preds] otherwise.  Call {!commit} only after
+    a grant. *)
+
+val commit : 'a t -> Txn.t -> unit
+val abort : 'a t -> Txn.t -> unit
+val store : 'a t -> 'a Hdd_mvstore.Store.t

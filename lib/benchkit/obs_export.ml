@@ -143,6 +143,10 @@ let chrome_trace_of_records records =
              [ ("epoch", num epoch);
                ("moved", int_list moved);
                ("fresh_store", num (if fresh_store then 1 else 0)) ])
+      | Trace.Escalation { seq; modes } ->
+        push
+          (instant ~name:"escalation" ~at ~tid:0
+             [ ("seq", num seq); ("modes", int_list modes) ])
       | Trace.Note s -> push (instant ~name:("note: " ^ s) ~at ~tid:0 []))
     records;
   (* still-active transactions: zero-duration slices at their begin *)

@@ -1,0 +1,127 @@
+module Trace = Hdd_obs.Trace
+
+(* Per-class contention signals over a sliding window of finished update
+   transactions, folded from the live trace stream.  The window is
+   global (like {!Hdd_adapt.Drift}): one ring of the last [window]
+   finished update transactions, with per-class running aggregates so a
+   query is O(1). *)
+
+type agg = {
+  mutable finished : int;
+  mutable aborted : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+type live = {
+  l_class : int;
+  mutable l_reads : int;
+  mutable l_writes : int;
+}
+
+type entry = { e_class : int; e_aborted : bool; e_reads : int; e_writes : int }
+
+type t = {
+  window : int;
+  classes : int;
+  aggs : agg array;
+  live : (int, live) Hashtbl.t;  (* txn id -> in-flight op counts *)
+  ring : entry array;
+  mutable head : int;  (* next slot to overwrite *)
+  mutable filled : int;
+}
+
+let dummy = { e_class = -1; e_aborted = false; e_reads = 0; e_writes = 0 }
+
+let create ?(window = 256) ~classes () =
+  if window <= 0 then invalid_arg "Contention: window must be > 0";
+  { window;
+    classes;
+    aggs =
+      Array.init classes (fun _ ->
+          { finished = 0; aborted = 0; reads = 0; writes = 0 });
+    live = Hashtbl.create 64;
+    ring = Array.make window dummy;
+    head = 0;
+    filled = 0 }
+
+let evict t =
+  if t.filled = t.window then begin
+    let e = t.ring.(t.head) in
+    if e.e_class >= 0 && e.e_class < t.classes then begin
+      let a = t.aggs.(e.e_class) in
+      a.finished <- a.finished - 1;
+      if e.e_aborted then a.aborted <- a.aborted - 1;
+      a.reads <- a.reads - e.e_reads;
+      a.writes <- a.writes - e.e_writes
+    end;
+    t.filled <- t.filled - 1
+  end
+
+let push t e =
+  evict t;
+  t.ring.(t.head) <- e;
+  t.head <- (t.head + 1) mod t.window;
+  t.filled <- t.filled + 1;
+  if e.e_class >= 0 && e.e_class < t.classes then begin
+    let a = t.aggs.(e.e_class) in
+    a.finished <- a.finished + 1;
+    if e.e_aborted then a.aborted <- a.aborted + 1;
+    a.reads <- a.reads + e.e_reads;
+    a.writes <- a.writes + e.e_writes
+  end
+
+let finish t id ~aborted =
+  match Hashtbl.find_opt t.live id with
+  | None -> ()
+  | Some l ->
+    Hashtbl.remove t.live id;
+    push t
+      { e_class = l.l_class; e_aborted = aborted; e_reads = l.l_reads;
+        e_writes = l.l_writes }
+
+let feed t (r : Trace.record) =
+  match r.Trace.ev with
+  | Trace.Begin { txn; kind = Trace.Update cls; _ } ->
+    Hashtbl.replace t.live txn { l_class = cls; l_reads = 0; l_writes = 0 }
+  | Trace.Begin _ -> ()
+  | Trace.Read { txn; _ } -> (
+    match Hashtbl.find_opt t.live txn with
+    | Some l -> l.l_reads <- l.l_reads + 1
+    | None -> ())
+  | Trace.Write { txn; _ } -> (
+    match Hashtbl.find_opt t.live txn with
+    | Some l -> l.l_writes <- l.l_writes + 1
+    | None -> ())
+  | Trace.Commit { txn; _ } -> finish t txn ~aborted:false
+  | Trace.Abort { txn; _ } -> finish t txn ~aborted:true
+  | _ -> ()
+
+let observe t records = List.iter (feed t) records
+let attach t trace = Trace.subscribe trace (feed t)
+
+let finished t ~class_id = t.aggs.(class_id).finished
+
+let abort_rate t ~class_id =
+  let a = t.aggs.(class_id) in
+  if a.finished = 0 then 0.
+  else float_of_int a.aborted /. float_of_int a.finished
+
+let write_share t ~class_id =
+  let a = t.aggs.(class_id) in
+  let ops = a.reads + a.writes in
+  if ops = 0 then 0. else float_of_int a.writes /. float_of_int ops
+
+let window_finished t =
+  Array.fold_left (fun acc a -> acc + a.finished) 0 t.aggs
+
+let hottest t =
+  let best = ref (-1) and best_rate = ref 0. in
+  for c = 0 to t.classes - 1 do
+    let r = abort_rate t ~class_id:c in
+    if t.aggs.(c).finished > 0 && (!best < 0 || r > !best_rate) then begin
+      best := c;
+      best_rate := r
+    end
+  done;
+  if !best < 0 then None else Some (!best, !best_rate)

@@ -1,0 +1,48 @@
+(** Per-class contention signals for the hybrid CC policy (DESIGN.md
+    §18): a pure fold of the {!Hdd_obs.Trace} event stream — live via
+    {!attach}, or offline over a merged trace via {!observe} — into a
+    sliding window of the last [window] finished update transactions,
+    with O(1) per-class queries.
+
+    Each attempt counts separately: a transaction that restarts three
+    times before committing contributes three aborted entries and one
+    committed one, so {!abort_rate} is the per-attempt abort
+    probability — exactly the wasted-work signal escalation exists to
+    fix. *)
+
+type t
+
+val create : ?window:int -> classes:int -> unit -> t
+(** [window] (default 256) is the number of finished update
+    transactions retained.
+    @raise Invalid_argument when [window <= 0]. *)
+
+val feed : t -> Hdd_obs.Trace.record -> unit
+(** Fold one record: [Begin] of an update classifies the attempt,
+    [Read]/[Write] count its operations, [Commit]/[Abort] finish it
+    into the window.  Read-only transactions and everything else are
+    ignored. *)
+
+val observe : t -> Hdd_obs.Trace.record list -> unit
+(** [feed] a whole merged trace, in order. *)
+
+val attach : t -> Hdd_obs.Trace.t -> unit
+(** Subscribe {!feed} to a live trace. *)
+
+val finished : t -> class_id:int -> int
+(** Finished attempts of the class currently in the window. *)
+
+val abort_rate : t -> class_id:int -> float
+(** Aborted / finished attempts of the class in the window; 0 when the
+    class has no finished attempts. *)
+
+val write_share : t -> class_id:int -> float
+(** Writes / (reads + writes) across the class's finished attempts in
+    the window; 0 when it performed no operations. *)
+
+val window_finished : t -> int
+(** Total finished attempts currently in the window, all classes. *)
+
+val hottest : t -> (int * float) option
+(** The class with the highest {!abort_rate} among those with at least
+    one finished attempt, with its rate. *)

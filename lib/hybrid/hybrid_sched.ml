@@ -1,0 +1,380 @@
+module Store = Hdd_mvstore.Store
+module Chain = Hdd_mvstore.Chain
+module Scheduler = Hdd_core.Scheduler
+module P = Hdd_core.Partition
+module T = Hdd_obs.Trace
+open Hdd_core.Outcome
+
+(* Adaptive hybrid CC (DESIGN.md §18): the HDD scheduler runs every
+   class as usual, but a class under contention can be escalated to
+   commit-order serialization — prudent-precedence ordering on its root
+   segment, versions stamped at commit instead of initiation.  Only
+   root-only-eligible classes (declared read set inside the own root
+   segment) may escalate: for those, every composed Protocol A
+   threshold and every wall component is at most the initiation of any
+   active escalated transaction, which is strictly below its commit
+   stamp, so cross-class readers and read-only walls never see a
+   half-escalated cut.  Mode flips apply lazily, when the changed
+   classes have drained, and emit {!Hdd_obs.Trace.event.Escalation}. *)
+
+type gstate = {
+  mutable writer : Txn.id option;
+  mutable readers : Txn.id list;
+}
+
+type est = {
+  e_txn : Txn.t;
+  e_cls : int;
+  mutable e_reads : Granule.t list;
+  mutable e_writes : Granule.t list;
+  mutable e_buffer : (Granule.t * int) list;
+  mutable e_preds : Txn.id list;
+}
+
+type xmetrics = {
+  mutable x_reads : int;
+  mutable x_writes : int;
+  mutable x_read_registrations : int;
+  mutable x_blocks : int;
+  mutable x_rejects : int;
+}
+
+type t = {
+  sched : int Scheduler.t;
+  store : int Store.t;
+  clock : Time.Clock.clock;
+  partition : P.t;
+  trace : T.t option;
+  log : Sched_log.t option;
+  eligible : bool array;
+  modes : int array;
+  mutable pending : int array option;
+  mutable esc_seq : int;
+  active : int array;  (* active update transactions per class *)
+  granules : gstate Granule.Tbl.t;
+  states : (Txn.id, est) Hashtbl.t;
+  xm : xmetrics;
+}
+
+let eligible_classes partition =
+  let n = P.segment_count partition in
+  Array.init n (fun c ->
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        if s <> c && P.may_read partition ~class_id:c ~segment:s then
+          ok := false
+      done;
+      !ok)
+
+let create ?log ?trace ?wall_every_commits ~partition ~init () =
+  let clock = Time.Clock.create () in
+  let store = Store.create ~segments:(P.segment_count partition) ~init in
+  let sched =
+    Scheduler.create ?log ?trace ?wall_every_commits ~partition ~clock ~store
+      ()
+  in
+  { sched;
+    store;
+    clock;
+    partition;
+    trace;
+    log;
+    eligible = eligible_classes partition;
+    modes = Array.make (P.segment_count partition) 0;
+    pending = None;
+    esc_seq = 0;
+    active = Array.make (P.segment_count partition) 0;
+    granules = Granule.Tbl.create 256;
+    states = Hashtbl.create 64;
+    xm =
+      { x_reads = 0; x_writes = 0; x_read_registrations = 0; x_blocks = 0;
+        x_rejects = 0 } }
+
+let scheduler t = t.sched
+let modes t = Array.copy t.modes
+let eligible t = Array.copy t.eligible
+let escalations t = t.esc_seq
+let pending t = match t.pending with Some p -> Some (Array.copy p) | None -> None
+let escalated t cls = t.modes.(cls) <> 0
+
+let emit t ev =
+  match t.trace with
+  | Some tr -> T.emit tr ~at:(Time.Clock.tick t.clock) ev
+  | None -> ()
+
+(* Apply a pending mode vector once every changed class has drained.
+   Callers sit at transaction boundaries (begin/commit/abort), never
+   inside a trace fan-out, so the Escalation record is emitted at a
+   clean point: no update transaction of a changing class in flight —
+   the monitor's escalation invariant. *)
+let apply_pending t =
+  match t.pending with
+  | None -> false
+  | Some target ->
+    let drained = ref true in
+    Array.iteri
+      (fun c m -> if m <> t.modes.(c) && t.active.(c) > 0 then drained := false)
+      target;
+    if not !drained then false
+    else begin
+      Array.blit target 0 t.modes 0 (Array.length target);
+      t.pending <- None;
+      t.esc_seq <- t.esc_seq + 1;
+      emit t (T.Escalation { seq = t.esc_seq; modes = Array.to_list t.modes });
+      true
+    end
+
+let request_modes t target =
+  if Array.length target <> Array.length t.modes then
+    invalid_arg "Hybrid_sched.request_modes: vector length";
+  Array.iteri
+    (fun c m ->
+      if m <> 0 && m <> 1 then
+        invalid_arg "Hybrid_sched.request_modes: modes are 0 or 1";
+      if m = 1 && not t.eligible.(c) then
+        invalid_arg
+          (Printf.sprintf
+             "Hybrid_sched.request_modes: class %d reads outside its root \
+              segment and may not escalate"
+             c))
+    target;
+  t.pending <- Some (Array.copy target);
+  ignore (apply_pending t)
+
+let class_of (txn : Txn.t) =
+  match txn.Txn.kind with Txn.Update c -> Some c | _ -> None
+
+let begin_update t ~class_id =
+  ignore (apply_pending t);
+  let txn = Scheduler.begin_update t.sched ~class_id in
+  t.active.(class_id) <- t.active.(class_id) + 1;
+  if t.modes.(class_id) <> 0 then
+    Hashtbl.replace t.states txn.Txn.id
+      { e_txn = txn; e_cls = class_id; e_reads = []; e_writes = [];
+        e_buffer = []; e_preds = [] };
+  txn
+
+let begin_read_only t = Scheduler.begin_read_only t.sched
+
+let begin_adhoc_update t ~writes ~reads =
+  List.iter
+    (fun s ->
+      if s >= 0 && s < Array.length t.modes && t.modes.(s) <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Hybrid_sched: ad-hoc transaction touches escalated class %d" s))
+    (writes @ reads);
+  Scheduler.begin_adhoc_update t.sched ~writes ~reads
+
+let gstate_of t g =
+  match Granule.Tbl.find_opt t.granules g with
+  | Some s -> s
+  | None ->
+    let s = { writer = None; readers = [] } in
+    Granule.Tbl.add t.granules g s;
+    s
+
+let log_read t ~txn ~granule ~version =
+  match t.log with
+  | None -> ()
+  | Some log -> Sched_log.log_read log ~txn ~granule ~version
+
+let log_write t ~txn ~granule ~version =
+  match t.log with
+  | None -> ()
+  | Some log -> Sched_log.log_write log ~txn ~granule ~version
+
+let add_pred st id =
+  if not (List.mem id st.e_preds) then st.e_preds <- id :: st.e_preds
+
+let buffered st g =
+  List.find_map
+    (fun (g', v) -> if Granule.equal g g' then Some v else None)
+    st.e_buffer
+
+(* Escalated root-segment read: never waits — the latest committed
+   version, with a precedence edge recorded against any pending
+   overwriter (the writer now commit-waits for us).  The Read record
+   carries threshold = version + 1: nothing committed can sit between a
+   latest-committed version and its successor timestamp, which is the
+   shape the monitor's invariant 3 checks. *)
+let esc_read t st g =
+  let id = st.e_txn.Txn.id in
+  t.xm.x_reads <- t.xm.x_reads + 1;
+  match buffered st g with
+  | Some v -> Granted v
+  | None ->
+    let gs = gstate_of t g in
+    (match gs.writer with
+    | Some w when w <> id -> (
+      match Hashtbl.find_opt t.states w with
+      | Some wst -> add_pred wst id
+      | None -> ())
+    | _ -> ());
+    if not (List.mem id gs.readers) then begin
+      gs.readers <- id :: gs.readers;
+      st.e_reads <- g :: st.e_reads;
+      t.xm.x_read_registrations <- t.xm.x_read_registrations + 1
+    end;
+    (match Store.latest_committed t.store g with
+    | Some v ->
+      log_read t ~txn:id ~granule:g ~version:v.Chain.ts;
+      emit t
+        (T.Read
+           { txn = id; protocol = T.B; segment = g.Granule.segment;
+             key = g.Granule.key; threshold = v.Chain.ts + 1;
+             version = v.Chain.ts });
+      Granted v.Chain.value
+    | None ->
+      t.xm.x_rejects <- t.xm.x_rejects + 1;
+      Rejected "no committed version")
+
+let esc_write t st g value =
+  let id = st.e_txn.Txn.id in
+  t.xm.x_writes <- t.xm.x_writes + 1;
+  let gs = gstate_of t g in
+  match gs.writer with
+  | Some w when w <> id ->
+    t.xm.x_blocks <- t.xm.x_blocks + 1;
+    emit t
+      (T.Block
+         { txn = id; protocol = T.B; segment = g.Granule.segment;
+           key = g.Granule.key; on = [ w ] });
+    Blocked [ w ]
+  | Some _ ->
+    st.e_buffer <- (g, value) :: List.remove_assoc g st.e_buffer;
+    Granted ()
+  | None ->
+    gs.writer <- Some id;
+    st.e_writes <- g :: st.e_writes;
+    List.iter (fun r -> if r <> id then add_pred st r) gs.readers;
+    st.e_buffer <- (g, value) :: List.remove_assoc g st.e_buffer;
+    Granted ()
+
+let read t txn g =
+  match Hashtbl.find_opt t.states txn.Txn.id with
+  | Some st when g.Granule.segment = st.e_cls -> esc_read t st g
+  | _ -> Scheduler.read t.sched txn g
+
+let write t txn g value =
+  match Hashtbl.find_opt t.states txn.Txn.id with
+  | Some st when g.Granule.segment = st.e_cls -> esc_write t st g value
+  | _ -> Scheduler.write t.sched txn g value
+
+(* The commit-point admission check the driver polls: an escalated
+   transaction may commit only once every recorded predecessor has
+   finished.  Plain transactions are always admissible — the scheduler
+   already enforced everything at operation time. *)
+let try_commit t txn =
+  match Hashtbl.find_opt t.states txn.Txn.id with
+  | None -> Granted ()
+  | Some st ->
+    let live = List.filter (Hashtbl.mem t.states) st.e_preds in
+    if live = [] then Granted ()
+    else begin
+      t.xm.x_blocks <- t.xm.x_blocks + 1;
+      Blocked live
+    end
+
+let release t st =
+  let id = st.e_txn.Txn.id in
+  List.iter
+    (fun g ->
+      let gs = gstate_of t g in
+      gs.readers <- List.filter (fun r -> r <> id) gs.readers)
+    st.e_reads;
+  List.iter
+    (fun g ->
+      let gs = gstate_of t g in
+      match gs.writer with Some w when w = id -> gs.writer <- None | _ -> ())
+    st.e_writes;
+  Hashtbl.remove t.states id
+
+let finish_active t txn =
+  match class_of txn with
+  | Some c -> t.active.(c) <- t.active.(c) - 1
+  | None -> ()
+
+let commit t txn =
+  (match Hashtbl.find_opt t.states txn.Txn.id with
+  | Some st ->
+    (* version order = commit order: one fresh stamp for the whole
+       write set, strictly above every active initiation — invisible
+       to every outstanding threshold and wall by construction *)
+    let stamp = Time.Clock.tick t.clock in
+    List.iter
+      (fun (g, value) ->
+        ignore (Store.install t.store g ~ts:stamp ~writer:txn.Txn.id ~value);
+        Store.commit_version t.store g ~ts:stamp;
+        log_write t ~txn:txn.Txn.id ~granule:g ~version:stamp;
+        emit t
+          (T.Write
+             { txn = txn.Txn.id; segment = g.Granule.segment;
+               key = g.Granule.key; ts = stamp }))
+      (List.rev st.e_buffer);
+    release t st
+  | None -> ());
+  Scheduler.commit t.sched txn;
+  finish_active t txn;
+  ignore (apply_pending t)
+
+let abort t txn =
+  (match Hashtbl.find_opt t.states txn.Txn.id with
+  | Some st -> release t st (* nothing installed: the buffer just drops *)
+  | None -> ());
+  Scheduler.abort t.sched txn;
+  finish_active t txn;
+  ignore (apply_pending t)
+
+(* --- the simulator face --- *)
+
+let snapshot t () : Hdd_sim.Controller.counters =
+  let m = Scheduler.metrics t.sched in
+  { begins = m.Scheduler.begins;
+    commits = m.Scheduler.commits;
+    aborts = m.Scheduler.aborts;
+    reads =
+      m.Scheduler.reads_a + m.Scheduler.reads_b + m.Scheduler.reads_c
+      + t.xm.x_reads;
+    writes = m.Scheduler.writes + t.xm.x_writes;
+    read_registrations = m.Scheduler.read_registrations
+                         + t.xm.x_read_registrations;
+    blocks = m.Scheduler.blocks + t.xm.x_blocks;
+    rejects = m.Scheduler.rejects + t.xm.x_rejects }
+
+let controller t : Hdd_sim.Controller.t =
+  { name = "Hybrid";
+    begin_txn =
+      (function
+      | Hdd_sim.Controller.Update class_id -> begin_update t ~class_id
+      | Hdd_sim.Controller.Read_only -> begin_read_only t
+      | Hdd_sim.Controller.Adhoc { writes; reads } ->
+        begin_adhoc_update t ~writes ~reads);
+    read = read t;
+    write = write t;
+    commit = commit t;
+    abort = abort t;
+    try_commit = Some (try_commit t);
+    snapshot = snapshot t }
+
+(* --- the closed policy loop --- *)
+
+let auto ?contention_window ?policy ?(decide_every = 16) t ~trace =
+  let contention =
+    Contention.create ?window:contention_window
+      ~classes:(P.segment_count t.partition) ()
+  in
+  Contention.attach contention trace;
+  let pol = Policy.create ?config:policy ~eligible:t.eligible () in
+  let finished = ref 0 in
+  let c =
+    Hdd_sim.Controller.with_hooks
+      ~on_finish:(fun _ ~commit:_ ->
+        incr finished;
+        if !finished mod decide_every = 0 then
+          match Policy.decide pol contention with
+          | Some target -> request_modes t target
+          | None -> ())
+      (controller t)
+  in
+  (c, contention, pol)

@@ -1,0 +1,71 @@
+type config = {
+  escalate_above : float;
+  deescalate_below : float;
+  min_finished : int;
+  hold : int;
+  cooldown : int;
+}
+
+let default_config =
+  { escalate_above = 0.25;
+    deescalate_below = 0.05;
+    min_finished = 16;
+    hold = 2;
+    cooldown = 8 }
+
+type t = {
+  cfg : config;
+  eligible : bool array;
+  modes : int array;
+  streak : int array;  (* consecutive decisions pushing the class over *)
+  mutable since_flip : int;  (* decisions since the last mode change *)
+  mutable flips : int;
+}
+
+let create ?(config = default_config) ~eligible () =
+  { cfg = config;
+    eligible = Array.copy eligible;
+    modes = Array.make (Array.length eligible) 0;
+    streak = Array.make (Array.length eligible) 0;
+    since_flip = max_int / 2;
+    flips = 0 }
+
+let modes t = Array.copy t.modes
+let flips t = t.flips
+
+(* One decision over the current contention window.  A class escalates
+   after [hold] consecutive decisions find its abort rate at or above
+   [escalate_above] (with at least [min_finished] attempts measured),
+   and de-escalates symmetrically below [deescalate_below] — the gap
+   between the two thresholds plus [cooldown] decisions between flips
+   is the hysteresis that keeps the policy from thrashing when
+   escalation itself removes the aborts it reacted to. *)
+let decide t contention =
+  t.since_flip <- t.since_flip + 1;
+  let changed = ref false in
+  Array.iteri
+    (fun c el ->
+      if el then begin
+        let n = Contention.finished contention ~class_id:c in
+        let rate = Contention.abort_rate contention ~class_id:c in
+        let wants =
+          if t.modes.(c) = 0 then
+            n >= t.cfg.min_finished && rate >= t.cfg.escalate_above
+          else n >= t.cfg.min_finished && rate <= t.cfg.deescalate_below
+        in
+        if wants then t.streak.(c) <- t.streak.(c) + 1
+        else t.streak.(c) <- 0;
+        if t.streak.(c) >= t.cfg.hold && t.since_flip >= t.cfg.cooldown
+        then begin
+          t.modes.(c) <- 1 - t.modes.(c);
+          t.streak.(c) <- 0;
+          changed := true
+        end
+      end)
+    t.eligible;
+  if !changed then begin
+    t.since_flip <- 0;
+    t.flips <- t.flips + 1;
+    Some (Array.copy t.modes)
+  end
+  else None

@@ -1,0 +1,42 @@
+(** The escalation policy (DESIGN.md §18): turns {!Contention} windows
+    into per-class CC mode decisions with hysteresis.
+
+    A class may escalate only when it is {e eligible} — its declared
+    read set lies inside its own root segment
+    ({!Hybrid_sched.eligible_classes}) — because only then is
+    commit-stamp serialization sound for cross-class readers.  The
+    hysteresis has three parts: separated thresholds
+    ([escalate_above] > [deescalate_below]), a [hold] requirement of
+    consecutive agreeing windows, and a [cooldown] of decisions between
+    any two flips.  All three exist because escalation is
+    self-defeating as a signal: once a class runs under commit-order
+    serialization its abort rate collapses, and a naive policy would
+    immediately de-escalate it back into contention. *)
+
+type config = {
+  escalate_above : float;  (** abort rate at/above which a class escalates *)
+  deescalate_below : float;  (** abort rate at/below which it returns *)
+  min_finished : int;  (** attempts the window must hold before judging *)
+  hold : int;  (** consecutive agreeing decisions required *)
+  cooldown : int;  (** decisions between any two mode changes *)
+}
+
+val default_config : config
+(** escalate at 0.25, de-escalate at 0.05, min 16 attempts, hold 2,
+    cooldown 8. *)
+
+type t
+
+val create : ?config:config -> eligible:bool array -> unit -> t
+(** [eligible] marks the classes the policy may escalate; ineligible
+    classes stay in mode 0 forever. *)
+
+val decide : t -> Contention.t -> int array option
+(** One decision over the contention window: [Some modes] when any
+    class changed mode — pass it to {!Hybrid_sched.request_modes}. *)
+
+val modes : t -> int array
+(** The current decided mode vector (a copy). *)
+
+val flips : t -> int
+(** Mode changes decided so far. *)

@@ -43,6 +43,11 @@ let gauge_value g = !g
 
 let default_buckets = Array.init 21 (fun i -> Float.of_int (1 lsl i))
 
+(* Finer geometric grid (×1.25 per step from 0.5) for latency
+   distributions: the power-of-two default is too coarse for a p999
+   read off bucket upper bounds. *)
+let latency_buckets = Array.init 64 (fun i -> 0.5 *. (1.25 ** Float.of_int i))
+
 let histogram ?(buckets = default_buckets) t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (H h) -> h
@@ -82,6 +87,10 @@ let quantile h q =
     in
     go 0 0
   end
+
+let p50 h = quantile h 0.50
+let p99 h = quantile h 0.99
+let p999 h = quantile h 0.999
 
 type snap =
   | Counter of int
@@ -127,7 +136,8 @@ let attach t trace =
   and durable_recovered = counter t "durable.recovered"
   and recoveries = counter t "durable.recoveries"
   and checkpoint_cuts = counter t "checkpoint.cuts"
-  and repartitions = counter t "adapt.repartitions" in
+  and repartitions = counter t "adapt.repartitions"
+  and escalations = counter t "hybrid.escalations" in
   Trace.subscribe trace (fun (r : Trace.record) ->
       match r.Trace.ev with
       | Trace.Begin _ -> incr begins
@@ -158,4 +168,5 @@ let attach t trace =
       | Trace.Recovery_complete _ -> incr recoveries
       | Trace.Checkpoint_cut _ -> incr checkpoint_cuts
       | Trace.Repartition _ -> incr repartitions
+      | Trace.Escalation _ -> incr escalations
       | Trace.Note _ -> ())

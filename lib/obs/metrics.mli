@@ -40,6 +40,17 @@ val quantile : histogram -> float -> float
 (** Upper bound of the bucket containing the [q]-quantile observation
     ([0 <= q <= 1]); 0 when empty.  Coarse by construction. *)
 
+val p50 : histogram -> float
+val p99 : histogram -> float
+
+val p999 : histogram -> float
+(** Tail quantiles as bucket upper bounds; use {!latency_buckets} for a
+    grid fine enough for a meaningful p999. *)
+
+val latency_buckets : float array
+(** Geometric ×1.25 grid from 0.5, 64 buckets (~0.5 .. ~5e5) — pass as
+    [?buckets] for latency histograms driving SLO quantiles. *)
+
 type snap =
   | Counter of int
   | Gauge of float
@@ -58,5 +69,6 @@ val attach : t -> Trace.t -> unit
     [reads.a], [reads.b], [reads.c], [writes], [blocks], [rejects],
     [wall.releases], [wall.blocked], [gc.collections],
     [gc.versions_dropped], [gc.dropped_per_collection] (histogram),
-    [registry.pruned_records], [registry.pruned_windows], and
-    [sim.<label>] for driver events). *)
+    [registry.pruned_records], [registry.pruned_windows],
+    [adapt.repartitions], [hybrid.escalations], and [sim.<label>] for
+    driver events). *)

@@ -28,6 +28,11 @@ type t = {
       (** newest checkpoint cut: (seq, wall components) *)
   mutable last_epoch : int;
       (** newest partition epoch entered; 0 before any {!Trace.event.Repartition} *)
+  mutable last_esc_seq : int;
+      (** newest escalation sequence number; 0 before any {!Trace.event.Escalation} *)
+  mutable esc_modes : int array;
+      (** per-class CC modes after the newest escalation; [||] (all
+          classes plain HDD) before any *)
   mutable events_seen : int;
 }
 
@@ -44,12 +49,15 @@ let create ?(raise_on_violation = true) ?(wall_rule = `Latest)
     recovered_now = Hashtbl.create 64;
     last_cut = None;
     last_epoch = 0;
+    last_esc_seq = 0;
+    esc_modes = [||];
     events_seen = 0 }
 
 let violations t = List.rev t.violations
 let events_seen t = t.events_seen
 let active_count t = Hashtbl.length t.active
 let last_epoch t = t.last_epoch
+let last_esc_seq t = t.last_esc_seq
 
 let violate t fmt =
   Printf.ksprintf
@@ -180,10 +188,22 @@ let check_gc t (r : Trace.record) ~vector =
                 bad s c (Printf.sprintf "active reader %d's wall component" id))
             components
         | None -> ()));
+      (* An escalated class reads the latest committed version: its
+         emitted thresholds are one past the version served, never a
+         repeatable MVTO bound, and GC always keeps the newest committed
+         version per granule — so they do not pin the vector. *)
+      let esc_own s =
+        match info.kind with
+        | Trace.Update cls ->
+          s = cls && cls < Array.length t.esc_modes && t.esc_modes.(cls) <> 0
+        | _ -> false
+      in
       List.iter
         (fun (s, th) ->
-          if s >= 0 && s < Array.length vector && vector.(s) > th then
-            bad s th (Printf.sprintf "threshold txn %d already used" id))
+          if
+            s >= 0 && s < Array.length vector && vector.(s) > th
+            && not (esc_own s)
+          then bad s th (Printf.sprintf "threshold txn %d already used" id))
         info.used)
     t.active
 
@@ -266,6 +286,44 @@ let check_repartition t (r : Trace.record) ~epoch ~fresh_store =
     t.walls <- []
   end
 
+(* Invariant 7, hybrid escalation: mode switches carry strictly
+   increasing sequence numbers, and no update transaction of a class
+   whose mode changes may be in flight when the switch lands.  This is
+   deliberately weaker than the repartition rule's global quiescence:
+   the serial hybrid scheduler applies a flip as soon as the affected
+   classes drain, while the engine's full park barrier (which drains
+   everyone) satisfies it a fortiori. *)
+let check_escalation t (r : Trace.record) ~seq ~modes =
+  if seq <= t.last_esc_seq then
+    violate t "event %d: escalation sequence moved backwards: %d after %d \
+               (sequence numbers are strictly increasing)"
+      r.Trace.seq seq t.last_esc_seq;
+  let next = Array.of_list modes in
+  let mode_of v c = if c < Array.length v then v.(c) else 0 in
+  let in_flight =
+    Hashtbl.fold
+      (fun id (info : txn_info) acc ->
+        match info.kind with
+        | Trace.Update cls when mode_of t.esc_modes cls <> mode_of next cls ->
+          id :: acc
+        | _ -> acc)
+      t.active []
+  in
+  if in_flight <> [] then begin
+    let ids =
+      List.sort compare in_flight |> List.map string_of_int
+      |> String.concat ","
+    in
+    violate t "event %d: escalation %d switches the mode of classes with \
+               update transactions [%s] still in flight — the mode-switch \
+               barrier must drain them first"
+      r.Trace.seq seq ids
+  end;
+  t.last_esc_seq <- seq;
+  t.esc_modes <- next
+
+let escalated t cls = cls < Array.length t.esc_modes && t.esc_modes.(cls) <> 0
+
 let handle t (r : Trace.record) =
   t.events_seen <- t.events_seen + 1;
   match r.Trace.ev with
@@ -306,10 +364,20 @@ let handle t (r : Trace.record) =
     | None ->
       violate t "event %d: write by unknown transaction %d" r.Trace.seq txn
     | Some info ->
-      if ts <> info.init then
-        violate t "event %d: write to D%d/%d by txn %d carries timestamp \
-                   %d, not its initiation time %d"
-          r.Trace.seq segment key txn ts info.init;
+      (match info.kind with
+      | Trace.Update cls when escalated t cls ->
+        (* escalated classes install at a commit stamp taken after the
+           transaction's operations — strictly after initiation *)
+        if ts <= info.init then
+          violate t "event %d: write to D%d/%d by escalated txn %d carries \
+                     timestamp %d, not a commit stamp after its initiation \
+                     time %d"
+            r.Trace.seq segment key txn ts info.init
+      | _ ->
+        if ts <> info.init then
+          violate t "event %d: write to D%d/%d by txn %d carries timestamp \
+                     %d, not its initiation time %d"
+            r.Trace.seq segment key txn ts info.init);
       (* a rewrite of the same granule replaces the pending version *)
       info.pending <-
         (segment, key, ts)
@@ -355,6 +423,7 @@ let handle t (r : Trace.record) =
     prune_shadow t ~vector
   | Trace.Repartition { epoch; fresh_store; _ } ->
     check_repartition t r ~epoch ~fresh_store
+  | Trace.Escalation { seq; modes } -> check_escalation t r ~seq ~modes
   | Trace.Wall_blocked _ | Trace.Seg_gc _ | Trace.Registry_prune _
   | Trace.Sim _ | Trace.Note _ ->
     ()

@@ -32,8 +32,10 @@
       per-segment threshold vector stays below what any active
       transaction could still read — its initiation time for its own
       class (and every segment for ad-hoc transactions), every
-      threshold it has already used, its wall's components for walled
-      readers, and the current wall for readers yet to begin.  The
+      threshold it has already used (except on the root segment of an
+      escalated class, whose reads take the latest committed version
+      rather than a repeatable MVTO bound), its wall's components for
+      walled readers, and the current wall for readers yet to begin.  The
       shadow store is pruned with the same vector, so a collection that
       overreaches also surfaces as a stale or rejected read.
     + {b Partition epoch safety} (dynamic decomposition, DESIGN.md §17):
@@ -43,6 +45,14 @@
       [fresh_store = true] retires the committed-version shadow and the
       released walls of the old epoch (segment ids changed meaning); a
       pure ownership migration keeps both.
+    + {b Escalation safety} (hybrid CC, DESIGN.md §18):
+      {!Trace.event.Escalation} events carry strictly increasing sequence
+      numbers and never land while an update transaction of a class whose
+      mode changes is in flight.  The write-timestamp rule becomes
+      mode-aware: a class escalated by the newest event installs versions
+      at a commit stamp strictly {e after} its initiation time, while
+      non-escalated classes (and hosted / ad-hoc transactions) keep the
+      exact-initiation-time rule.
 
     The monitor is an oracle over the event stream only: it never touches
     scheduler or store internals, so it runs identically under the
@@ -96,3 +106,7 @@ val active_count : t -> int
 val last_epoch : t -> int
 (** Newest partition epoch a {!Trace.event.Repartition} entered; 0 when
     none has been seen. *)
+
+val last_esc_seq : t -> int
+(** Newest {!Trace.event.Escalation} sequence number; 0 when none has
+    been seen. *)

@@ -56,6 +56,7 @@ type event =
       moved : int list;
       fresh_store : bool;
     }
+  | Escalation of { seq : int; modes : int list }
 
 type record = { seq : int; at : int; dom : int; ev : event }
 
@@ -179,7 +180,7 @@ let emit t ~at ev =
       set 4 windows_dropped
     | Begin _ | Block _ | Reject _ | Wall_release _ | Gc _ | Sim _ | Note _
     | Durable_ack _ | Durable_recovered _ | Recovery_complete _
-    | Checkpoint_cut _ | Repartition _ ->
+    | Checkpoint_cut _ | Repartition _ | Escalation _ ->
       (* durability events are per-batch or per-recovery, not per-op:
          boxing them is off the hot path *)
       set 0 tag_boxed;
@@ -326,6 +327,8 @@ let event_to_string = function
   | Repartition { epoch; kind; moved; fresh_store } ->
     Printf.sprintf "repartition epoch=%d kind=%s moved=[%s] fresh_store=%b"
       epoch kind (ints moved) fresh_store
+  | Escalation { seq; modes } ->
+    Printf.sprintf "escalation seq=%d modes=[%s]" seq (ints modes)
 
 let pp_event ppf ev = Format.pp_print_string ppf (event_to_string ev)
 

@@ -103,6 +103,15 @@ type event =
       (** a dynamic-decomposition repair was applied behind a wall
           barrier: every transaction begun before this event ran under
           the old partition, every one after under the new *)
+  | Escalation of { seq : int; modes : int list }
+      (** the hybrid CC layer switched per-class modes behind a
+          mode-switch barrier.  [seq] is strictly increasing; [modes]
+          is the complete per-class vector after the switch (0 = plain
+          HDD init-stamped, 1 = escalated commit-stamped).  No update
+          transaction of a class whose mode changes may be in flight
+          when this event fires — the monitor enforces exactly that
+          relaxed form, which both the engine's full park barrier and
+          the serial scheduler's per-class drain satisfy *)
 
 type record = { seq : int; at : int; dom : int; ev : event }
 (** [dom] is the emitting trace's {!domain} tag — 0 for the serial stack,

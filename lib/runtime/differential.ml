@@ -73,6 +73,7 @@ type report = {
   r_aborted : int;
   r_wall_releases : int;
   r_repartitions : int;
+  r_escalations : int;
   r_events : int;
 }
 
@@ -94,11 +95,11 @@ let pp_report ppf r =
     Format.fprintf ppf "FAILED checks: %s@." (String.concat ", " names));
   Format.fprintf ppf
     "serializable=%b monitor=%d verdicts=%b b_reads=%b committed=%d \
-     aborted=%d walls=%d repartitions=%d events=%d"
+     aborted=%d walls=%d repartitions=%d escalations=%d events=%d"
     r.r_serializable
     (List.length r.r_monitor_violations)
     r.r_verdicts_agree r.r_b_reads_agree r.r_committed r.r_aborted
-    r.r_wall_releases r.r_repartitions r.r_events;
+    r.r_wall_releases r.r_repartitions r.r_escalations r.r_events;
   List.iter (fun m -> Format.fprintf ppf "@.  %s" m) r.r_mismatches;
   List.iter
     (fun v -> Format.fprintf ppf "@.  monitor: %s" v)
@@ -349,11 +350,12 @@ let check_run ~partition ~init ~script (run : Engine.run) =
     r_aborted = run.stats.Engine.aborted;
     r_wall_releases = run.stats.Engine.wall_releases;
     r_repartitions = run.stats.Engine.repartitions;
+    r_escalations = run.stats.Engine.escalations;
     r_events = List.length run.records }
 
-let check ?(plan = []) ~partition ~init ~config script =
+let check ?(plan = []) ?(mode_plan = []) ~partition ~init ~config script =
   check_run ~partition ~init ~script
-    (Engine.run_script ~partition ~init ~plan config ~script)
+    (Engine.run_script ~partition ~init ~plan ~mode_plan config ~script)
 
 (* --- stress profiles --- *)
 
@@ -391,8 +393,18 @@ let rotation_plan ~segments ~workers n =
   in
   go [] (Engine.default_owner_map ~segments ~workers) n
 
-let stress_one ?(publish_every = 8) ?(repartitions = 0) ~seed ~workers ~txns
-    ~profile () =
+(* n forced mode flips: step i escalates the classes of one parity and
+   de-escalates the other, so every class changes stamping discipline
+   at every step — the adversarial schedule for the escalation-
+   equivalence property.  The last step restores all-plain so a run
+   always ends comparable to a never-escalated one. *)
+let escalation_plan ~segments n =
+  List.init n (fun i ->
+      if i = n - 1 then Array.make segments 0
+      else Array.init segments (fun c -> (c + i) land 1))
+
+let stress_one ?(publish_every = 8) ?(repartitions = 0) ?(escalations = 0)
+    ~seed ~workers ~txns ~profile () =
   let prng = Prng.create (seed * 2 + 1) in
   let partition =
     if seed land 1 = 0 then chain_partition (4 + Prng.int prng 5)
@@ -411,4 +423,7 @@ let stress_one ?(publish_every = 8) ?(repartitions = 0) ~seed ~workers ~txns
   let plan =
     rotation_plan ~segments:(P.segment_count partition) ~workers repartitions
   in
-  check ~plan ~partition ~init:default_init ~config script
+  let mode_plan =
+    escalation_plan ~segments:(P.segment_count partition) escalations
+  in
+  check ~plan ~mode_plan ~partition ~init:default_init ~config script

@@ -56,6 +56,7 @@ type report = {
   r_aborted : int;
   r_wall_releases : int;
   r_repartitions : int;  (** live ownership migrations during the run *)
+  r_escalations : int;  (** live CC mode swaps during the run *)
   r_events : int;
 }
 
@@ -82,6 +83,7 @@ val check_run :
 
 val check :
   ?plan:(int array * string) list ->
+  ?mode_plan:int array list ->
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
   config:Engine.config ->
@@ -91,13 +93,21 @@ val check :
     [plan] is forwarded to {!Engine.run_script}: live repartitions the
     coordinator applies mid-run, which the four checks must not be able
     to distinguish from a plan-free run (the repartition-equivalence
-    property in the test suite). *)
+    property in the test suite).  [mode_plan] likewise forwards live
+    per-class CC escalations (DESIGN.md §18); the escalation-equivalence
+    property asserts the report is identical to the plan-free run's. *)
 
 val rotation_plan :
   segments:int -> workers:int -> int -> (int array * string) list
 (** [rotation_plan ~segments ~workers n]: [n] successive whole-map
     ownership rotations starting from {!Engine.default_owner_map} —
     every class changes owner at every step when [workers > 1]. *)
+
+val escalation_plan : segments:int -> int -> int array list
+(** [escalation_plan ~segments n]: [n] forced CC mode flips in which
+    every class changes stamping discipline at every step (alternating
+    parities), the last step restoring all-plain — the adversarial
+    schedule for the escalation-equivalence property. *)
 
 (** {1 Stress profiles} *)
 
@@ -114,6 +124,7 @@ type profile = Abort_heavy | Adhoc_read | Mixed
 val stress_one :
   ?publish_every:int ->
   ?repartitions:int ->
+  ?escalations:int ->
   seed:int -> workers:int -> txns:int -> profile:profile -> unit -> report
 (** One randomized stress run: the seed picks a chain or tree hierarchy
     (trees exercise the wall coordinator's [C_late] down-steps), the
@@ -124,4 +135,6 @@ val stress_one :
     exactly what the batching property in the test suite asserts.
     [repartitions] (default 0) injects that many live whole-map
     ownership rotations ({!rotation_plan}) while the run is in flight;
-    the report must stay identical to the plan-free run. *)
+    the report must stay identical to the plan-free run.  [escalations]
+    (default 0) likewise injects that many live CC mode flips
+    ({!escalation_plan}). *)

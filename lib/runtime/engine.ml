@@ -41,6 +41,7 @@ type stats = {
   wall_lag_sum : int;
   wall_lag_max : int;
   repartitions : int;
+  escalations : int;
 }
 
 type run = {
@@ -107,6 +108,17 @@ type shared = {
   acked : int Atomic.t array;  (* last gen each worker republished under *)
   stop : bool Atomic.t;  (* coordinator shutdown *)
   halt : bool Atomic.t;  (* timed mode: worker deadline *)
+  (* --- hybrid CC (DESIGN.md §18) --- *)
+  modes : int array Atomic.t;
+  (* per-class CC mode: 0 = plain HDD (versions stamped with the
+     initiation), 1 = escalated (versions stamped with a commit tick).
+     Swapped only behind the same park barrier as the owner map, so a
+     transaction always runs start to finish under one mode. *)
+  esc_seq : int Atomic.t;  (* escalation sequence, bumped per mode swap *)
+  class_commits : int array;
+  (* cumulative commits per class, written by the class's owner between
+     its own transactions and read racily by the coordinator's adaptive
+     controller — a monotone heuristic signal, not a synchronized one *)
 }
 
 let owner sh class_id = Array.unsafe_get (Atomic.get sh.owner_map) class_id
@@ -372,7 +384,7 @@ let lat_push w v =
   w.lat.(w.lat_n) <- v;
   w.lat_n <- w.lat_n + 1
 
-let rec run_update_ops w d cls init ops =
+let rec run_update_ops w d cls init esc ops =
   match ops with
   | [] -> ()
   | op :: rest ->
@@ -384,13 +396,16 @@ let rec run_update_ops w d cls init ops =
              g.Granule.segment);
       wb_put w g.Granule.key v;
       w.c.n_writes <- w.c.n_writes + 1;
+      (* escalated classes stamp versions at commit, so their Write
+         records are deferred to the commit path where the stamp is
+         known; plain classes emit the init-stamped record in place *)
       (match w.trace with
-      | Some tr ->
+      | Some tr when not esc ->
         T.emit tr ~at:(op_at w)
           (T.Write
              { txn = d.d_id; segment = g.Granule.segment; key = g.Granule.key;
                ts = init })
-      | None -> ())
+      | Some _ | None -> ())
     | Read g ->
       let seg = g.Granule.segment in
       if seg = cls then begin
@@ -436,10 +451,14 @@ let rec run_update_ops w d cls init ops =
                  key = g.Granule.key; threshold = th; version = vts })
         | None -> ()
       end);
-    run_update_ops w d cls init rest
+    run_update_ops w d cls init esc rest
 
 let exec_update w d cls =
   let sh = w.sh in
+  (* one mode read per transaction: modes only swap behind the park
+     barrier, and transactions never span a barrier, so the whole
+     transaction runs under the value read here *)
+  let esc = Array.unsafe_get (Atomic.get sh.modes) cls <> 0 in
   let t0 = if w.timed then Unix.gettimeofday () else 0. in
   (* board transition before the init tick: a reader that still sees
      [idle] is guaranteed our init lands above its own initiation *)
@@ -452,7 +471,7 @@ let exec_update w d cls =
     T.emit tr ~at:init (T.Begin { txn = d.d_id; kind = T.Update cls; init })
   | None -> ());
   w.wb_len <- 0;
-  run_update_ops w d cls init d.d_ops;
+  run_update_ops w d cls init esc d.d_ops;
   if d.d_abort then begin
     Actboard.set_ending sh.acts cls;
     let a = Gclock.tick sh.clock in
@@ -472,13 +491,31 @@ let exec_update w d cls =
     let store = sh.seg_stores.(cls) in
     let ring = sh.rings.(cls) in
     let h0 = Vring.head ring in
+    (* escalated classes serialize by commit order: versions carry a
+       fresh commit stamp instead of the initiation.  The class is
+       domain-sequential either way, so the next transaction's init
+       still lands above this stamp and own Protocol B reads at init
+       stay complete; cross readers are safe because any composed
+       threshold is at most the init of an active escalated
+       transaction, which is below its commit stamp (DESIGN.md §18). *)
+    let ts = if esc then Gclock.tick sh.clock else init in
     for i = 0 to w.wb_len - 1 do
       let key = Array.unsafe_get w.wb_keys i in
       let value = Array.unsafe_get w.wb_vals i in
-      Pstore.add_commit store ~key ~ts:init ~value;
-      Vring.stage ring (h0 + i) ~ts:init ~key ~value
+      Pstore.add_commit store ~key ~ts ~value;
+      Vring.stage ring (h0 + i) ~ts ~key ~value
     done;
     Vring.advance ring (h0 + w.wb_len);
+    (* deferred Write records: the commit stamp is only known here *)
+    (match w.trace with
+    | Some tr when esc ->
+      for i = 0 to w.wb_len - 1 do
+        T.emit tr ~at:(op_at w)
+          (T.Write
+             { txn = d.d_id; segment = cls; key = Array.unsafe_get w.wb_keys i;
+               ts })
+      done
+    | Some _ | None -> ());
     (* board transition before the end tick: a reader still seeing
        [busy] is guaranteed our end lands above its own initiation *)
     Actboard.set_ending sh.acts cls;
@@ -489,6 +526,7 @@ let exec_update w d cls =
     | Some tr -> T.emit tr ~at:e (T.Commit { txn = d.d_id; at = e })
     | None -> ());
     w.c.n_committed <- w.c.n_committed + 1;
+    sh.class_commits.(cls) <- sh.class_commits.(cls) + 1;
     if w.timed then lat_push w (Unix.gettimeofday () -. t0);
     if w.keep_outcomes then w.outcomes <- (d.d_id, true) :: w.outcomes
   end;
@@ -569,8 +607,13 @@ exception Wall_not_computable
 
    Transactions never span a barrier, so every mid-transaction
    invariant (single-writer stores and rings, stable ownership for a
-   composed threshold) holds without further synchronization. *)
-let run_barrier sh ~target ~kind trace =
+   composed threshold) holds without further synchronization.
+
+   The same barrier carries per-class CC mode swaps (DESIGN.md §18):
+   [swap] runs in the fully-quiesced window and returns the trace event
+   describing what changed — a {!Trace.event.Repartition} for an owner
+   map swap, a {!Trace.event.Escalation} for a mode vector swap. *)
+let run_barrier sh ~swap trace =
   Atomic.set sh.park true;
   let quiet i = Atomic.get sh.parked.(i) || Atomic.get sh.gone.(i) in
   let rec wait p =
@@ -584,6 +627,16 @@ let run_barrier sh ~target ~kind trace =
     fun () -> go 0
   in
   wait (all quiet);
+  let ev = swap () in
+  let g = 1 + Atomic.fetch_and_add sh.gen 1 in
+  wait (all (fun i -> Atomic.get sh.gone.(i) || Atomic.get sh.acked.(i) >= g));
+  let at = Gclock.tick sh.clock in
+  (match trace with Some tr -> T.emit tr ~at ev | None -> ());
+  Atomic.set sh.park false;
+  wait (all (fun i -> not (Atomic.get sh.parked.(i))))
+
+(* Owner-map swap, run inside the barrier's quiesced window. *)
+let repartition_swap sh ~target ~kind () =
   let old_map = Atomic.get sh.owner_map in
   let moved = ref [] in
   for c = sh.nseg - 1 downto 0 do
@@ -591,28 +644,28 @@ let run_barrier sh ~target ~kind trace =
   done;
   Atomic.set sh.owner_map (Array.copy target);
   let ep = 1 + Atomic.fetch_and_add sh.epoch 1 in
-  let g = 1 + Atomic.fetch_and_add sh.gen 1 in
-  wait (all (fun i -> Atomic.get sh.gone.(i) || Atomic.get sh.acked.(i) >= g));
-  let at = Gclock.tick sh.clock in
-  (match trace with
-  | Some tr ->
-    T.emit tr ~at
-      (T.Repartition { epoch = ep; kind; moved = !moved; fresh_store = false })
-  | None -> ());
-  Atomic.set sh.park false;
-  wait (all (fun i -> not (Atomic.get sh.parked.(i))))
+  T.Repartition { epoch = ep; kind; moved = !moved; fresh_store = false }
+
+(* Mode-vector swap: every worker is between transactions, so no update
+   transaction of any class is in flight when the stamping discipline
+   changes — the monitor's escalation invariant. *)
+let escalation_swap sh ~target () =
+  Atomic.set sh.modes (Array.copy target);
+  let seq = 1 + Atomic.fetch_and_add sh.esc_seq 1 in
+  T.Escalation { seq; modes = Array.to_list target }
 
 let rotated_map map workers =
   Array.map (fun o -> (o + 1) mod workers) map
 
-let coordinator sh ~primary ~starts ~initial_m ?(plan = [])
-    ?(rotate_every_s = 0.) trace =
+let coordinator sh ~primary ~starts ~initial_m ?(plan = []) ?(mode_plan = [])
+    ?control ?(rotate_every_s = 0.) trace =
   let nseg = sh.nseg in
   let reduction = sh.partition.P.reduction in
   let last_m = ref initial_m in
   let releases = ref 0 and lag_sum = ref 0 and lag_max = ref 0 in
-  let repartitions = ref 0 in
+  let repartitions = ref 0 and escalations = ref 0 in
   let plan = ref plan in
+  let mode_plan = ref mode_plan in
   let next_rotate =
     ref
       (if rotate_every_s > 0. then Unix.gettimeofday () +. rotate_every_s
@@ -625,15 +678,34 @@ let coordinator sh ~primary ~starts ~initial_m ?(plan = [])
     (match !plan with
     | (target, kind) :: rest ->
       plan := rest;
-      run_barrier sh ~target ~kind trace;
+      run_barrier sh ~swap:(repartition_swap sh ~target ~kind) trace;
       incr repartitions
     | [] ->
       if Unix.gettimeofday () >= !next_rotate then begin
         next_rotate := Unix.gettimeofday () +. rotate_every_s;
         let target = rotated_map (Atomic.get sh.owner_map) sh.workers in
-        run_barrier sh ~target ~kind:"migrate" trace;
+        run_barrier sh ~swap:(repartition_swap sh ~target ~kind:"migrate")
+          trace;
         incr repartitions
       end);
+    (* scripted mode swaps: one escalation barrier per poll iteration *)
+    (match !mode_plan with
+    | target :: rest ->
+      mode_plan := rest;
+      run_barrier sh ~swap:(escalation_swap sh ~target) trace;
+      incr escalations
+    | [] -> ());
+    (* the closed-loop controller: fed a racy snapshot of cumulative
+       per-class commits, it may ask for a live repartition; rate
+       limiting and hysteresis live inside the controller *)
+    (match control with
+    | Some f -> (
+      match f (Array.copy sh.class_commits) with
+      | Some target ->
+        run_barrier sh ~swap:(repartition_swap sh ~target ~kind:"auto") trace;
+        incr repartitions
+      | None -> ())
+    | None -> ());
     (* one release attempt over a single fetch of every publication;
        the stability fold is O(workers) over worker-precomputed
        quiescence summaries, not O(classes x history) *)
@@ -725,7 +797,7 @@ let coordinator sh ~primary ~starts ~initial_m ?(plan = [])
     end;
     Unix.sleepf (if sh.workers = 0 then 1e-3 else 1e-4)
   done;
-  (!releases, !lag_sum, !lag_max, !repartitions)
+  (!releases, !lag_sum, !lag_max, !repartitions, !escalations)
 
 (* --- engine setup shared by both modes --- *)
 
@@ -801,7 +873,10 @@ let setup ~partition ~init ~workers ~traced ~trace_capacity ~publish_every =
       gen = Atomic.make 0;
       acked = Array.init workers (fun _ -> Atomic.make 0);
       stop = Atomic.make false;
-      halt = Atomic.make false }
+      halt = Atomic.make false;
+      modes = Atomic.make (Array.make nseg 0);
+      esc_seq = Atomic.make 0;
+      class_commits = Array.make nseg 0 }
   in
   let coord_trace =
     if traced then begin
@@ -837,7 +912,8 @@ let fresh_wctx sh ~me ~registry ~trace ~keep_outcomes ~timed =
     lat_n = 0;
     timed }
 
-let stats_of counters ~wall:(releases, lag_sum, lag_max, repartitions) =
+let stats_of counters
+    ~wall:(releases, lag_sum, lag_max, repartitions, escalations) =
   let committed = ref 0 and aborted = ref 0 and pubs = ref 0 in
   let ra = ref 0 and rb = ref 0 and rc = ref 0 and wr = ref 0 in
   Array.iter
@@ -860,13 +936,15 @@ let stats_of counters ~wall:(releases, lag_sum, lag_max, repartitions) =
     wall_releases = releases;
     wall_lag_sum = lag_sum;
     wall_lag_max = lag_max;
-    repartitions }
+    repartitions;
+    escalations }
 
 (* --- script mode --- *)
 
 let dummy_desc = { d_id = -1; d_kind = `Read_only; d_ops = []; d_abort = false }
 
-let run_script ~partition ~init ?(plan = []) (config : config) ~script =
+let run_script ~partition ~init ?(plan = []) ?(mode_plan = [])
+    (config : config) ~script =
   let s =
     setup ~partition ~init ~workers:config.workers ~traced:config.traced
       ~trace_capacity:config.trace_capacity
@@ -948,7 +1026,7 @@ let run_script ~partition ~init ?(plan = []) (config : config) ~script =
   let coord =
     Domain.spawn (fun () ->
         coordinator sh ~primary:s.s_primary ~starts:s.s_starts
-          ~initial_m:s.s_initial_m ~plan s.s_coord_trace)
+          ~initial_m:s.s_initial_m ~plan ~mode_plan s.s_coord_trace)
   in
   Array.iter
     (fun d ->
@@ -1036,7 +1114,7 @@ let gen_desc sh mix prng ~id ~classes_mine ~readable =
   end
 
 let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
-    ?(publish_every = 8) ?(rotate_every_s = 0.) ~mix ~seed () =
+    ?(publish_every = 8) ?(rotate_every_s = 0.) ?control ~mix ~seed () =
   ignore wall_poll_s;
   let s =
     setup ~partition ~init ~workers ~traced:false ~trace_capacity:1024
@@ -1081,7 +1159,7 @@ let run_timed ~partition ~init ~workers ~seconds ?(wall_poll_s = 100e-6)
   let coord =
     Domain.spawn (fun () ->
         coordinator sh ~primary:s.s_primary ~starts:s.s_starts
-          ~initial_m:s.s_initial_m ~rotate_every_s None)
+          ~initial_m:s.s_initial_m ?control ~rotate_every_s None)
   in
   let t0 = Unix.gettimeofday () in
   Unix.sleepf seconds;

@@ -90,6 +90,9 @@ type stats = {
   wall_lag_max : int;
   repartitions : int;
       (** live ownership migrations applied behind a park barrier *)
+  escalations : int;
+      (** live per-class CC mode swaps applied behind the same barrier
+          (DESIGN.md §18) *)
 }
 
 type run = {
@@ -110,6 +113,7 @@ val run_script :
   partition:Hdd_core.Partition.t ->
   init:(Granule.t -> int) ->
   ?plan:(int array * string) list ->
+  ?mode_plan:int array list ->
   config ->
   script:desc array ->
   run
@@ -126,6 +130,18 @@ val run_script :
     DESIGN.md §17.  Every repartition emits a
     {!Hdd_obs.Trace.event.Repartition} record and counts in
     [stats.repartitions].  The default is no repartitions.
+
+    [mode_plan] is a list of live CC-mode swaps (DESIGN.md §18): each
+    entry is a per-class mode vector (length = segment count; 0 = plain
+    HDD init-stamped versions, 1 = escalated commit-stamped versions)
+    the coordinator installs behind the same park barrier, one per
+    poll, in order.  Because every worker is between transactions when
+    the vector swaps, no transaction ever straddles a mode change; each
+    swap emits a {!Hdd_obs.Trace.event.Escalation} record and counts in
+    [stats.escalations].  Classes run by the engine are
+    domain-sequential, so commit order equals initiation order and
+    either stamping discipline yields the same committed outcomes — the
+    escalation-equivalence property in [test_hybrid.ml].
     @raise Invalid_argument on an update descriptor writing outside its
     root segment or reading a segment its class may not read. *)
 
@@ -154,6 +170,7 @@ val run_timed :
   ?wall_poll_s:float ->
   ?publish_every:int ->
   ?rotate_every_s:float ->
+  ?control:(int array -> int array option) ->
   mix:mix ->
   seed:int ->
   unit ->
@@ -165,7 +182,15 @@ val run_timed :
     [rotate_every_s] > 0 makes the coordinator apply a live whole-map
     ownership rotation ({!rotated_map}) behind a park barrier every
     that many seconds — the [bench --adapt] live-repartition load.
-    0 (the default) disables it. *)
+    0 (the default) disables it.
+
+    [control] is the closed-loop placement controller
+    ({!Hdd_adapt.Control}): once per coordinator poll it is fed a racy
+    snapshot of cumulative per-class commit counts and may return a
+    target owner map, which the coordinator installs behind a park
+    barrier (kind ["auto"], counted in [stats.repartitions]).  Rate
+    limiting and hysteresis are the controller's responsibility — the
+    engine applies whatever it returns. *)
 
 val alloc_probe : ?commits:int -> unit -> float
 (** Marginal heap bytes allocated per committed transaction on the

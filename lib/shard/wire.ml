@@ -209,6 +209,10 @@ let w_event b = function
     B.w_string b kind;
     B.w_list b B.w_int moved;
     B.w_int b (if fresh_store then 1 else 0)
+  | T.Escalation { seq; modes } ->
+    B.w_int b 19;
+    B.w_int b seq;
+    B.w_list b B.w_int modes
 
 let w_record b (r : T.record) =
   B.w_int b r.T.seq;
@@ -472,6 +476,10 @@ let r_event r =
     let moved = B.r_list r B.r_int in
     let fresh_store = B.r_int r <> 0 in
     T.Repartition { epoch; kind; moved; fresh_store }
+  | 19 ->
+    let seq = B.r_int r in
+    let modes = B.r_list r B.r_int in
+    T.Escalation { seq; modes }
   | n -> bad "event" n
 
 let r_record r =

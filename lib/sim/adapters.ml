@@ -44,6 +44,7 @@ let hdd_detailed ?log ?trace ?wall_every_commits ?gc_every_commits ?gc_on_wall
       write = Scheduler.write sched;
       commit = Scheduler.commit sched;
       abort = Scheduler.abort sched;
+      try_commit = None;
       snapshot },
     sched,
     clock )
@@ -68,6 +69,7 @@ let s2pl ?log ?read_locks ~init () =
     write = B.S2pl.write c;
     commit = B.S2pl.commit c;
     abort = B.S2pl.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.S2pl.metrics c)) }
 
 let tso ?log ?read_timestamps ~init () =
@@ -80,6 +82,7 @@ let tso ?log ?read_timestamps ~init () =
     write = B.Tso.write c;
     commit = B.Tso.commit c;
     abort = B.Tso.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.Tso.metrics c)) }
 
 let mvto ?log ~segments ~init () =
@@ -91,6 +94,7 @@ let mvto ?log ~segments ~init () =
     write = B.Mvto.write c;
     commit = B.Mvto.commit c;
     abort = B.Mvto.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.Mvto.metrics c)) }
 
 let mv2pl ?log ~segments ~init () =
@@ -106,7 +110,24 @@ let mv2pl ?log ~segments ~init () =
     write = B.Mv2pl.write c;
     commit = B.Mv2pl.commit c;
     abort = B.Mv2pl.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.Mv2pl.metrics c)) }
+
+let prudent ?log ~segments ~init () =
+  let clock = Time.Clock.create () in
+  let c = B.Prudent.create ?log ~clock ~segments ~init () in
+  { Controller.name = "Prudent";
+    begin_txn =
+      (function
+      | Controller.Update _ | Controller.Adhoc _ ->
+        B.Prudent.begin_txn c ~read_only:false
+      | Controller.Read_only -> B.Prudent.begin_txn c ~read_only:true);
+    read = B.Prudent.read c;
+    write = B.Prudent.write c;
+    commit = B.Prudent.commit c;
+    abort = B.Prudent.abort c;
+    try_commit = Some (B.Prudent.try_commit c);
+    snapshot = (fun () -> of_cc_metrics (B.Prudent.metrics c)) }
 
 let sdd1 ?log ~partition ~init () =
   let clock = Time.Clock.create () in
@@ -121,6 +142,7 @@ let sdd1 ?log ~partition ~init () =
     write = B.Sdd1.write c;
     commit = B.Sdd1.commit c;
     abort = B.Sdd1.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.Sdd1.metrics c)) }
 
 let nocc ?log ~init () =
@@ -132,4 +154,5 @@ let nocc ?log ~init () =
     write = B.Nocc.write c;
     commit = B.Nocc.commit c;
     abort = B.Nocc.abort c;
+    try_commit = None;
     snapshot = (fun () -> of_cc_metrics (B.Nocc.metrics c)) }

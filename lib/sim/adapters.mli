@@ -54,6 +54,18 @@ val mv2pl :
   unit ->
   Controller.t
 
+val prudent :
+  ?log:Sched_log.t ->
+  segments:int ->
+  init:(Granule.t -> int) ->
+  unit ->
+  Controller.t
+(** Prudent-precedence ordering ({!Hdd_baselines.Prudent}): non-blocking
+    reads, exclusive deferred writes, commit-waits on recorded
+    precedence edges — the adapter wires {!Hdd_baselines.Prudent.try_commit}
+    into [Controller.try_commit] so the driver parks at the commit
+    point instead of aborting. *)
+
 val sdd1 :
   ?log:Sched_log.t ->
   partition:Hdd_core.Partition.t ->

@@ -35,6 +35,7 @@ type t = {
   write : Txn.t -> Granule.t -> int -> unit Hdd_core.Outcome.t;
   commit : Txn.t -> unit;
   abort : Txn.t -> unit;
+  try_commit : (Txn.t -> unit Hdd_core.Outcome.t) option;
   snapshot : unit -> counters;
 }
 

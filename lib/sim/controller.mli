@@ -34,6 +34,12 @@ type t = {
   write : Txn.t -> Granule.t -> int -> unit Hdd_core.Outcome.t;
   commit : Txn.t -> unit;
   abort : Txn.t -> unit;
+  try_commit : (Txn.t -> unit Hdd_core.Outcome.t) option;
+      (** commit admission, for controllers that may delay the commit
+          point itself (prudent-precedence commit-waits).  [Granted ()]
+          means the driver may call {!commit} now; [Blocked preds] parks
+          the transaction until its predecessors finish; [Rejected]
+          restarts it.  [None]: commits are always admissible. *)
   snapshot : unit -> counters;
 }
 

@@ -1,4 +1,14 @@
-type spec = Hdd | S2pl | S2plNoRl | Tso | TsoNoRts | Mvto | Mv2pl | Sdd1 | Nocc
+type spec =
+  | Hdd
+  | S2pl
+  | S2plNoRl
+  | Tso
+  | TsoNoRts
+  | Mvto
+  | Mv2pl
+  | Prudent
+  | Sdd1
+  | Nocc
 
 let spec_name = function
   | Hdd -> "HDD"
@@ -8,6 +18,7 @@ let spec_name = function
   | TsoNoRts -> "TSO-noRTS"
   | Mvto -> "MVTO"
   | Mv2pl -> "MV2PL"
+  | Prudent -> "Prudent"
   | Sdd1 -> "SDD-1"
   | Nocc -> "NoCC"
 
@@ -26,6 +37,7 @@ let make ?log ?trace spec (wl : Workload.t) =
   | TsoNoRts -> Adapters.tso ?log ~read_timestamps:false ~init ()
   | Mvto -> Adapters.mvto ?log ~segments ~init ()
   | Mv2pl -> Adapters.mv2pl ?log ~segments ~init ()
+  | Prudent -> Adapters.prudent ?log ~segments ~init ()
   | Sdd1 -> Adapters.sdd1 ?log ~partition:wl.Workload.partition ~init ()
   | Nocc -> Adapters.nocc ?log ~init ()
 

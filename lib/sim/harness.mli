@@ -10,6 +10,11 @@ type spec =
   | TsoNoRts  (** TSO with read timestamps off — the Figure 4 cripple *)
   | Mvto
   | Mv2pl
+  | Prudent
+      (** prudent-precedence ordering — commit-waits require a driver
+          honouring [Controller.try_commit] ({!Runner} does); kept out
+          of {!all} so the schedule-space explorer, which drives
+          operations directly, never sweeps it *)
   | Sdd1
   | Nocc
 

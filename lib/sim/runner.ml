@@ -49,13 +49,14 @@ type worker = {
 type event = Start of int | Do of int | Arrive  (** worker ids *)
 
 (* In closed mode the [mpl] workers run transactions back to back.  In
-   open mode the same workers act as servers for a Poisson arrival
-   stream: an arrival is served immediately by an idle worker or queues
-   (FIFO); response time is measured from the *arrival* instant, so
-   queueing delay counts — the standard open-system latency. *)
-type mode = Closed | Open of float  (** arrival rate *)
+   open mode the same workers act as servers for an arrival stream
+   drawn from an interarrival sampler (Poisson, bursty, …): an arrival
+   is served immediately by an idle worker or queues (FIFO); response
+   time is measured from the *arrival* instant, so queueing delay
+   counts — the standard open-system latency. *)
+type mode = Closed | Open of (Prng.t -> float)  (** interarrival sampler *)
 
-let run_impl ?trace ~mode config workload (c : Controller.t) =
+let run_impl ?trace ?on_response ~mode config workload (c : Controller.t) =
   if config.mpl <= 0 then invalid_arg "Runner.run: mpl must be positive";
   (* driver-level telemetry: restarts, deadlock aborts and give-ups are
      scheduling-policy outcomes the controller never sees *)
@@ -251,16 +252,29 @@ let run_impl ?trace ~mode config workload (c : Controller.t) =
       Event_queue.push q ~time:(!now +. config.op_cost) (Do w.wid)
     | Some txn -> (
       match w.ops with
-      | [] ->
-        (* all operations done: commit *)
-        finish_txn w ~commit:true;
-        incr committed;
-        Retry.note_commit retry_monitor;
-        w.attempts <- 0;
-        Stats.add response (!now -. w.first_begin);
-        w.tpl <- None;
-        w.all_ops <- [];
-        next_assignment w
+      | [] -> (
+        (* all operations done: ask for commit admission, then commit *)
+        let admitted =
+          match c.Controller.try_commit with
+          | None -> Hdd_core.Outcome.Granted ()
+          | Some f -> f txn
+        in
+        match admitted with
+        | Hdd_core.Outcome.Granted () ->
+          finish_txn w ~commit:true;
+          incr committed;
+          Retry.note_commit retry_monitor;
+          w.attempts <- 0;
+          let r = !now -. w.first_begin in
+          Stats.add response r;
+          (match on_response with Some f -> f r | None -> ());
+          w.tpl <- None;
+          w.all_ops <- [];
+          next_assignment w
+        | Hdd_core.Outcome.Blocked blockers ->
+          (* commit-wait: park until the predecessors finish *)
+          park w blockers
+        | Hdd_core.Outcome.Rejected _ -> restart w)
       | op :: rest -> (
         let outcome =
           match op with
@@ -290,7 +304,7 @@ let run_impl ?trace ~mode config workload (c : Controller.t) =
   let handle_arrival () =
     match mode with
     | Closed -> ()
-    | Open rate ->
+    | Open interarrival ->
       (* serve with an idle worker or queue the arrival *)
       (match Array.find_opt (fun w -> w.idle) workers with
       | Some w ->
@@ -299,7 +313,7 @@ let run_impl ?trace ~mode config workload (c : Controller.t) =
         Event_queue.push q ~time:!now (Start w.wid)
       | None -> Queue.push !now backlog);
       Event_queue.push q
-        ~time:(!now +. Dist.exponential arrival_rng ~rate)
+        ~time:(!now +. Float.max 0. (interarrival arrival_rng))
         Arrive
   in
 
@@ -350,10 +364,15 @@ let run_impl ?trace ~mode config workload (c : Controller.t) =
 
 let run ?trace config workload c = run_impl ?trace ~mode:Closed config workload c
 
-let run_open ?trace ~arrival_rate config workload c =
+let run_arrivals ?trace ?on_response ~interarrival config workload c =
+  run_impl ?trace ?on_response ~mode:(Open interarrival) config workload c
+
+let run_open ?trace ?on_response ~arrival_rate config workload c =
   if arrival_rate <= 0. then
     invalid_arg "Runner.run_open: arrival rate must be positive";
-  run_impl ?trace ~mode:(Open arrival_rate) config workload c
+  run_impl ?trace ?on_response
+    ~mode:(Open (fun rng -> Dist.exponential rng ~rate:arrival_rate))
+    config workload c
 
 let pp_result ppf r =
   Format.fprintf ppf

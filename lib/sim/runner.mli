@@ -53,14 +53,25 @@ val run : ?trace:Hdd_obs.Trace.t -> config -> Workload.t -> Controller.t -> resu
 
 val run_open :
   ?trace:Hdd_obs.Trace.t ->
+  ?on_response:(float -> unit) ->
   arrival_rate:float -> config -> Workload.t -> Controller.t -> result
 (** Open system: transactions arrive in a Poisson stream of the given
     rate and are served by [mpl] workers; arrivals finding every worker
     busy queue FIFO, and response time is measured from the arrival
     instant, so queueing delay counts.  Offered load beyond the service
     capacity shows up as unbounded response times, which is the point of
-    the load-latency experiment.
+    the load-latency experiment.  [on_response] observes every commit's
+    response time — the workload suite feeds latency histograms with it.
     @raise Invalid_argument on a non-positive rate;
     @raise Failure when [max_events] is exceeded. *)
+
+val run_arrivals :
+  ?trace:Hdd_obs.Trace.t ->
+  ?on_response:(float -> unit) ->
+  interarrival:(Hdd_util.Prng.t -> float) ->
+  config -> Workload.t -> Controller.t -> result
+(** Like {!run_open} but with an arbitrary interarrival sampler — the
+    hook for bursty (MMPP) and think-time-driven arrival processes from
+    the workload suite.  Negative samples are clamped to 0. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,55 @@
+module Dist = Hdd_util.Dist
+module Prng = Hdd_util.Prng
+
+(* Interarrival samplers for the open-loop driver
+   (Runner.run_arrivals).  Each sampler is a closure over the driver's
+   PRNG; the bursty one carries phase state, which is fine because the
+   driver draws arrivals from a single stream in order. *)
+
+type t = Prng.t -> float
+
+let poisson ~rate =
+  if rate <= 0. then invalid_arg "Arrivals.poisson: rate must be > 0";
+  fun rng -> Dist.exponential rng ~rate
+
+(* Two-state MMPP: the arrival rate alternates between a calm and a
+   burst phase, phase durations themselves exponential.  The sampler
+   spends the interarrival across phase boundaries so the process has
+   no artificial synchronization at phase switches. *)
+let bursty ~rate_calm ~rate_burst ~mean_calm ~mean_burst =
+  if rate_calm <= 0. || rate_burst <= 0. then
+    invalid_arg "Arrivals.bursty: rates must be > 0";
+  if mean_calm <= 0. || mean_burst <= 0. then
+    invalid_arg "Arrivals.bursty: phase means must be > 0";
+  let in_burst = ref false in
+  let phase_left = ref 0. in
+  fun rng ->
+    let total = ref 0. in
+    let served = ref false in
+    let gap = ref 0. in
+    while not !served do
+      if !phase_left <= 0. then begin
+        in_burst := not !in_burst;
+        phase_left :=
+          Dist.exponential rng
+            ~rate:(1. /. (if !in_burst then mean_burst else mean_calm))
+      end;
+      let rate = if !in_burst then rate_burst else rate_calm in
+      gap := Dist.exponential rng ~rate;
+      if !gap <= !phase_left then begin
+        phase_left := !phase_left -. !gap;
+        total := !total +. !gap;
+        served := true
+      end
+      else begin
+        (* no arrival before the phase ends: consume the phase *)
+        total := !total +. !phase_left;
+        phase_left := 0.
+      end
+    done;
+    !total
+
+let users ~count ~think_time =
+  if count <= 0 then invalid_arg "Arrivals.users: count must be > 0";
+  if think_time <= 0. then invalid_arg "Arrivals.users: think_time must be > 0";
+  poisson ~rate:(float_of_int count /. think_time)

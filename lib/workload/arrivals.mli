@@ -1,0 +1,30 @@
+(** Interarrival samplers for the open-loop workload suite (DESIGN.md
+    §18): arrivals are decoupled from service — load is {e offered},
+    not admitted, so queueing delay is part of the measured response
+    time.  Feed these to {!Hdd_sim.Runner.run_arrivals}. *)
+
+type t = Hdd_util.Prng.t -> float
+
+val poisson : rate:float -> t
+(** Memoryless arrivals at [rate] per unit of virtual time.
+    @raise Invalid_argument when [rate <= 0]. *)
+
+val bursty :
+  rate_calm:float ->
+  rate_burst:float ->
+  mean_calm:float ->
+  mean_burst:float ->
+  t
+(** Two-state Markov-modulated Poisson process: calm phases at
+    [rate_calm] alternating with burst phases at [rate_burst], phase
+    durations exponential with the given means.  The hostile arrival
+    process for tail-latency experiments.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val users : count:int -> think_time:float -> t
+(** An open population of [count] simulated users each thinking for an
+    exponential [think_time] between requests, approximated by its
+    Poisson limit at rate [count / think_time] — the standard
+    infinite-population approximation, which is what makes simulating
+    millions of users cheap.
+    @raise Invalid_argument on non-positive parameters. *)

@@ -1,0 +1,49 @@
+module Runner = Hdd_sim.Runner
+module Metrics = Hdd_obs.Metrics
+
+(* Open-loop measurement: offered arrivals, response times measured
+   from the arrival instant (queueing included), SLO quantiles off an
+   Hdd_obs.Metrics latency histogram.  Everything is virtual time, so
+   a run is machine-independent and CI-gateable. *)
+
+type slo = {
+  s_committed : int;
+  s_offered_rate : float;  (** arrivals per unit of virtual time, [nan]
+                               for non-Poisson samplers *)
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_p999 : float;
+}
+
+let run ?trace ?(offered_rate = nan) ~interarrival config workload controller =
+  let metrics = Metrics.create () in
+  let hist =
+    Metrics.histogram ~buckets:Metrics.latency_buckets metrics
+      "openloop.response"
+  in
+  let result =
+    Runner.run_arrivals ?trace
+      ~on_response:(fun r -> Metrics.observe hist r)
+      ~interarrival config workload controller
+  in
+  let slo =
+    { s_committed = result.Runner.committed;
+      s_offered_rate = offered_rate;
+      s_mean = result.Runner.mean_response;
+      s_p50 = Metrics.p50 hist;
+      s_p99 = Metrics.p99 hist;
+      s_p999 = Metrics.p999 hist }
+  in
+  (result, slo)
+
+let run_users ?trace ~users ~think_time config workload controller =
+  let interarrival = Arrivals.users ~count:users ~think_time in
+  run ?trace
+    ~offered_rate:(float_of_int users /. think_time)
+    ~interarrival config workload controller
+
+let pp_slo ppf s =
+  Format.fprintf ppf
+    "committed=%d offered=%.4f mean=%.2f p50=%.2f p99=%.2f p999=%.2f"
+    s.s_committed s.s_offered_rate s.s_mean s.s_p50 s.s_p99 s.s_p999

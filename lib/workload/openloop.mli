@@ -1,0 +1,40 @@
+(** Open-loop SLO measurement (DESIGN.md §18): drive a workload with an
+    {!Arrivals} sampler through {!Hdd_sim.Runner.run_arrivals},
+    response time measured from the {e arrival} instant so queueing
+    delay counts, and report tail quantiles off a
+    {!Hdd_obs.Metrics.latency_buckets} histogram.  All in virtual time:
+    runs are deterministic per seed and machine-independent. *)
+
+type slo = {
+  s_committed : int;
+  s_offered_rate : float;
+      (** arrivals per unit of virtual time; [nan] when the sampler has
+          no single rate *)
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_p999 : float;  (** bucket upper bounds, like {!Hdd_obs.Metrics.p999} *)
+}
+
+val run :
+  ?trace:Hdd_obs.Trace.t ->
+  ?offered_rate:float ->
+  interarrival:Arrivals.t ->
+  Hdd_sim.Runner.config ->
+  Hdd_sim.Workload.t ->
+  Hdd_sim.Controller.t ->
+  Hdd_sim.Runner.result * slo
+
+val run_users :
+  ?trace:Hdd_obs.Trace.t ->
+  users:int ->
+  think_time:float ->
+  Hdd_sim.Runner.config ->
+  Hdd_sim.Workload.t ->
+  Hdd_sim.Controller.t ->
+  Hdd_sim.Runner.result * slo
+(** {!run} under {!Arrivals.users}: an open population of [users]
+    simulated users with exponential think times — the
+    million-user-scale entry point. *)
+
+val pp_slo : Format.formatter -> slo -> unit

@@ -1,0 +1,142 @@
+module Workload = Hdd_sim.Workload
+module Controller = Hdd_sim.Controller
+module Fixtures = Hdd_benchkit.Fixtures
+module Dist = Hdd_util.Dist
+module Prng = Hdd_util.Prng
+
+(* A TPC-C-shaped mix mapped onto a TST decomposition (DESIGN.md §18).
+
+   The hierarchy is the benchkit branch fixture: [branches] district
+   segments over one shared base segment playing the warehouse-wide
+   stock table.  The stock class writes (and only reads) the base
+   segment, so it is root-only eligible — exactly the class the hybrid
+   may escalate.  District classes cross-read stock through Protocol A
+   and write their own order lines; stock-level checks ride Protocol C.
+
+   Contention is a workload property here, not a partition one: [`High]
+   concentrates stock accesses on a few zipf-hot keys in a
+   read-here/write-there "transfer" shape — under MVTO the reads
+   register timestamps that make concurrent hot writes late (restart
+   storm), under escalation the writes commit-wait instead. *)
+
+type contention = [ `Low | `High ]
+
+let contention_name = function `Low -> "low" | `High -> "high"
+
+let stock_class ~branches = branches
+
+let default_branches = 4
+let default_stock_keys = 256
+let default_district_keys = 64
+
+let workload ?(branches = default_branches)
+    ?(stock_keys = default_stock_keys)
+    ?(district_keys = default_district_keys) ~contention () =
+  if branches < 1 then invalid_arg "Tpcc.workload: branches must be >= 1";
+  let partition = Fixtures.branch_partition branches in
+  let base = branches in
+  let alpha, hot_keys =
+    match contention with
+    | `Low -> (0.4, stock_keys)
+    | `High -> (1.2, max 8 (stock_keys / 32))
+  in
+  let zipf = Dist.zipf ~n:hot_keys ~alpha in
+  let hot rng = Dist.zipf_draw zipf rng in
+  let stock g = Granule.make ~segment:base ~key:g in
+  let district b k = Granule.make ~segment:b ~key:k in
+  (* The stock class.  [`Low]: one update template — check two lines,
+     restock one, spread over the whole segment.  [`High]: the class
+     splits into summary checks (read the stock-summary row, key 0,
+     plus a couple of zipf-hot lines; write nothing) and summary posts
+     (read hot lines other than the summary, post to key 0).  The
+     split is the hybrid's best case by construction: the ubiquitous
+     checks keep bumping read timestamps on the summary row, so under
+     MVTO nearly every slightly-late post is rejected — the restart
+     storm; under escalation a post waits for the checks instead, the
+     checks never wait (no writes, so no precedence edges into them),
+     and with one write target the slot waits form a chain — the wait
+     graph cannot cycle, so no deadlocks either. *)
+  let hot_line rng = 1 + Prng.int rng (hot_keys - 1) in
+  let stock_update rng =
+    let a = hot rng in
+    let b =
+      let b = hot rng in
+      if b = a then (b + 1) mod hot_keys else b
+    in
+    [ Workload.Read (stock a);
+      Workload.Read (stock b);
+      Workload.Write (stock a, Prng.int rng 1000) ]
+  in
+  let stock_check rng =
+    [ Workload.Read (stock 0);
+      Workload.Read (stock (hot_line rng));
+      Workload.Read (stock (hot_line rng)) ]
+  in
+  let stock_post rng =
+    List.init 6 (fun _ -> Workload.Read (stock (hot_line rng)))
+    @ [ Workload.Write (stock 0, Prng.int rng 1000) ]
+  in
+  let new_order b rng =
+    let lines = 2 + Prng.int rng 3 in
+    let reads =
+      List.init lines (fun _ -> Workload.Read (stock (hot rng)))
+    in
+    let writes =
+      List.init lines (fun _ ->
+          Workload.Write
+            (district b (Prng.int rng district_keys), Prng.int rng 1000))
+    in
+    reads @ writes
+  in
+  let payment b rng =
+    [ Workload.Read (district b (Prng.int rng district_keys));
+      Workload.Write (district b (Prng.int rng district_keys), Prng.int rng 1000)
+    ]
+  in
+  let stock_level rng =
+    List.init 8 (fun _ -> Workload.Read (stock (hot rng)))
+    @ List.init 4 (fun _ ->
+          Workload.Read
+            (district (Prng.int rng branches) (Prng.int rng district_keys)))
+  in
+  let stock_weight = match contention with `Low -> 0.15 | `High -> 0.5 in
+  let per_branch w = w /. float_of_int branches in
+  let stock_templates =
+    match contention with
+    | `Low ->
+      [ { Workload.tpl_name = "stock_update";
+          kind = Controller.Update base;
+          weight = stock_weight;
+          gen = stock_update } ]
+    | `High ->
+      [ { Workload.tpl_name = "stock_check";
+          kind = Controller.Update base;
+          weight = 0.7 *. stock_weight;
+          gen = stock_check };
+        { Workload.tpl_name = "stock_post";
+          kind = Controller.Update base;
+          weight = 0.3 *. stock_weight;
+          gen = stock_post } ]
+  in
+  let templates =
+    stock_templates
+    @ { Workload.tpl_name = "stock_level";
+        kind = Controller.Read_only;
+        weight = 0.10;
+        gen = stock_level }
+    :: List.concat_map
+         (fun b ->
+           [ { Workload.tpl_name = Printf.sprintf "new_order_%d" b;
+               kind = Controller.Update b;
+               weight = per_branch (0.75 *. (1. -. stock_weight -. 0.10));
+               gen = new_order b };
+             { Workload.tpl_name = Printf.sprintf "payment_%d" b;
+               kind = Controller.Update b;
+               weight = per_branch (0.25 *. (1. -. stock_weight -. 0.10));
+               gen = payment b } ])
+         (List.init branches Fun.id)
+  in
+  { Workload.wl_name = Printf.sprintf "tpcc-%s" (contention_name contention);
+    partition;
+    templates;
+    init = (fun g -> 100 + g.Granule.key) }

@@ -28,15 +28,8 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
-let contains s affix =
-  let n = String.length s and m = String.length affix in
-  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
-  m = 0 || go 0
-
-let adapt_seeds () =
-  match Sys.getenv_opt "HDD_ADAPT_SEEDS" with
-  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 30)
-  | None -> 30
+let contains = Fixtures.contains
+let adapt_seeds () = Fixtures.seeds_from_env "HDD_ADAPT_SEEDS"
 
 (* --- the repartition-equivalence property --- *)
 
@@ -50,7 +43,7 @@ let test_repartition_equivalence () =
   let failures = ref [] in
   let fail fmt = Format.kasprintf (fun s -> failures := s :: !failures) fmt in
   for seed = 1 to seeds do
-    let workers = [| 2; 4; 8 |].(seed mod 3) in
+    let workers = Fixtures.scaled_workers seed in
     let prng = Prng.create (seed * 2 + 1) in
     let partition =
       if seed land 1 = 0 then D.chain_partition (4 + Prng.int prng 5)
@@ -411,18 +404,13 @@ let test_monitor_fresh_store_reset () =
 let golden_file (gl : Scenario.golden) =
   Filename.concat "golden" ("adapt_" ^ gl.Scenario.g_name ^ ".trace")
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Fixtures.read_file
 
 let golden_text gl = T.text_of_records (Scenario.golden_records gl)
 
 let test_golden_traces () =
-  match Sys.getenv_opt "HDD_GOLDEN_UPDATE" with
-  | Some dir when dir <> "" && dir <> "0" ->
+  match Fixtures.golden_update_dir () with
+  | Some dir ->
     List.iter
       (fun (gl : Scenario.golden) ->
         let path =

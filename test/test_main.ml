@@ -18,4 +18,6 @@ let () =
       ("benchkit", Test_benchkit.suite);
       ("runtime", Test_runtime.suite);
       ("shard", Test_shard.suite);
-      ("adapt", Test_adapt.suite) ]
+      ("adapt", Test_adapt.suite);
+      ("hybrid", Test_hybrid.suite);
+      ("workload", Test_workload.suite) ]

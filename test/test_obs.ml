@@ -147,6 +147,37 @@ let test_metrics_basics () =
     ()
   | _ -> Alcotest.fail "snapshot shape (name-sorted) off"
 
+(* The p999 tail quantile (DESIGN.md §18 SLOs): empty and single-sample
+   degenerate cases, and a heavy-tailed histogram where p50 and p99 sit
+   in the body but p999 lands in the tail — the case the finer
+   [latency_buckets] grid exists for. *)
+let test_metrics_p999 () =
+  let m = Metrics.create () in
+  let empty = Metrics.histogram ~buckets:Metrics.latency_buckets m "e" in
+  checkb "empty histogram quantiles are 0" true
+    (Metrics.p50 empty = 0. && Metrics.p999 empty = 0.);
+  let one = Metrics.histogram ~buckets:Metrics.latency_buckets m "one" in
+  Metrics.observe one 3.0;
+  checkb "single sample: all quantiles agree" true
+    (Metrics.p50 one = Metrics.p99 one && Metrics.p99 one = Metrics.p999 one);
+  checkb "single sample: bound covers the observation" true
+    (Metrics.p999 one >= 3.0 && Float.is_finite (Metrics.p999 one));
+  let heavy = Metrics.histogram ~buckets:Metrics.latency_buckets m "heavy" in
+  for _ = 1 to 2000 do
+    Metrics.observe heavy 1.0
+  done;
+  for _ = 1 to 5 do
+    Metrics.observe heavy 800.0
+  done;
+  checkb "p50 and p99 sit in the body" true
+    (Metrics.p50 heavy = Metrics.p99 heavy && Metrics.p99 heavy < 2.);
+  checkb "p999 lands in the tail" true
+    (Metrics.p999 heavy >= 800. && Float.is_finite (Metrics.p999 heavy));
+  let off = Metrics.histogram ~buckets:Metrics.latency_buckets m "off" in
+  Metrics.observe off 1e12;
+  checkb "observation past the last bound reports infinity" true
+    (Metrics.p999 off = infinity)
+
 let test_metrics_bridge () =
   let t = Trace.create () in
   let m = Metrics.create () in
@@ -411,6 +442,8 @@ let suite =
       test_to_text_deterministic;
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick
       test_metrics_basics;
+    Alcotest.test_case "metrics: p999 tail quantile" `Quick
+      test_metrics_p999;
     Alcotest.test_case "metrics: the standard event bridge" `Quick
       test_metrics_bridge;
     Alcotest.test_case "monitor: A/C no-wait no-reject fires" `Quick

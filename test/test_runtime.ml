@@ -352,21 +352,14 @@ let test_engine_cross_class_values () = cross_class_check ~publish_every:1
 let test_drain_deadlock_every_k () =
   List.iter (fun k -> cross_class_check ~publish_every:k) [ 1; 4; 16; 64 ]
 
-let stress_seeds () =
-  match Sys.getenv_opt "HDD_PAR_SEEDS" with
-  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 30)
-  | None -> 30
+let stress_seeds () = Fixtures.seeds_from_env "HDD_PAR_SEEDS"
 
 let test_multicore_stress () =
   let seeds = stress_seeds () in
-  let workers_of s = [| 2; 4; 8 |].(s mod 3) in
-  let profile_of s =
-    [| R.Differential.Abort_heavy; R.Differential.Adhoc_read;
-       R.Differential.Mixed |].(s / 3 mod 3)
-  in
   let failures = ref [] in
   for seed = 1 to seeds do
-    let workers = workers_of seed and profile = profile_of seed in
+    let workers = Fixtures.scaled_workers seed
+    and profile = Fixtures.stress_profile seed in
     let r = R.Differential.stress_one ~seed ~workers ~txns:40 ~profile () in
     if not (R.Differential.ok r) then
       failures :=
@@ -572,10 +565,7 @@ let test_alloc_probe_zero () =
 
 (* --- batched publication changes nothing observable --- *)
 
-let batch_seeds () =
-  match Sys.getenv_opt "HDD_BATCH_SEEDS" with
-  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 12)
-  | None -> 12
+let batch_seeds () = Fixtures.seeds_from_env ~default:12 "HDD_BATCH_SEEDS"
 
 let test_batching_identity () =
   (* every batch K must pass the full four-check oracle AND reach the

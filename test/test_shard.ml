@@ -265,20 +265,15 @@ let test_goldens_pass_oracle () =
         [ 1; 2; 3 ])
     Sh.Shard_diff.goldens
 
-let shard_seeds () =
-  match Sys.getenv_opt "HDD_SHARD_SEEDS" with
-  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 30)
-  | None -> 30
-
-let profile_of s =
-  [| D.Abort_heavy; D.Adhoc_read; D.Mixed |].(s / 3 mod 3)
+let shard_seeds () = Fixtures.seeds_from_env "HDD_SHARD_SEEDS"
+let profile_of = Fixtures.stress_profile
 
 let test_shard_stress () =
   let seeds = shard_seeds () in
-  let shards_of s = [| 2; 4; 8 |].(s mod 3) in
   let failures = ref [] in
   for seed = 1 to seeds do
-    let shards = shards_of seed and profile = profile_of seed in
+    let shards = Fixtures.scaled_workers seed
+    and profile = profile_of seed in
     let r = Sh.Shard_diff.stress_one ~seed ~shards ~txns:30 ~profile () in
     if not (D.ok r) then
       failures :=
@@ -365,19 +360,14 @@ let test_netfault_drop_storm () =
 
 let golden_file name = Filename.concat "golden" ("shard_" ^ name ^ ".trace")
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Fixtures.read_file
 
 let golden_text gl =
   T.text_of_records (Sh.Shard_diff.golden_records gl)
 
 let test_golden_traces () =
-  match Sys.getenv_opt "HDD_GOLDEN_UPDATE" with
-  | Some dir when dir <> "" && dir <> "0" ->
+  match Fixtures.golden_update_dir () with
+  | Some dir ->
     List.iter
       (fun (gl : Sh.Shard_diff.golden) ->
         let path =
@@ -410,7 +400,7 @@ let test_golden_traces () =
 let stats_zero =
   { E.committed = 0; aborted = 0; reads_a = 0; reads_b = 0; reads_c = 0;
     writes = 0; publications = 0; wall_releases = 0; wall_lag_sum = 0;
-    wall_lag_max = 0; repartitions = 0 }
+    wall_lag_max = 0; repartitions = 0; escalations = 0 }
 
 let rcd seq at ev = { T.seq; at; dom = 1; ev }
 

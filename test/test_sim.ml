@@ -327,6 +327,7 @@ let test_gc_under_concurrency_certifies () =
       write = Hdd_core.Scheduler.write sched;
       commit = Hdd_core.Scheduler.commit sched;
       abort = Hdd_core.Scheduler.abort sched;
+      try_commit = None;
       snapshot = (fun () -> Controller.zero_counters) }
   in
   let config =

@@ -1,0 +1,130 @@
+(* The open-loop workload suite (DESIGN.md §18): the TPC-C-shaped mix
+   on the branch decomposition, the arrival samplers, the open-loop SLO
+   measurement, and the hybrid benchmark's own gates. *)
+
+module P = Hdd_core.Partition
+module Hy = Hdd_hybrid.Hybrid_sched
+module Runner = Hdd_sim.Runner
+module Adapters = Hdd_sim.Adapters
+module Workload = Hdd_sim.Workload
+module Controller = Hdd_sim.Controller
+module Tpcc = Hdd_workload.Tpcc
+module Arrivals = Hdd_workload.Arrivals
+module Openloop = Hdd_workload.Openloop
+module Wbench = Hdd_workload.Wbench
+module Prng = Hdd_util.Prng
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let checki = Alcotest.check Alcotest.int
+
+(* Every generated operation must be legal for its template's class —
+   updates write only their root segment and read only segments the
+   partition grants — and the stock class must stay escalatable, or the
+   hybrid has nothing to work with. *)
+let test_tpcc_shape () =
+  List.iter
+    (fun contention ->
+      let wl = Tpcc.workload ~contention () in
+      let total =
+        List.fold_left (fun a t -> a +. t.Workload.weight) 0.
+          wl.Workload.templates
+      in
+      checkb "weights sum to ~1" true (abs_float (total -. 1.) < 1e-6);
+      let stock = Tpcc.stock_class ~branches:Tpcc.default_branches in
+      let el = Hy.eligible_classes wl.Workload.partition in
+      checkb "stock class is escalatable" true el.(stock);
+      let prng = Prng.create 5 in
+      List.iter
+        (fun (tpl : Workload.template) ->
+          match tpl.Workload.kind with
+          | Controller.Update cls ->
+            List.iter
+              (fun op ->
+                let g, writing =
+                  match op with
+                  | Workload.Read g -> (g, false)
+                  | Workload.Write (g, _) -> (g, true)
+                in
+                if writing then
+                  checki
+                    (Printf.sprintf "%s writes its root" tpl.Workload.tpl_name)
+                    cls g.Granule.segment
+                else
+                  checkb
+                    (Printf.sprintf "%s reads legally" tpl.Workload.tpl_name)
+                    true
+                    (P.may_read wl.Workload.partition ~class_id:cls
+                       ~segment:g.Granule.segment))
+              (tpl.Workload.gen prng)
+          | _ -> ())
+        wl.Workload.templates)
+    [ `Low; `High ]
+
+let test_arrivals () =
+  let prng = Prng.create 3 in
+  let p = Arrivals.poisson ~rate:2.0 in
+  let n = 4000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let x = p prng in
+    checkb "gap nonnegative" true (x >= 0.);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "poisson mean near 1/rate" true (abs_float (mean -. 0.5) < 0.05);
+  let b =
+    Arrivals.bursty ~rate_calm:0.5 ~rate_burst:8.0 ~mean_calm:20.
+      ~mean_burst:5.
+  in
+  let sum_b = ref 0. in
+  for _ = 1 to n do
+    let x = b prng in
+    checkb "bursty gap nonnegative" true (x >= 0.);
+    sum_b := !sum_b +. x
+  done;
+  let mean_b = !sum_b /. float_of_int n in
+  checkb "bursty mean between the two regimes" true
+    (mean_b > 1. /. 8. && mean_b < 1. /. 0.5);
+  checkb "users sampler validates" true
+    (try
+       let (_ : Arrivals.t) = Arrivals.users ~count:0 ~think_time:1. in
+       false
+     with Invalid_argument _ -> true)
+
+(* A million simulated users against the low-contention mix: the SLO
+   record must be internally consistent and the offered rate must be
+   exactly the population over the think time. *)
+let test_openloop_slo () =
+  let wl = Tpcc.workload ~contention:`Low () in
+  let controller =
+    Adapters.hdd ~partition:wl.Workload.partition ~init:wl.Workload.init ()
+  in
+  let config =
+    { Runner.default_config with Runner.mpl = 8; target_commits = 200 }
+  in
+  let _r, slo =
+    Openloop.run_users ~users:1_000_000 ~think_time:2_000_000. config wl
+      controller
+  in
+  checki "every commit measured" 200 slo.Openloop.s_committed;
+  check (Alcotest.float 1e-9) "offered rate is users/think" 0.5
+    slo.Openloop.s_offered_rate;
+  checkb "quantiles ordered" true
+    (slo.Openloop.s_p50 <= slo.Openloop.s_p99
+    && slo.Openloop.s_p99 <= slo.Openloop.s_p999);
+  checkb "mean positive" true (slo.Openloop.s_mean > 0.)
+
+let test_wbench_quick_gates () =
+  let r = Wbench.run ~quick:true () in
+  checks "gates green" "" (String.concat "\n" (Wbench.gates r));
+  checki "six cells" 6 (List.length r.Wbench.w_cells);
+  checkb "deterministic rerun" true (Wbench.run ~quick:true () = r)
+
+let suite =
+  [ Alcotest.test_case "tpcc shape is legal" `Quick test_tpcc_shape;
+    Alcotest.test_case "arrival samplers" `Quick test_arrivals;
+    Alcotest.test_case "open-loop SLO" `Quick test_openloop_slo;
+    Alcotest.test_case "bench gates green (quick)" `Slow
+      test_wbench_quick_gates ]
